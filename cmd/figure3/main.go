@@ -1,0 +1,61 @@
+// Command figure3 regenerates Figure 3 of the paper: the cumulative
+// probability distribution of each program's error rate together with its
+// lower and upper bound curves, and the performance-improvement labels of
+// the top axis (speedup = 1.15 / (1 + 24 * error rate)).
+//
+// Usage:
+//
+//	figure3 [-scenarios N] [-bench name] [-points N] [-max maxRatePct] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tsperr/internal/harness"
+	"tsperr/internal/mibench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figure3: ")
+	scenarios := flag.Int("scenarios", harness.DefaultScenarios, "input datasets per benchmark")
+	bench := flag.String("bench", "", "single benchmark (default: all twelve)")
+	points := flag.Int("points", 25, "CDF sample points")
+	maxRate := flag.Float64("max", 1.6, "largest error rate (percent) on the axis")
+	csv := flag.Bool("csv", false, "emit CSV series instead of text panels")
+	flag.Parse()
+
+	f, err := harness.SharedFramework()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm := f.PerfModel()
+
+	names := []string{}
+	if *bench != "" {
+		names = append(names, *bench)
+	} else {
+		for _, b := range mibench.All() {
+			names = append(names, b.Name)
+		}
+	}
+	if *csv {
+		fmt.Println("benchmark,rate_pct,perf_improvement_pct,cdf_lower,cdf,cdf_upper")
+	}
+	for _, name := range names {
+		rep, err := harness.Analyze(name, *scenarios)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if *csv {
+			for _, p := range harness.Figure3Series(rep, pm, *maxRate, *points) {
+				fmt.Printf("%s,%.4f,%.3f,%.4f,%.4f,%.4f\n",
+					name, p.RatePct, p.ImprovementPct, p.Lo, p.CDF, p.Hi)
+			}
+		} else {
+			fmt.Println(harness.RenderFigure3(rep, pm, *maxRate, *points))
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command oppoint selects the best speculative operating point for a
+// benchmark: it sweeps frequency ratios, estimates the error rate at each
+// (re-training the datapath timing model per point), and reports expected
+// speedup plus the probability that speculation stays profitable — the
+// per-application operating point selection of the authors' companion work
+// driven by this paper's estimator.
+//
+// Usage:
+//
+//	oppoint [-scenarios N] [-ratios 1.05,1.10,...] <benchmark>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"tsperr/internal/core"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/harness"
+	"tsperr/internal/mibench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oppoint: ")
+	scenarios := flag.Int("scenarios", 4, "input datasets per evaluation")
+	ratioList := flag.String("ratios", "1.05,1.10,1.13,1.15,1.18,1.21",
+		"comma-separated frequency ratios to evaluate")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: oppoint [-scenarios N] [-ratios ...] <benchmark>")
+		os.Exit(2)
+	}
+	var ratios []float64
+	for _, tok := range strings.Split(*ratioList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			log.Fatalf("bad ratio %q: %v", tok, err)
+		}
+		ratios = append(ratios, v)
+	}
+	b, err := mibench.ByName(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := core.NewFramework(errormodel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := harness.SpecFor(b, *scenarios)
+	points, best, err := fw.SelectOperatingPoint(b.Name, spec, ratios)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: operating point sweep (base %.0f MHz)\n\n",
+		b.Name, fw.Machine.Opts.BaseFreqMHz)
+	fmt.Printf("%8s %10s %12s %10s %14s\n",
+		"ratio", "freq(MHz)", "errors(%)", "speedup", "P(profitable)")
+	for i, p := range points {
+		mark := " "
+		if i == best {
+			mark = "*"
+		}
+		fmt.Printf("%7.2f%s %10.0f %12.4f %10.4f %14.3f\n",
+			p.Ratio, mark, fw.Machine.Opts.BaseFreqMHz*p.Ratio,
+			100*p.ErrorRate, p.Speedup, p.CDFBelowBreakEven)
+	}
+	fmt.Printf("\nbest: %.2fx (%.0f MHz), expected speedup %.4f\n",
+		points[best].Ratio, fw.Machine.Opts.BaseFreqMHz*points[best].Ratio,
+		points[best].Speedup)
+}

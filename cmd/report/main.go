@@ -1,0 +1,120 @@
+// Command report produces a single markdown report reproducing the paper's
+// full evaluation: Table 2, a Figure 3 CDF table per benchmark, the
+// operating-point anchors, and a Monte Carlo validation section. It is the
+// one-shot "regenerate everything" entry point.
+//
+// Usage:
+//
+//	report [-scenarios N] [-o file.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"tsperr/internal/core"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/harness"
+	"tsperr/internal/mibench"
+	"tsperr/internal/montecarlo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	scenarios := flag.Int("scenarios", harness.DefaultScenarios, "input datasets per benchmark")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var sb strings.Builder
+	f, err := harness.SharedFramework()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm := f.PerfModel()
+
+	fmt.Fprintf(&sb, "# tsperr evaluation report\n\n")
+	fmt.Fprintf(&sb, "Machine: base %.0f MHz, PoFF %.2fx, working %.2fx (%.0f MHz), %s.\n\n",
+		f.Machine.Opts.BaseFreqMHz, f.Machine.Opts.PoFFRatio,
+		f.Machine.Opts.WorkingRatio, f.Machine.WorkingFreqMHz(),
+		"replay-at-half-frequency correction")
+
+	// ---- Table 2. ----
+	fmt.Fprintf(&sb, "## Table 2\n\n")
+	fmt.Fprintf(&sb, "| Benchmark | Instructions | Blocks | Mean(%%) | SD(%%) | dK(λ) | dK(R) | P95 rate(%%) | Perf(%%) |\n")
+	fmt.Fprintf(&sb, "|---|---|---|---|---|---|---|---|---|\n")
+	reports := map[string]*core.Report{}
+	for _, b := range mibench.All() {
+		rep, err := harness.Analyze(b.Name, *scenarios)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports[b.Name] = rep
+		e := rep.Estimate
+		fmt.Fprintf(&sb, "| %s | %d | %d | %.3f | %.3f | %.3f | %.3f | %.3f | %+.2f |\n",
+			rep.Name, rep.Instructions, rep.BasicBlocks,
+			100*e.MeanErrorRate(), 100*e.StdErrorRate(),
+			e.DKLambda, e.DKCount,
+			100*e.ErrorRateQuantile(0.95),
+			pm.ImprovementPct(e.MeanErrorRate()))
+	}
+	fmt.Fprintf(&sb, "\nBreak-even error rate at this operating point: %.3f%%.\n\n",
+		100*pm.BreakEvenErrorRate())
+
+	// ---- Figure 3. ----
+	fmt.Fprintf(&sb, "## Figure 3 (CDFs with Section 6.4 bounds)\n\n")
+	for _, b := range mibench.All() {
+		rep := reports[b.Name]
+		fmt.Fprintf(&sb, "### %s\n\n", b.Name)
+		fmt.Fprintf(&sb, "| rate(%%) | perf(%%) | lower | cdf | upper |\n|---|---|---|---|---|\n")
+		for _, p := range harness.Figure3Series(rep, pm, 1.2, 13) {
+			fmt.Fprintf(&sb, "| %.2f | %+.2f | %.3f | %.3f | %.3f |\n",
+				p.RatePct, p.ImprovementPct, p.Lo, p.CDF, p.Hi)
+		}
+		fmt.Fprintf(&sb, "\n")
+	}
+
+	// ---- Monte Carlo validation on the smallest benchmark. ----
+	fmt.Fprintf(&sb, "## Monte Carlo validation\n\n")
+	bm, _ := mibench.ByName("typeset")
+	unscaled, err := f.Analyze(bm.Name, core.ProgramSpec{
+		Prog: bm.Prog, Setup: bm.Setup, Scenarios: *scenarios,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var conds []*errormodel.Conditionals
+	for _, sc := range unscaled.Scenarios {
+		conds = append(conds, sc.Cond)
+	}
+	mc, err := montecarlo.Run(montecarlo.Spec{
+		Prog: bm.Prog, Setup: bm.Setup, Cond: conds, Trials: 1500, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecdf := mc.CDF()
+	worst := 0.0
+	for k := 0.0; k < unscaled.Estimate.LambdaMean*4+10; k++ {
+		if d := math.Abs(ecdf(k) - unscaled.Estimate.ErrorCountCDF(k)); d > worst {
+			worst = d
+		}
+	}
+	fmt.Fprintf(&sb, "typeset (unscaled): analytic λ = %.2f, Monte Carlo mean = %.2f; "+
+		"max CDF distance %.4f vs bound %.4f.\n",
+		unscaled.Estimate.LambdaMean, mc.Mean(), worst,
+		unscaled.Estimate.DKLambda+unscaled.Estimate.DKCount)
+
+	if *out == "" {
+		fmt.Print(sb.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,53 @@
+// Command table2 regenerates Table 2 of the paper: per-benchmark program
+// size, framework runtime split into training and simulation, error-rate
+// mean and standard deviation, and the two approximation-error bounds.
+//
+// Usage:
+//
+//	table2 [-scenarios N] [-bench name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tsperr/internal/harness"
+	"tsperr/internal/mibench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("table2: ")
+	scenarios := flag.Int("scenarios", harness.DefaultScenarios,
+		"input datasets per benchmark (data variation)")
+	bench := flag.String("bench", "", "run a single benchmark instead of all twelve")
+	flag.Parse()
+
+	names := []string{}
+	if *bench != "" {
+		names = append(names, *bench)
+	} else {
+		for _, b := range mibench.All() {
+			names = append(names, b.Name)
+		}
+	}
+
+	fmt.Println("Table 2: Results, Performance, and Accuracy of Our Framework")
+	fmt.Println(harness.Table2Header())
+	var totalInsts, totalBlocks int64
+	var totalTrain, totalSim float64
+	for _, name := range names {
+		rep, err := harness.Analyze(name, *scenarios)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(harness.Table2Row(rep))
+		totalInsts += rep.Instructions
+		totalBlocks += int64(rep.BasicBlocks)
+		totalTrain += rep.Training.Seconds()
+		totalSim += rep.Simulation.Seconds()
+	}
+	fmt.Printf("%-13s %15d %7d %10.2f %10.2f\n",
+		"Total", totalInsts, totalBlocks, totalTrain, totalSim)
+}

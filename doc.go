@@ -1,0 +1,12 @@
+// Package tsperr reproduces "Accurate Estimation of Program Error Rate for
+// Timing-Speculative Processors" (Assare & Gupta, DAC 2019): a framework
+// that estimates the distribution of the timing-error rate a program
+// experiences on a timing-speculative in-order processor, combining
+// gate-level dynamic timing analysis under process variation (SSTA), an
+// operand-aware instruction error model with error-correction conditioning,
+// and Poisson/Normal limit-theorem statistics with Chen-Stein and Stein
+// approximation-error bounds.
+//
+// The implementation lives under internal/; see README.md for the map and
+// cmd/ for the tools that regenerate the paper's tables and figures.
+package tsperr

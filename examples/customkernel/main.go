@@ -1,0 +1,128 @@
+// Custom kernel walkthrough: bring your own assembly. This example writes a
+// small fixed-point FIR filter in TS-V8 assembly, wires up its input
+// datasets, runs the full estimation framework on it, and cross-checks the
+// analytic distribution against the direct Monte Carlo baseline — the
+// validation loop a user should run before trusting the estimate on new code.
+//
+// Run with:
+//
+//	go run ./examples/customkernel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tsperr/internal/core"
+	"tsperr/internal/cpu"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/isa"
+	"tsperr/internal/montecarlo"
+	"tsperr/internal/numeric"
+)
+
+const firSrc = `
+	# 4-tap fixed-point FIR: y[i] = sum_j (h[j] * x[i-j]) >> 8
+	li   r28, 1024
+	lw   r29, 0(r28)        # samples
+	li   r27, 2048          # x
+	li   r26, 3072          # y
+	li   r25, 1536          # h (4 taps)
+	li   r24, 3             # i starts at 3 so x[i-3] exists
+	li   r23, 0             # checksum
+sample:
+	bge  r24, r29, done
+	li   r10, 0             # acc
+	li   r11, 0             # j
+tap:
+	li   r1, 4
+	bge  r11, r1, tapdone
+	add  r2, r25, r11
+	lw   r3, 0(r2)          # h[j]
+	sub  r4, r24, r11
+	add  r4, r27, r4
+	lw   r5, 0(r4)          # x[i-j]
+	mul  r6, r3, r5
+	srai r6, r6, 8
+	add  r10, r10, r6
+	addi r11, r11, 1
+	j    tap
+tapdone:
+	add  r2, r26, r24
+	sw   r10, 0(r2)
+	add  r23, r23, r10
+	addi r24, r24, 1
+	j    sample
+done:
+	li   r20, 4096
+	sw   r23, 0(r20)
+	halt
+`
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Assemble.
+	prog, err := isa.Assemble("fir", firSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled fir: %d instructions\n", len(prog.Insts))
+
+	// 2. Input datasets: tap sets and waveforms vary per scenario.
+	setup := func(c *cpu.CPU, scenario int) error {
+		rng := numeric.NewRNG(uint64(scenario)*2654435761 + 1)
+		const n = 128
+		c.SetMem(1024, n)
+		taps := []uint32{64, 128, 48, 16}
+		for i, t := range taps {
+			c.SetMem(uint32(1536+i), t+uint32(rng.Intn(32)))
+		}
+		for i := 0; i < n; i++ {
+			c.SetMem(uint32(2048+i), uint32(int32(rng.Intn(4001)-2000)))
+		}
+		return nil
+	}
+
+	// 3. Full analysis.
+	fw, err := core.NewFramework(errormodel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fw.Analyze("fir", core.ProgramSpec{
+		Prog: prog, Setup: setup, Scenarios: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := rep.Estimate
+	fmt.Printf("analytic: lambda=%.2f errors/run, error rate %.4f%% (sd %.4f%%)\n",
+		e.LambdaMean, 100*e.MeanErrorRate(), 100*e.StdErrorRate())
+	fmt.Printf("bounds: d_K(lambda)=%.4f d_K(R_E)=%.4f\n", e.DKLambda, e.DKCount)
+
+	// 4. Monte Carlo validation: simulate the Markov error process directly
+	//    and compare the distributions. (This is the "too slow at scale"
+	//    baseline; it is fine for one small kernel.)
+	var conds []*errormodel.Conditionals
+	for _, sc := range rep.Scenarios {
+		conds = append(conds, sc.Cond)
+	}
+	mc, err := montecarlo.Run(montecarlo.Spec{
+		Prog: prog, Setup: setup, Cond: conds, Trials: 3000, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monte carlo: mean %.2f errors/run (analytic %.2f)\n", mc.Mean(), e.LambdaMean)
+
+	ecdf := mc.CDF()
+	worst := 0.0
+	for k := 0.0; k < e.LambdaMean*4+10; k++ {
+		if d := math.Abs(ecdf(k) - e.ErrorCountCDF(k)); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("max CDF distance vs Monte Carlo: %.4f (bound %.4f + sampling noise)\n",
+		worst, e.DKLambda+e.DKCount)
+}

@@ -1,0 +1,76 @@
+// Error-correction comparison: the same program under three recovery
+// schemes. The scheme changes two things the paper models explicitly
+// (Section 4.1): the per-error cycle penalty, and — for flushing schemes —
+// the conditional error probabilities p^e of instructions that follow an
+// errant one, because the datapath restarts from a flushed state and
+// activates different timing paths.
+//
+// Run with:
+//
+//	go run ./examples/errorcorrection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsperr/internal/core"
+	"tsperr/internal/cpu"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/mibench"
+	"tsperr/internal/numeric"
+)
+
+func main() {
+	log.SetFlags(0)
+	fw, err := core.NewFramework(errormodel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := mibench.ByName("bitcount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fw.Analyze(b.Name, core.ProgramSpec{
+		Prog: b.Prog, Setup: b.Setup, Scenarios: 4, ScaleToInsts: b.ScaleTo,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := rep.Estimate
+	er := e.MeanErrorRate()
+	fmt.Printf("%s: mean error rate %.3f%%, lambda %.0f errors per run\n\n",
+		rep.Name, 100*er, e.LambdaMean)
+
+	// How different are the two conditional probabilities? This is the
+	// dynamic effect of the correction scheme the paper highlights: after a
+	// flush the datapath re-activates full-depth paths.
+	var pc, pe numeric.KahanSum
+	n := 0
+	for _, sc := range rep.Scenarios {
+		for i := range sc.Cond.PC {
+			pc.Add(sc.Cond.PC[i])
+			pe.Add(sc.Cond.PE[i])
+			n++
+		}
+	}
+	fmt.Printf("mean conditional probabilities: p^c=%.5f  p^e=%.5f (x%.1f after a flush)\n\n",
+		pc.Value()/float64(n), pe.Value()/float64(n),
+		pe.Value()/pc.Value())
+
+	fmt.Printf("%-24s %10s %12s %12s\n", "scheme", "penalty", "speedup", "improvement")
+	for _, scheme := range []cpu.Correction{
+		cpu.ReplayHalfFrequency, cpu.PipelineFlush, cpu.SingleCycleReplay,
+	} {
+		pm := cpu.PerfModel{FreqRatio: 1.15, BaseCPI: 1, Scheme: scheme}
+		fmt.Printf("%-24s %10.0f %12.4f %+11.2f%%\n",
+			scheme.Name, scheme.PenaltyCycles, pm.Speedup(er), pm.ImprovementPct(er))
+	}
+	fmt.Println("\nbreak-even error rates per scheme:")
+	for _, scheme := range []cpu.Correction{
+		cpu.ReplayHalfFrequency, cpu.PipelineFlush, cpu.SingleCycleReplay,
+	} {
+		pm := cpu.PerfModel{FreqRatio: 1.15, BaseCPI: 1, Scheme: scheme}
+		fmt.Printf("  %-24s %.3f%%\n", scheme.Name, 100*pm.BreakEvenErrorRate())
+	}
+}

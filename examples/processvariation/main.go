@@ -1,0 +1,67 @@
+// Process-variation study: how the variation model's parameters shape the
+// program error rate distribution. The paper emphasizes that (a) process
+// variation turns DTS into a random variable, so instructions near the
+// critical point get probabilities rather than verdicts, and (b) spatial
+// correlation makes nearby paths fail together, which the canonical-form
+// SSTA preserves through every min/max. This example sweeps the relative
+// gate sigma and the spatially correlated share and reports the resulting
+// error-rate mean/SD and approximation bounds.
+//
+// Run with:
+//
+//	go run ./examples/processvariation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsperr/internal/core"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/mibench"
+)
+
+func analyze(opts errormodel.Options, label string) {
+	fw, err := core.NewFramework(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := mibench.ByName("typeset")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fw.Analyze(b.Name, core.ProgramSpec{
+		Prog: b.Prog, Setup: b.Setup, Scenarios: 4, ScaleToInsts: b.ScaleTo,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := rep.Estimate
+	fmt.Printf("%-28s %10.3f %10.3f %10.4f %10.4f\n",
+		label, 100*e.MeanErrorRate(), 100*e.StdErrorRate(), e.DKLambda, e.DKCount)
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("typeset under different variation models")
+	fmt.Printf("%-28s %10s %10s %10s %10s\n",
+		"variation model", "mean(%)", "sd(%)", "dK(l)", "dK(R)")
+
+	// Sweep the per-gate sigma: more variation widens the near-critical
+	// band where instructions fail probabilistically.
+	for _, sigma := range []float64{0.02, 0.045, 0.08} {
+		opts := errormodel.DefaultOptions()
+		opts.SigmaRel = sigma
+		analyze(opts, fmt.Sprintf("sigma=%.1f%% corr=50%%", sigma*100))
+	}
+	// Sweep the correlated share: with more correlation, a slow die slows
+	// every path together; with none, path failures decorrelate.
+	for _, corr := range []float64{0.0, 0.5, 0.9} {
+		opts := errormodel.DefaultOptions()
+		opts.CorrShare = corr
+		analyze(opts, fmt.Sprintf("sigma=4.5%% corr=%.0f%%", corr*100))
+	}
+	fmt.Println("\nNote: each row re-calibrates the netlists so the point of first")
+	fmt.Println("failure stays at 1.13x — the comparison isolates the distribution")
+	fmt.Println("shape, not the operating point.")
+}

@@ -1,0 +1,73 @@
+// Quickstart: estimate the timing-error rate distribution of one benchmark
+// on the timing-speculative processor and decide whether speculation pays.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsperr/internal/core"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/mibench"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build the framework: generates the gate-level netlists, calibrates
+	//    them to the paper's operating points (718 MHz baseline, point of
+	//    first failure at 1.13x, working point at 1.15x), and trains the
+	//    datapath timing model.
+	fw, err := core.NewFramework(errormodel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine ready: base %.0f MHz, working %.0f MHz\n",
+		fw.Machine.Opts.BaseFreqMHz, fw.Machine.WorkingFreqMHz())
+
+	// 2. Pick a benchmark and analyze it over 8 input datasets.
+	b, err := mibench.ByName("dijkstra")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fw.Analyze(b.Name, core.ProgramSpec{
+		Prog:         b.Prog,
+		Setup:        b.Setup,
+		Scenarios:    8,
+		ScaleToInsts: b.ScaleTo,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Read off the error-rate distribution.
+	e := rep.Estimate
+	fmt.Printf("\n%s: %d basic blocks, %d dynamic instructions\n",
+		rep.Name, rep.BasicBlocks, rep.Instructions)
+	fmt.Printf("error rate: mean %.3f%%, sd %.3f%%\n",
+		100*e.MeanErrorRate(), 100*e.StdErrorRate())
+	fmt.Printf("approximation bounds: d_K(lambda)=%.4f, d_K(R_E)=%.4f\n",
+		e.DKLambda, e.DKCount)
+
+	// 4. Query the CDF (Equation 14): how likely is the program to stay
+	//    under a given error rate on a random chip with a random input?
+	for _, pct := range []float64{0.2, 0.4, 0.625, 0.8, 1.0} {
+		lo, hi := e.ErrorRateCDFBounds(pct / 100)
+		fmt.Printf("P(error rate <= %.3f%%) = %.3f  (bounds %.3f..%.3f)\n",
+			pct, e.ErrorRateCDF(pct/100), lo, hi)
+	}
+
+	// 5. Convert to performance: speedup = 1.15 / (1 + 24 * error rate).
+	pm := fw.PerfModel()
+	imp := pm.ImprovementPct(e.MeanErrorRate())
+	fmt.Printf("\nperformance at the working point: %+.2f%%", imp)
+	if imp > 0 {
+		fmt.Println(" — timing speculation pays off for this program")
+	} else {
+		fmt.Println(" — this program should stay at the baseline frequency")
+	}
+}

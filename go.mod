@@ -1,0 +1,3 @@
+module tsperr
+
+go 1.22

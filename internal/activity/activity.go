@@ -1,0 +1,183 @@
+// Package activity performs cycle-accurate logic simulation of a netlist and
+// records, for every clock cycle, the set of activated gates per Definition
+// 3.2 of the paper: a gate is activated in a cycle if, were the clock period
+// sufficiently long, its output net would eventually change value. With a
+// zero-delay settling model this is exactly "the settled output at cycle t
+// differs from the settled output at cycle t-1". The per-cycle activation
+// sets are the VCD(t) input of Algorithm 1.
+package activity
+
+import (
+	"tsperr/internal/cell"
+	"tsperr/internal/netlist"
+)
+
+// BitSet is a dense set of gate IDs.
+type BitSet []uint64
+
+// NewBitSet returns a set able to hold n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set inserts id.
+func (b BitSet) Set(id netlist.GateID) { b[id>>6] |= 1 << (uint(id) & 63) }
+
+// Clear removes id.
+func (b BitSet) Clear(id netlist.GateID) { b[id>>6] &^= 1 << (uint(id) & 63) }
+
+// Has reports membership.
+func (b BitSet) Has(id netlist.GateID) bool {
+	return b[id>>6]&(1<<(uint(id)&63)) != 0
+}
+
+// Count returns the number of members.
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a copy.
+func (b BitSet) Clone() BitSet {
+	c := make(BitSet, len(b))
+	copy(c, b)
+	return c
+}
+
+// Trace records per-cycle activation sets: Sets[t] is VCD(t).
+type Trace struct {
+	Sets []BitSet
+	// NumGates is the size of the simulated netlist, kept for VCD encoding.
+	NumGates int
+}
+
+// Activated reports whether gate id is activated at cycle t. Cycles outside
+// the trace report false.
+func (tr *Trace) Activated(t int, id netlist.GateID) bool {
+	if t < 0 || t >= len(tr.Sets) {
+		return false
+	}
+	return tr.Sets[t].Has(id)
+}
+
+// Cycles returns the trace length.
+func (tr *Trace) Cycles() int { return len(tr.Sets) }
+
+// Simulator evaluates a netlist one clock cycle at a time.
+type Simulator struct {
+	n      *netlist.Netlist
+	topo   []netlist.GateID
+	values []bool // settled output values in the current cycle
+	prev   []bool // settled output values in the previous cycle
+	state  []bool // flip-flop captured states
+	inBuf  []bool // scratch for gate input gathering
+	first  bool
+}
+
+// NewSimulator builds a simulator; the netlist must validate.
+func NewSimulator(n *netlist.Netlist) (*Simulator, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	m := n.NumGates()
+	return &Simulator{
+		n:      n,
+		topo:   topo,
+		values: make([]bool, m),
+		prev:   make([]bool, m),
+		state:  make([]bool, m),
+		inBuf:  make([]bool, 3),
+		first:  true,
+	}, nil
+}
+
+// Reset clears all state, returning the simulator to power-on (all zeros).
+func (s *Simulator) Reset() {
+	for i := range s.values {
+		s.values[i] = false
+		s.prev[i] = false
+		s.state[i] = false
+	}
+	s.first = true
+}
+
+// SetState forces a flip-flop's captured state (used to seed architectural
+// state).
+func (s *Simulator) SetState(id netlist.GateID, v bool) { s.state[id] = v }
+
+// State reads a flip-flop's captured state.
+func (s *Simulator) State(id netlist.GateID) bool { return s.state[id] }
+
+// Value reads a gate's settled output in the last simulated cycle.
+func (s *Simulator) Value(id netlist.GateID) bool { return s.values[id] }
+
+// Cycle advances one clock cycle: flip-flops capture the D values settled in
+// the previous cycle, primary inputs take the supplied values, combinational
+// logic settles, and the set of activated gates is returned. The returned
+// BitSet is freshly allocated and safe to retain.
+func (s *Simulator) Cycle(inputs map[netlist.GateID]bool) BitSet {
+	gates := s.n.Gates()
+	// Clock edge: capture D pins from the previous cycle's settled values.
+	if !s.first {
+		for i := range gates {
+			g := &gates[i]
+			if g.Kind == cell.DFF {
+				s.state[g.ID] = s.values[g.Fanin[0]]
+			}
+		}
+	}
+	s.prev, s.values = s.values, s.prev
+	// Settle in topological order.
+	for _, id := range s.topo {
+		g := &gates[id]
+		switch g.Kind {
+		case cell.INPUT:
+			s.values[id] = inputs[id]
+		case cell.DFF:
+			s.values[id] = s.state[id]
+		case cell.CONST0:
+			s.values[id] = false
+		case cell.CONST1:
+			s.values[id] = true
+		default:
+			in := s.inBuf[:len(g.Fanin)]
+			for k, f := range g.Fanin {
+				in[k] = s.values[f]
+			}
+			s.values[id] = g.Kind.Eval(in)
+		}
+	}
+	// Activation: settled value changed versus the previous cycle. In the
+	// very first cycle everything that settles to 1 is considered activated
+	// (transition from the unknown/zero power-on state).
+	act := NewBitSet(len(gates))
+	for i := range gates {
+		id := netlist.GateID(i)
+		if s.first {
+			if s.values[id] {
+				act.Set(id)
+			}
+		} else if s.values[id] != s.prev[id] {
+			act.Set(id)
+		}
+	}
+	s.first = false
+	return act
+}
+
+// Run simulates len(inputSeq) cycles, applying inputSeq[t] at cycle t, and
+// returns the activation trace.
+func (s *Simulator) Run(inputSeq []map[netlist.GateID]bool) *Trace {
+	tr := &Trace{NumGates: s.n.NumGates()}
+	for _, in := range inputSeq {
+		tr.Sets = append(tr.Sets, s.Cycle(in))
+	}
+	return tr
+}

@@ -1,0 +1,182 @@
+package activity
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"tsperr/internal/cell"
+	"tsperr/internal/netlist"
+)
+
+// buildAdderStage returns a 1-stage netlist computing sum/carry of two input
+// bits into two flip-flops.
+func buildAdderStage(t *testing.T) (*netlist.Netlist, map[string]netlist.GateID) {
+	t.Helper()
+	n := netlist.New("halfadder", 1)
+	ids := map[string]netlist.GateID{}
+	ids["a"] = n.Add(cell.INPUT, "a", 0)
+	ids["b"] = n.Add(cell.INPUT, "b", 0)
+	ids["sum"] = n.Add(cell.XOR2, "sum", 0, ids["a"], ids["b"])
+	ids["carry"] = n.Add(cell.AND2, "carry", 0, ids["a"], ids["b"])
+	ids["ffs"] = n.Add(cell.DFF, "ffs", 0, ids["sum"])
+	ids["ffc"] = n.Add(cell.DFF, "ffc", 0, ids["carry"])
+	return n, ids
+}
+
+func TestSimulatorLogic(t *testing.T) {
+	n, ids := buildAdderStage(t)
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 1: a=1 b=0 -> sum=1 carry=0.
+	sim.Cycle(map[netlist.GateID]bool{ids["a"]: true})
+	if !sim.Value(ids["sum"]) || sim.Value(ids["carry"]) {
+		t.Fatal("half adder logic wrong for 1+0")
+	}
+	// Cycle 2: flip-flops capture previous outputs.
+	sim.Cycle(map[netlist.GateID]bool{ids["a"]: true, ids["b"]: true})
+	if !sim.State(ids["ffs"]) || sim.State(ids["ffc"]) {
+		t.Fatal("FF should have captured sum=1 carry=0")
+	}
+	if sim.Value(ids["sum"]) || !sim.Value(ids["carry"]) {
+		t.Fatal("half adder logic wrong for 1+1")
+	}
+}
+
+func TestActivationSemantics(t *testing.T) {
+	n, ids := buildAdderStage(t)
+	sim, _ := NewSimulator(n)
+	// Cycle 1: a=1 -> sum toggles to 1 (activated), carry stays 0.
+	act := sim.Cycle(map[netlist.GateID]bool{ids["a"]: true})
+	if !act.Has(ids["sum"]) {
+		t.Error("sum should be activated in cycle 1")
+	}
+	if act.Has(ids["carry"]) {
+		t.Error("carry stayed 0 and should not be activated")
+	}
+	// Cycle 2: same inputs -> combinational nets unchanged; only the sum FF
+	// output changes as it captures the 1.
+	act = sim.Cycle(map[netlist.GateID]bool{ids["a"]: true})
+	if act.Has(ids["sum"]) || act.Has(ids["carry"]) {
+		t.Error("unchanged nets must not be activated")
+	}
+	if !act.Has(ids["ffs"]) {
+		t.Error("ffs output changed 0->1 and should be activated")
+	}
+	// Cycle 3: a=0 -> sum toggles 1->0.
+	act = sim.Cycle(nil)
+	if !act.Has(ids["sum"]) {
+		t.Error("sum should be activated when input drops")
+	}
+}
+
+func TestSimulatorReset(t *testing.T) {
+	n, ids := buildAdderStage(t)
+	sim, _ := NewSimulator(n)
+	sim.Cycle(map[netlist.GateID]bool{ids["a"]: true, ids["b"]: true})
+	sim.Cycle(nil)
+	sim.Reset()
+	act := sim.Cycle(map[netlist.GateID]bool{ids["a"]: true})
+	if !act.Has(ids["sum"]) {
+		t.Error("after reset the first cycle should re-activate rising nets")
+	}
+	if sim.State(ids["ffc"]) {
+		t.Error("reset should clear FF state")
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	b := NewBitSet(130)
+	ids := []netlist.GateID{0, 63, 64, 129}
+	for _, id := range ids {
+		b.Set(id)
+	}
+	for _, id := range ids {
+		if !b.Has(id) {
+			t.Errorf("missing %d", id)
+		}
+	}
+	if b.Count() != 4 {
+		t.Errorf("count=%d", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) || b.Count() != 3 {
+		t.Error("clear failed")
+	}
+	c := b.Clone()
+	c.Set(64)
+	if b.Has(64) {
+		t.Error("clone should be independent")
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr := &Trace{NumGates: 10, Sets: []BitSet{NewBitSet(10)}}
+	tr.Sets[0].Set(3)
+	if !tr.Activated(0, 3) || tr.Activated(0, 4) {
+		t.Error("activation lookup wrong")
+	}
+	if tr.Activated(-1, 3) || tr.Activated(5, 3) {
+		t.Error("out-of-range cycles must report false")
+	}
+	if tr.Cycles() != 1 {
+		t.Error("cycle count")
+	}
+}
+
+func TestVCDRoundTrip(t *testing.T) {
+	n, ids := buildAdderStage(t)
+	sim, _ := NewSimulator(n)
+	seq := []map[netlist.GateID]bool{
+		{ids["a"]: true},
+		{ids["a"]: true, ids["b"]: true},
+		{},
+		{ids["b"]: true},
+	}
+	tr := sim.Run(seq)
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, tr, "halfadder"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVCD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumGates != tr.NumGates || back.Cycles() != tr.Cycles() {
+		t.Fatalf("shape mismatch: %d/%d gates, %d/%d cycles",
+			back.NumGates, tr.NumGates, back.Cycles(), tr.Cycles())
+	}
+	for c := 0; c < tr.Cycles(); c++ {
+		for g := 0; g < tr.NumGates; g++ {
+			id := netlist.GateID(g)
+			if tr.Activated(c, id) != back.Activated(c, id) {
+				t.Errorf("cycle %d gate %d mismatch", c, g)
+			}
+		}
+	}
+}
+
+func TestVCDRejectsGarbage(t *testing.T) {
+	if _, err := ReadVCD(bytes.NewBufferString("$enddefinitions $end\nnot-a-line\n")); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ReadVCD(bytes.NewBufferString("$enddefinitions $end\n#x\n")); err == nil {
+		t.Error("expected timestamp error")
+	}
+	if _, err := ReadVCD(bytes.NewBufferString("$var wire 1 ! g0 $end\n$enddefinitions $end\n0!\n")); err == nil {
+		t.Error("value change before timestamp should fail")
+	}
+}
+
+func TestIDCodeRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		i := int(raw)
+		got, ok := parseIDCode(idCode(i))
+		return ok && got == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

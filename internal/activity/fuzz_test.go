@@ -1,0 +1,72 @@
+package activity
+
+import (
+	"bytes"
+	"testing"
+
+	"tsperr/internal/netlist"
+	"tsperr/internal/numeric"
+)
+
+// TestReadVCDNeverPanics feeds random byte soup to the VCD parser.
+func TestReadVCDNeverPanics(t *testing.T) {
+	rng := numeric.NewRNG(2024)
+	pieces := []string{
+		"$var wire 1 ! g0 $end\n", "$enddefinitions $end\n", "#0\n", "#17\n",
+		"0!\n", "1!\n", "x!\n", "$dumpvars\n", "garbage\n", "#-1\n", "0\x7f\n",
+		"##\n", "", "1\n",
+	}
+	for trial := 0; trial < 500; trial++ {
+		var buf bytes.Buffer
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			buf.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", buf.String(), r)
+				}
+			}()
+			_, _ = ReadVCD(bytes.NewReader(buf.Bytes()))
+		}()
+	}
+}
+
+// TestVCDRoundTripRandomTraces round-trips randomly generated activation
+// traces of varying shapes.
+func TestVCDRoundTripRandomTraces(t *testing.T) {
+	rng := numeric.NewRNG(77)
+	for trial := 0; trial < 100; trial++ {
+		gates := 1 + rng.Intn(200)
+		cycles := rng.Intn(20)
+		tr := &Trace{NumGates: gates}
+		for c := 0; c < cycles; c++ {
+			set := NewBitSet(gates)
+			for g := 0; g < gates; g++ {
+				if rng.Float64() < 0.2 {
+					set.Set(netlist.GateID(g))
+				}
+			}
+			tr.Sets = append(tr.Sets, set)
+		}
+		var buf bytes.Buffer
+		if err := WriteVCD(&buf, tr, "fuzz"); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadVCD(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if back.NumGates != gates || back.Cycles() != cycles {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for c := 0; c < cycles; c++ {
+			for g := 0; g < gates; g++ {
+				if tr.Activated(c, netlist.GateID(g)) != back.Activated(c, netlist.GateID(g)) {
+					t.Fatalf("trial %d: mismatch at cycle %d gate %d", trial, c, g)
+				}
+			}
+		}
+	}
+}

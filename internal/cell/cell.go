@@ -1,0 +1,147 @@
+// Package cell defines the standard-cell library used to build processor
+// netlists: gate kinds, their logic functions, and 45 nm-like nominal timing
+// parameters. Delays are in picoseconds and are deliberately simple (single
+// worst-arc number per cell); the SSTA layer adds process variation on top.
+package cell
+
+import "fmt"
+
+// Kind identifies a standard cell.
+type Kind uint8
+
+// The library. INPUT is a primary input or pseudo-source; DFF is a
+// flip-flop (a timing endpoint and a cycle boundary in logic simulation).
+const (
+	INPUT Kind = iota
+	CONST0
+	CONST1
+	BUF
+	INV
+	AND2
+	OR2
+	NAND2
+	NOR2
+	XOR2
+	XNOR2
+	MUX2 // inputs: a, b, sel; output = sel ? b : a
+	DFF  // input: d; output = captured state
+	numKinds
+)
+
+var names = [numKinds]string{
+	"INPUT", "CONST0", "CONST1", "BUF", "INV", "AND2", "OR2", "NAND2",
+	"NOR2", "XOR2", "XNOR2", "MUX2", "DFF",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// NumInputs returns the fan-in arity of the cell.
+func (k Kind) NumInputs() int {
+	switch k {
+	case INPUT, CONST0, CONST1:
+		return 0
+	case BUF, INV, DFF:
+		return 1
+	case MUX2:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// Delay returns the nominal propagation delay in picoseconds for a 45 nm-like
+// library at the typical corner. DFF returns its clock-to-Q delay; Setup
+// below must be added at path ends.
+func (k Kind) Delay() float64 {
+	switch k {
+	case INPUT, CONST0, CONST1:
+		return 0
+	case BUF:
+		return 28
+	case INV:
+		return 16
+	case AND2:
+		return 34
+	case OR2:
+		return 36
+	case NAND2:
+		return 24
+	case NOR2:
+		return 26
+	case XOR2:
+		return 48
+	case XNOR2:
+		return 50
+	case MUX2:
+		return 42
+	case DFF:
+		return 60 // clock-to-Q
+	default:
+		return 0
+	}
+}
+
+// Setup is the flip-flop setup time in picoseconds, charged at every path
+// endpoint.
+const Setup = 35.0
+
+// SigmaRel is the default relative standard deviation of a cell delay under
+// process variation (sigma / nominal).
+const SigmaRel = 0.045
+
+// Eval computes the cell's output from its input values. DFF is not
+// evaluated here (it is a state element handled by the simulator); INPUT
+// values are supplied externally.
+func (k Kind) Eval(in []bool) bool {
+	switch k {
+	case CONST0:
+		return false
+	case CONST1:
+		return true
+	case BUF:
+		return in[0]
+	case INV:
+		return !in[0]
+	case AND2:
+		return in[0] && in[1]
+	case OR2:
+		return in[0] || in[1]
+	case NAND2:
+		return !(in[0] && in[1])
+	case NOR2:
+		return !(in[0] || in[1])
+	case XOR2:
+		return in[0] != in[1]
+	case XNOR2:
+		return in[0] == in[1]
+	case MUX2:
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	default:
+		panic(fmt.Sprintf("cell: Eval on non-combinational kind %v", k))
+	}
+}
+
+// IsSource reports whether the cell starts timing paths (its output is stable
+// at the start of the clock cycle): primary inputs, constants, and flip-flop
+// outputs.
+func (k Kind) IsSource() bool {
+	switch k {
+	case INPUT, CONST0, CONST1, DFF:
+		return true
+	}
+	return false
+}
+
+// IsCombinational reports whether the cell computes a logic function of its
+// inputs within the cycle.
+func (k Kind) IsCombinational() bool {
+	return !k.IsSource()
+}

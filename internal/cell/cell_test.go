@@ -1,0 +1,110 @@
+package cell
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalTruthTables(t *testing.T) {
+	f, tr := false, true
+	cases := []struct {
+		k    Kind
+		in   []bool
+		want bool
+	}{
+		{CONST0, nil, false},
+		{CONST1, nil, true},
+		{BUF, []bool{tr}, true},
+		{BUF, []bool{f}, false},
+		{INV, []bool{tr}, false},
+		{AND2, []bool{tr, tr}, true},
+		{AND2, []bool{tr, f}, false},
+		{OR2, []bool{f, f}, false},
+		{OR2, []bool{f, tr}, true},
+		{NAND2, []bool{tr, tr}, false},
+		{NOR2, []bool{f, f}, true},
+		{XOR2, []bool{tr, f}, true},
+		{XOR2, []bool{tr, tr}, false},
+		{XNOR2, []bool{tr, tr}, true},
+		{MUX2, []bool{tr, f, f}, true},   // sel=0 -> a
+		{MUX2, []bool{tr, f, tr}, false}, // sel=1 -> b
+	}
+	for _, c := range cases {
+		if got := c.k.Eval(c.in); got != c.want {
+			t.Errorf("%v%v = %v, want %v", c.k, c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalPanicsOnState(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval(DFF) should panic")
+		}
+	}()
+	DFF.Eval([]bool{true})
+}
+
+func TestArities(t *testing.T) {
+	want := map[Kind]int{
+		INPUT: 0, CONST0: 0, CONST1: 0, BUF: 1, INV: 1, DFF: 1,
+		AND2: 2, OR2: 2, NAND2: 2, NOR2: 2, XOR2: 2, XNOR2: 2, MUX2: 3,
+	}
+	for k, n := range want {
+		if k.NumInputs() != n {
+			t.Errorf("%v arity = %d, want %d", k, k.NumInputs(), n)
+		}
+	}
+}
+
+func TestDelaysArePositiveForLogic(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		d := k.Delay()
+		if k.IsCombinational() && k != INPUT && d <= 0 {
+			t.Errorf("%v delay = %v", k, d)
+		}
+		if d < 0 {
+			t.Errorf("%v negative delay", k)
+		}
+	}
+	if Setup <= 0 || SigmaRel <= 0 || SigmaRel > 0.2 {
+		t.Error("timing constants implausible")
+	}
+	// Complex gates must be slower than the inverter.
+	if XOR2.Delay() <= INV.Delay() || MUX2.Delay() <= BUF.Delay() {
+		t.Error("delay ordering implausible")
+	}
+}
+
+func TestSourceClassification(t *testing.T) {
+	for _, k := range []Kind{INPUT, CONST0, CONST1, DFF} {
+		if !k.IsSource() || k.IsCombinational() {
+			t.Errorf("%v should be a source", k)
+		}
+	}
+	for _, k := range []Kind{BUF, INV, AND2, MUX2} {
+		if k.IsSource() || !k.IsCombinational() {
+			t.Errorf("%v should be combinational", k)
+		}
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b bool) bool {
+		nand := NAND2.Eval([]bool{a, b})
+		orInv := OR2.Eval([]bool{INV.Eval([]bool{a}), INV.Eval([]bool{b})})
+		return nand == orInv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if INPUT.String() != "INPUT" || DFF.String() != "DFF" {
+		t.Error("names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

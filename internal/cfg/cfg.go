@@ -1,0 +1,288 @@
+// Package cfg builds control flow graphs over TS-V8 programs, profiles edge
+// activation probabilities and basic-block execution counts from simulator
+// runs, and computes strongly connected components with Tarjan's algorithm
+// plus their condensation topological order — exactly the machinery Section
+// 4.2 of the paper needs to set up and order its linear systems.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"tsperr/internal/cpu"
+	"tsperr/internal/isa"
+)
+
+// Block is a basic block: instructions [Start, End) of the program.
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	// Succs lists statically known successor block IDs.
+	Succs []int
+}
+
+// NumInsts returns the instruction count n_i of the block.
+func (b *Block) NumInsts() int { return b.End - b.Start }
+
+// Edge identifies a CFG edge by block IDs.
+type Edge struct {
+	From, To int
+}
+
+// Graph is a program CFG.
+type Graph struct {
+	Prog    *isa.Program
+	Blocks  []Block
+	BlockOf []int // instruction index -> block ID
+}
+
+// Build constructs the CFG. Leaders are the entry, every control-transfer
+// target, and every instruction following a control transfer. Indirect jumps
+// (jr) contribute no static successors; their edges appear during profiling.
+func Build(p *isa.Program) (*Graph, error) {
+	n := len(p.Insts)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: empty program")
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, in := range p.Insts {
+		if in.Op.IsBranch() || in.Op == isa.OpJal {
+			if in.Target < 0 || in.Target >= n {
+				return nil, fmt.Errorf("cfg: instruction %d targets %d outside program", i, in.Target)
+			}
+			leader[in.Target] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		if in.Op == isa.OpJr || in.Op == isa.OpHalt {
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+	g := &Graph{Prog: p, BlockOf: make([]int, n)}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			g.Blocks = append(g.Blocks, Block{ID: len(g.Blocks), Start: i})
+		}
+		g.BlockOf[i] = len(g.Blocks) - 1
+	}
+	for bi := range g.Blocks {
+		if bi+1 < len(g.Blocks) {
+			g.Blocks[bi].End = g.Blocks[bi+1].Start
+		} else {
+			g.Blocks[bi].End = n
+		}
+	}
+	// Static successors.
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		last := p.Insts[b.End-1]
+		add := func(target int) {
+			to := g.BlockOf[target]
+			for _, s := range b.Succs {
+				if s == to {
+					return
+				}
+			}
+			b.Succs = append(b.Succs, to)
+		}
+		switch {
+		case last.Op.IsBranch():
+			add(last.Target)
+			if b.End < n {
+				add(b.End)
+			}
+		case last.Op == isa.OpJal:
+			add(last.Target)
+		case last.Op == isa.OpJr, last.Op == isa.OpHalt:
+			// No static successors.
+		default:
+			if b.End < n {
+				add(b.End)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Profile holds measured execution behaviour of a program on its input data.
+type Profile struct {
+	Graph *Graph
+	// ExecCount[i] is e_i, the number of executions of block i.
+	ExecCount []int64
+	// EdgeCount holds dynamic traversal counts, including edges only
+	// discoverable dynamically (indirect jumps).
+	EdgeCount map[Edge]int64
+	// InstCount is the total number of retired instructions.
+	InstCount int64
+}
+
+// NewProfile prepares an empty profile for a graph.
+func NewProfile(g *Graph) *Profile {
+	return &Profile{
+		Graph:     g,
+		ExecCount: make([]int64, len(g.Blocks)),
+		EdgeCount: map[Edge]int64{},
+	}
+}
+
+// Observer returns a cpu.Observer that accumulates this profile.
+func (pr *Profile) Observer() cpu.Observer {
+	prev := -1
+	return func(d *cpu.DynInst) {
+		pr.InstCount++
+		b := pr.Graph.BlockOf[d.Index]
+		if d.Index == pr.Graph.Blocks[b].Start {
+			pr.ExecCount[b]++
+			if prev >= 0 {
+				pr.EdgeCount[Edge{From: prev, To: b}]++
+			}
+		}
+		prev = b
+	}
+}
+
+// IncomingEdges returns the profiled incoming edges of a block, sorted by
+// source block for determinism.
+func (pr *Profile) IncomingEdges(block int) []Edge {
+	var in []Edge
+	for e := range pr.EdgeCount {
+		if e.To == block {
+			in = append(in, e)
+		}
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+	return in
+}
+
+// ActivationProb returns p^a for an edge: the fraction of the target block's
+// executions entered through this edge. The program entry block's missing
+// mass corresponds to the program start.
+func (pr *Profile) ActivationProb(e Edge) float64 {
+	if pr.ExecCount[e.To] == 0 {
+		return 0
+	}
+	return float64(pr.EdgeCount[e]) / float64(pr.ExecCount[e.To])
+}
+
+// Scale multiplies all counts by k, emulating a proportionally larger input
+// dataset. The Section 5 statistics consume only the counts, so scaling is
+// exact for workloads whose block frequencies are input-size invariant.
+func (pr *Profile) Scale(k int64) {
+	for i := range pr.ExecCount {
+		pr.ExecCount[i] *= k
+	}
+	for e := range pr.EdgeCount {
+		pr.EdgeCount[e] *= k
+	}
+	pr.InstCount *= k
+}
+
+// SCC computes strongly connected components over the union of static edges
+// and profiled dynamic edges. Components are returned in reverse topological
+// order of the condensation reversed into *topological* order (sources
+// first), so systems can be solved respecting data flow. Comp[i] is the
+// component index of block i.
+type SCC struct {
+	Comps [][]int // Comps[c] lists block IDs, topologically ordered components
+	Comp  []int   // block ID -> component index
+}
+
+// ComputeSCC runs Tarjan's algorithm.
+func ComputeSCC(g *Graph, pr *Profile) *SCC {
+	n := len(g.Blocks)
+	adj := make([][]int, n)
+	seen := make([]map[int]bool, n)
+	for i := range seen {
+		seen[i] = map[int]bool{}
+	}
+	addEdge := func(from, to int) {
+		if !seen[from][to] {
+			seen[from][to] = true
+			adj[from] = append(adj[from], to)
+		}
+	}
+	for i := range g.Blocks {
+		for _, s := range g.Blocks[i].Succs {
+			addEdge(i, s)
+		}
+	}
+	if pr != nil {
+		var edges []Edge
+		for e := range pr.EdgeCount {
+			edges = append(edges, e)
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].From != edges[j].From {
+				return edges[i].From < edges[j].From
+			}
+			return edges[i].To < edges[j].To
+		})
+		for _, e := range edges {
+			addEdge(e.From, e.To)
+		}
+	}
+
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	counter := 0
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] < 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strongconnect(v)
+		}
+	}
+	// Tarjan emits components in reverse topological order; reverse them.
+	for i, j := 0, len(comps)-1; i < j; i, j = i+1, j-1 {
+		comps[i], comps[j] = comps[j], comps[i]
+	}
+	s := &SCC{Comps: comps, Comp: make([]int, n)}
+	for c, comp := range comps {
+		for _, b := range comp {
+			s.Comp[b] = c
+		}
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package cfg
+
+import (
+	"testing"
+
+	"tsperr/internal/cpu"
+	"tsperr/internal/isa"
+	"tsperr/internal/numeric"
+)
+
+// randomBranchy builds a random but terminating program with forward and
+// backward branches guarded by a countdown register so loops are finite.
+func randomBranchy(rng *numeric.RNG, n int) *isa.Program {
+	insts := []isa.Inst{
+		{Op: isa.OpAddi, Rd: 30, Rs1: 0, Imm: 40}, // loop fuel
+	}
+	for i := 1; i <= n; i++ {
+		switch rng.Intn(5) {
+		case 0: // backward branch guarded by fuel
+			insts = append(insts,
+				isa.Inst{Op: isa.OpAddi, Rd: 30, Rs1: 30, Imm: -1},
+				// Skip the backward jump once fuel is exhausted (0 >= fuel).
+				isa.Inst{Op: isa.OpBge, Rs1: 0, Rs2: 30, Target: len(insts) + 3},
+				// Never re-enter instruction 0 (the fuel initializer).
+				isa.Inst{Op: isa.OpBne, Rs1: 30, Rs2: 0, Target: 1 + rng.Intn(len(insts))},
+			)
+		case 1: // forward branch
+			insts = append(insts, isa.Inst{
+				Op: isa.OpBlt, Rs1: uint8(rng.Intn(8)), Rs2: uint8(rng.Intn(8)),
+				Target: len(insts) + 1 + rng.Intn(3),
+			})
+		default:
+			insts = append(insts, isa.Inst{
+				Op: isa.OpAdd, Rd: uint8(1 + rng.Intn(8)),
+				Rs1: uint8(rng.Intn(8)), Rs2: uint8(rng.Intn(8)),
+			})
+		}
+	}
+	// Clamp forward targets into range, then halt.
+	insts = append(insts, isa.Inst{Op: isa.OpHalt})
+	for i := range insts {
+		if insts[i].Op.IsBranch() && insts[i].Target >= len(insts) {
+			insts[i].Target = len(insts) - 1
+		}
+	}
+	return &isa.Program{Name: "branchy", Insts: insts}
+}
+
+// TestRandomCFGInvariants checks structural invariants over random programs:
+// block partitioning covers every instruction exactly once, BlockOf is
+// consistent, successors are in range, and the SCC condensation respects
+// edge direction.
+func TestRandomCFGInvariants(t *testing.T) {
+	rng := numeric.NewRNG(31)
+	for trial := 0; trial < 200; trial++ {
+		p := randomBranchy(rng, 2+rng.Intn(40))
+		g, err := Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Partition: blocks tile [0, n) without gaps or overlaps.
+		at := 0
+		for bi, b := range g.Blocks {
+			if b.Start != at {
+				t.Fatalf("trial %d: block %d starts at %d, expected %d", trial, bi, b.Start, at)
+			}
+			if b.End <= b.Start {
+				t.Fatalf("trial %d: empty block %d", trial, bi)
+			}
+			for i := b.Start; i < b.End; i++ {
+				if g.BlockOf[i] != bi {
+					t.Fatalf("trial %d: BlockOf inconsistent at %d", trial, i)
+				}
+			}
+			for _, s := range b.Succs {
+				if s < 0 || s >= len(g.Blocks) {
+					t.Fatalf("trial %d: successor out of range", trial)
+				}
+			}
+			at = b.End
+		}
+		if at != len(p.Insts) {
+			t.Fatalf("trial %d: blocks cover %d of %d instructions", trial, at, len(p.Insts))
+		}
+		// Run it and profile; SCC condensation order must respect profiled
+		// edges (from-component <= to-component).
+		c, err := cpu.New(p, cpu.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := NewProfile(g)
+		if _, err := c.Run(pr.Observer()); err != nil {
+			t.Fatal(err)
+		}
+		scc := ComputeSCC(g, pr)
+		for e := range pr.EdgeCount {
+			if scc.Comp[e.From] > scc.Comp[e.To] {
+				t.Fatalf("trial %d: condensation order violated on %v", trial, e)
+			}
+		}
+		// Activation probabilities of incoming edges never exceed 1.
+		for bi := range g.Blocks {
+			var sum float64
+			for _, e := range pr.IncomingEdges(bi) {
+				sum += pr.ActivationProb(e)
+			}
+			if sum > 1+1e-9 {
+				t.Fatalf("trial %d: block %d incoming mass %v", trial, bi, sum)
+			}
+		}
+	}
+}

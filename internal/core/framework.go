@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tsperr/internal/cfg"
+	"tsperr/internal/cpu"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/isa"
+)
+
+// Framework ties the whole flow of Figures 1 and 2 together: netlist
+// generation and calibration, datapath model training, per-program control
+// characterization, instrumented simulation over input scenarios, marginal
+// probability computation, and the Section 5 statistics.
+type Framework struct {
+	Machine  *errormodel.Machine
+	Datapath *errormodel.DatapathModel
+}
+
+// NewFramework builds and trains the machine-dependent parts (everything
+// that does not depend on the analyzed program).
+func NewFramework(opts errormodel.Options) (*Framework, error) {
+	m, err := errormodel.NewMachine(opts)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := m.TrainDatapath()
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{Machine: m, Datapath: dp}, nil
+}
+
+// ProgramSpec describes one benchmark to analyze.
+type ProgramSpec struct {
+	// Prog is the assembled program.
+	Prog *isa.Program
+	// Setup seeds machine state (memory, registers) for a scenario; the
+	// scenario index selects the input dataset.
+	Setup func(c *cpu.CPU, scenario int) error
+	// Scenarios is the number of input datasets simulated; their spread is
+	// the data-variation axis of the error-rate distribution.
+	Scenarios int
+	// ScaleToInsts, when positive, scales each scenario's execution counts
+	// so the total dynamic instruction count approximates this value,
+	// emulating the paper's large MiBench datasets (the Section 5
+	// statistics consume only the counts, so this is exact, not an
+	// approximation, for count-linear workloads).
+	ScaleToInsts int64
+	// CPUConfig overrides the machine configuration; zero value uses
+	// cpu.DefaultConfig().
+	CPUConfig cpu.Config
+}
+
+// Report is one row of Table 2 plus everything needed to draw the program's
+// Figure 3 curve.
+type Report struct {
+	Name         string
+	Instructions int64
+	BasicBlocks  int
+	Training     time.Duration
+	Simulation   time.Duration
+	Estimate     *Estimate
+	Graph        *cfg.Graph
+	Scenarios    []Scenario
+}
+
+// Analyze runs the full flow on one program.
+func (f *Framework) Analyze(name string, spec ProgramSpec) (*Report, error) {
+	if spec.Scenarios <= 0 {
+		return nil, fmt.Errorf("core: %s: need at least one scenario", name)
+	}
+	cfgCPU := spec.CPUConfig
+	if cfgCPU.MemWords == 0 {
+		cfgCPU = cpu.DefaultConfig()
+	}
+	g, err := cfg.Build(spec.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+
+	rep := &Report{Name: name, Graph: g, BasicBlocks: len(g.Blocks)}
+
+	// ---- Simulation phase: instrumented runs over the input scenarios.
+	// Scenarios are independent (each gets its own machine, profile, and
+	// feature collector), so they run concurrently; results are
+	// deterministic because each scenario's seeding depends only on its
+	// index. ----
+	simStart := time.Now()
+	type scenarioRaw struct {
+		profile *cfg.Profile
+		feats   *errormodel.ScenarioFeatures
+	}
+	raws := make([]scenarioRaw, spec.Scenarios)
+	errs := make([]error, spec.Scenarios)
+	var wg sync.WaitGroup
+	for s := 0; s < spec.Scenarios; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			machine, err := cpu.New(spec.Prog, cfgCPU)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			if spec.Setup != nil {
+				if err := spec.Setup(machine, s); err != nil {
+					errs[s] = fmt.Errorf("core: %s scenario %d setup: %w", name, s, err)
+					return
+				}
+			}
+			pr := cfg.NewProfile(g)
+			feats, fobs := errormodel.NewFeatureCollector(len(spec.Prog.Insts), f.Datapath)
+			pobs := pr.Observer()
+			if _, err := machine.Run(func(d *cpu.DynInst) { pobs(d); fobs(d) }); err != nil {
+				errs[s] = fmt.Errorf("core: %s scenario %d: %w", name, s, err)
+				return
+			}
+			if spec.ScaleToInsts > 0 && pr.InstCount > 0 {
+				if k := spec.ScaleToInsts / pr.InstCount; k > 1 {
+					pr.Scale(k)
+				}
+			}
+			raws[s] = scenarioRaw{profile: pr, feats: feats}
+		}(s)
+	}
+	wg.Wait()
+	var totalInsts int64
+	for s := range raws {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+		totalInsts += raws[s].profile.InstCount
+	}
+	rep.Simulation = time.Since(simStart)
+	rep.Instructions = totalInsts / int64(spec.Scenarios)
+
+	// ---- Training phase: control-network DTS characterization (gate level,
+	// once per basic block, as the paper emphasizes). ----
+	trainStart := time.Now()
+	cc, err := f.Machine.CharacterizeControl(g, raws[0].profile, raws[0].feats.Results)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: control characterization: %w", name, err)
+	}
+	rep.Training = time.Since(trainStart)
+
+	// ---- Error model: conditionals and marginals per scenario. ----
+	scenarios := make([]Scenario, spec.Scenarios)
+	for s, raw := range raws {
+		cond := errormodel.BuildConditionals(g, cc, raw.feats)
+		scc := cfg.ComputeSCC(g, raw.profile)
+		marg, err := errormodel.ComputeMarginals(g, raw.profile, scc, cond)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s scenario %d: %w", name, s, err)
+		}
+		scenarios[s] = Scenario{Profile: raw.profile, Marginals: marg, Cond: cond, Features: raw.feats}
+	}
+	rep.Scenarios = scenarios
+
+	est, err := NewEstimate(g, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	rep.Estimate = est
+	return rep, nil
+}
+
+// PerfModel returns the paper's performance model at this machine's
+// operating point.
+func (f *Framework) PerfModel() cpu.PerfModel {
+	m := cpu.PaperPerfModel()
+	m.FreqRatio = f.Machine.Opts.WorkingRatio
+	return m
+}

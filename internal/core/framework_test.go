@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"tsperr/internal/cpu"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/isa"
+	"tsperr/internal/numeric"
+)
+
+var (
+	fwOnce sync.Once
+	fwTest *Framework
+	fwErr  error
+)
+
+func testFramework(t *testing.T) *Framework {
+	t.Helper()
+	fwOnce.Do(func() { fwTest, fwErr = NewFramework(errormodel.DefaultOptions()) })
+	if fwErr != nil {
+		t.Fatal(fwErr)
+	}
+	return fwTest
+}
+
+const fwProg = `
+	li   r1, 0
+	li   r2, 50
+	li   r3, 0
+loop:
+	lw   r4, 2048(r1)
+	add  r3, r3, r4
+	addi r1, r1, 1
+	blt  r1, r2, loop
+	sw   r3, 4096(r0)
+	halt
+`
+
+func fwSetup(c *cpu.CPU, scenario int) error {
+	rng := numeric.NewRNG(uint64(scenario + 1))
+	for i := 0; i < 50; i++ {
+		c.SetMem(uint32(2048+i), uint32(rng.Intn(1<<(8+4*(scenario%5)))))
+	}
+	return nil
+}
+
+func TestAnalyzeIntegration(t *testing.T) {
+	f := testFramework(t)
+	prog := isa.MustAssemble("sumloop", fwProg)
+	rep, err := f.Analyze("sumloop", ProgramSpec{
+		Prog: prog, Setup: fwSetup, Scenarios: 4, ScaleToInsts: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BasicBlocks < 3 {
+		t.Errorf("blocks = %d", rep.BasicBlocks)
+	}
+	if rep.Instructions < 500_000 || rep.Instructions > 1_000_000 {
+		t.Errorf("scaled instructions = %d", rep.Instructions)
+	}
+	e := rep.Estimate
+	if e.LambdaMean <= 0 {
+		t.Error("expected some errors from the loop's compares and adds")
+	}
+	if e.MeanErrorRate() > 0.05 {
+		t.Errorf("error rate implausibly high: %v", e.MeanErrorRate())
+	}
+	if e.DKCount <= 0 || e.DKCount > 0.5 {
+		t.Errorf("Chen-Stein bound implausible: %v", e.DKCount)
+	}
+	if len(rep.Scenarios) != 4 {
+		t.Errorf("scenarios = %d", len(rep.Scenarios))
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Features == nil {
+			t.Fatal("scenario missing instance features")
+		}
+	}
+	// CDF sanity at the three-sigma points.
+	lo := e.ErrorCountCDF(e.LambdaMean - 4*e.LambdaStd - 4*sqrtPos(e.LambdaMean))
+	hi := e.ErrorCountCDF(e.LambdaMean + 4*e.LambdaStd + 4*sqrtPos(e.LambdaMean))
+	if lo > 0.05 || hi < 0.95 {
+		t.Errorf("CDF tails wrong: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func sqrtPos(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	s := x
+	for i := 0; i < 40; i++ {
+		if s <= 0 {
+			return 0
+		}
+		s = 0.5 * (s + x/s)
+	}
+	return s
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	f := testFramework(t)
+	prog := isa.MustAssemble("x", "halt\n")
+	if _, err := f.Analyze("x", ProgramSpec{Prog: prog, Scenarios: 0}); err == nil {
+		t.Error("zero scenarios should fail")
+	}
+}
+
+func TestAnalyzeScenarioSetupError(t *testing.T) {
+	f := testFramework(t)
+	prog := isa.MustAssemble("x", "halt\n")
+	boom := func(c *cpu.CPU, scenario int) error {
+		return errFixed
+	}
+	if _, err := f.Analyze("x", ProgramSpec{Prog: prog, Setup: boom, Scenarios: 1}); err == nil {
+		t.Error("setup failure should propagate")
+	}
+}
+
+var errFixed = &fixedError{}
+
+type fixedError struct{}
+
+func (*fixedError) Error() string { return "boom" }
+
+func TestScaleVsUnscaledSameRate(t *testing.T) {
+	// Scaling execution counts must not change the mean error *rate* —
+	// only the absolute error count.
+	f := testFramework(t)
+	prog := isa.MustAssemble("sumloop", fwProg)
+	small, err := f.Analyze("s", ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := f.Analyze("b", ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2, ScaleToInsts: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rb := small.Estimate.MeanErrorRate(), big.Estimate.MeanErrorRate()
+	if diff := rs - rb; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("scaling changed the error rate: %v vs %v", rs, rb)
+	}
+	if big.Estimate.LambdaMean <= small.Estimate.LambdaMean {
+		t.Error("scaling should raise the absolute error count")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"tsperr/internal/cpu"
+)
+
+// OperatingPoint is one evaluated frequency setting.
+type OperatingPoint struct {
+	// Ratio is speculative over baseline frequency.
+	Ratio float64
+	// ErrorRate is the estimated mean error rate at this frequency.
+	ErrorRate float64
+	// Speedup is the expected performance relative to baseline.
+	Speedup float64
+	// CDFBelowBreakEven is the probability the program's error rate stays
+	// below this point's break-even (a risk measure: high means speculation
+	// is reliably profitable across chips and inputs).
+	CDFBelowBreakEven float64
+}
+
+// SelectOperatingPoint evaluates the program at each frequency ratio and
+// returns all points plus the index of the best expected speedup — the
+// per-application operating point selection of the authors' companion work
+// (Assare & Gupta, ICCD 2016), here driven by the error-rate estimator.
+// The framework's machine is re-targeted and re-trained per point and left
+// at the last evaluated ratio; callers who need the original working point
+// should re-target afterwards.
+func (f *Framework) SelectOperatingPoint(name string, spec ProgramSpec, ratios []float64) ([]OperatingPoint, int, error) {
+	if len(ratios) == 0 {
+		return nil, 0, fmt.Errorf("core: no ratios to evaluate")
+	}
+	base := f.Machine.BasePeriodPs
+	points := make([]OperatingPoint, len(ratios))
+	best := 0
+	for i, ratio := range ratios {
+		if ratio <= 0 {
+			return nil, 0, fmt.Errorf("core: non-positive ratio %v", ratio)
+		}
+		f.Machine.SetWorkingPeriod(base / ratio)
+		dp, err := f.Machine.TrainDatapath()
+		if err != nil {
+			return nil, 0, err
+		}
+		f.Datapath = dp
+		rep, err := f.Analyze(name, spec)
+		if err != nil {
+			return nil, 0, err
+		}
+		er := rep.Estimate.MeanErrorRate()
+		pm := cpu.PerfModel{FreqRatio: ratio, BaseCPI: 1, Scheme: cpu.ReplayHalfFrequency}
+		points[i] = OperatingPoint{
+			Ratio:             ratio,
+			ErrorRate:         er,
+			Speedup:           pm.Speedup(er),
+			CDFBelowBreakEven: rep.Estimate.ErrorRateCDF(pm.BreakEvenErrorRate()),
+		}
+		if points[i].Speedup > points[best].Speedup {
+			best = i
+		}
+	}
+	return points, best, nil
+}

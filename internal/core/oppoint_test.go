@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"tsperr/internal/isa"
+)
+
+func TestSelectOperatingPoint(t *testing.T) {
+	f := testFramework(t)
+	origPeriod := f.Machine.WorkingPeriodPs
+	defer func() {
+		f.Machine.SetWorkingPeriod(origPeriod)
+		dp, err := f.Machine.TrainDatapath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Datapath = dp
+	}()
+
+	prog := isa.MustAssemble("sumloop", fwProg)
+	spec := ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2}
+	ratios := []float64{1.05, 1.13, 1.22}
+	points, best, err := f.SelectOperatingPoint("sumloop", spec, ratios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Error rate must be nondecreasing in frequency.
+	for i := 1; i < len(points); i++ {
+		if points[i].ErrorRate < points[i-1].ErrorRate-1e-12 {
+			t.Errorf("error rate fell with frequency: %v", points)
+		}
+	}
+	// The best point must not be dominated.
+	for i := range points {
+		if points[i].Speedup > points[best].Speedup {
+			t.Errorf("best index wrong: %v vs %v", points[best], points[i])
+		}
+	}
+	// At the lowest ratio, nearly no errors: speedup ~= ratio.
+	if points[0].Speedup < points[0].Ratio*0.99 {
+		t.Errorf("low ratio should be almost error-free: %+v", points[0])
+	}
+	// Risk measure in [0,1].
+	for _, p := range points {
+		if p.CDFBelowBreakEven < 0 || p.CDFBelowBreakEven > 1 {
+			t.Errorf("risk out of range: %+v", p)
+		}
+	}
+}
+
+func TestSelectOperatingPointValidation(t *testing.T) {
+	f := testFramework(t)
+	prog := isa.MustAssemble("h", "halt\n")
+	if _, _, err := f.SelectOperatingPoint("h", ProgramSpec{Prog: prog, Scenarios: 1}, nil); err == nil {
+		t.Error("no ratios should fail")
+	}
+	if _, _, err := f.SelectOperatingPoint("h", ProgramSpec{Prog: prog, Scenarios: 1}, []float64{-1}); err == nil {
+		t.Error("negative ratio should fail")
+	}
+}

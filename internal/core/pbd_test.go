@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tsperr/internal/dist"
+)
+
+// TestPoissonMixtureAgainstExactPBD validates the Section 5 approximation
+// chain against ground truth on a problem small enough to compute exactly:
+// with a single scenario (lambda degenerate) and independent indicators, the
+// error count is exactly Poisson binomial, and the framework's CDF must stay
+// within the Chen-Stein bound of it.
+func TestPoissonMixtureAgainstExactPBD(t *testing.T) {
+	// Build per-instruction probabilities: 4 static instructions executed
+	// 500 times each (the synthetic program from estimate_test).
+	perInst := []float64{0.003, 0.001, 0.004, 0.002}
+	const execs = 500
+	g, sc := synthScenarios(t, [][]float64{perInst}, execs)
+	est, err := NewEstimate(g, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact: each instruction contributes `execs` independent indicators.
+	var ps []float64
+	for _, p := range perInst {
+		for j := 0; j < execs; j++ {
+			ps = append(ps, p)
+		}
+	}
+	pbd := dist.NewPoissonBinomial(ps)
+	if math.Abs(pbd.Mean()-est.LambdaMean) > 1e-9 {
+		t.Fatalf("mean mismatch: %v vs %v", pbd.Mean(), est.LambdaMean)
+	}
+	worst := 0.0
+	for k := 0.0; k < est.LambdaMean*4+10; k++ {
+		d := math.Abs(pbd.CDF(k) - est.ErrorCountCDF(k))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > est.DKCount {
+		t.Errorf("exact PBD distance %v exceeds Chen-Stein bound %v", worst, est.DKCount)
+	}
+	// The bound should not be absurdly loose either (within ~50x here).
+	if est.DKCount > 50*worst+0.05 {
+		t.Logf("note: bound %v vs actual %v (loose but valid)", est.DKCount, worst)
+	}
+	// And Le Cam's classical bound (independent case) must also hold for
+	// the pure Poisson part.
+	poisson := dist.Poisson{Lambda: pbd.Mean()}
+	tv := dist.TotalVariationInt(pbd.PMF, poisson.PMF, len(ps))
+	if tv > pbd.LeCamBound() {
+		t.Errorf("Le Cam violated: %v > %v", tv, pbd.LeCamBound())
+	}
+}

@@ -1,0 +1,349 @@
+// Package cpu implements the in-order TS-V8 pipeline: a functional simulator
+// with cycle-accurate in-order timing (load-use stalls, branch penalties), a
+// per-retired-instruction observer used to extract datapath activity
+// features, the timing-speculative error-correction emulation (instruction
+// replay at half frequency, as in the 45 nm resilient Intel core the paper
+// adopts), and the resulting performance model.
+package cpu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tsperr/internal/isa"
+)
+
+// Stages of the pipeline, matching the 6-stage integer unit assumed in the
+// paper's experimental setup.
+const (
+	StageIF = iota
+	StageID
+	StageRA
+	StageEX
+	StageME
+	StageWB
+	NumStages
+)
+
+// StageName returns a short mnemonic for a stage index.
+func StageName(s int) string {
+	return [...]string{"IF", "ID", "RA", "EX", "ME", "WB"}[s]
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// MemWords is the data memory size in 32-bit words (power of two).
+	MemWords int
+	// MaxInsts aborts runaway programs after this many retired instructions.
+	MaxInsts int64
+	// LoadUseStall is the number of bubbles between a load and a dependent
+	// consumer (1 for this pipeline).
+	LoadUseStall int64
+	// BranchPenalty is the number of fetch bubbles after a taken branch.
+	BranchPenalty int64
+}
+
+// DefaultConfig returns the standard machine configuration.
+func DefaultConfig() Config {
+	return Config{MemWords: 1 << 16, MaxInsts: 50_000_000, LoadUseStall: 1, BranchPenalty: 2}
+}
+
+// DynInst describes one retired dynamic instruction together with the
+// datapath activity features the instruction error model consumes.
+type DynInst struct {
+	// Index is the static instruction index (program counter).
+	Index int
+	Op    isa.Op
+	// A, B are the operand values seen by the execute stage.
+	A, B uint32
+	// Result is the value produced (ALU result, loaded value, or effective
+	// address for stores).
+	Result uint32
+	// Taken reports whether a branch was taken.
+	Taken bool
+	// Depth is the activated-logic-depth feature of the execute stage given
+	// normal execution of the previous instruction: for adder-class
+	// operations it is the longest run of carry bits that *changed* relative
+	// to the previous adder operation (only changing nets activate paths,
+	// Definition 3.2); for shifts it is the number of active barrel-shifter
+	// layers; shallow logic contributes small constants. It drives the
+	// correct-predecessor conditional probability p^c.
+	Depth int
+	// DepthFlush is the same feature recomputed as if the previous
+	// instruction had been squashed into a pipeline bubble (datapath state
+	// zero) — the nop-instrumentation trick of Section 4.1 used to extract
+	// the error-conditioned probabilities p^e.
+	DepthFlush int
+	// Toggle is the Hamming distance between this instruction's operand pair
+	// and the previous instruction's, i.e. how much of the datapath switches.
+	Toggle int
+	// ToggleFlush is Toggle recomputed from the flushed (zero) state.
+	ToggleFlush int
+}
+
+// Observer receives every retired instruction. The pointed-to struct is
+// reused; implementations must copy anything they keep.
+type Observer func(*DynInst)
+
+// Stats summarizes a run.
+type Stats struct {
+	Instructions int64
+	Cycles       int64
+	Halted       bool
+}
+
+// CPU is a TS-V8 machine instance.
+type CPU struct {
+	cfg  Config
+	prog *isa.Program
+	regs [32]uint32
+	mem  []uint32
+
+	prevA, prevB uint32
+	prevCarries  uint32
+}
+
+// New builds a machine for a program.
+func New(prog *isa.Program, cfg Config) (*CPU, error) {
+	if cfg.MemWords <= 0 || cfg.MemWords&(cfg.MemWords-1) != 0 {
+		return nil, fmt.Errorf("cpu: MemWords must be a positive power of two, got %d", cfg.MemWords)
+	}
+	if cfg.MaxInsts <= 0 {
+		return nil, fmt.Errorf("cpu: MaxInsts must be positive")
+	}
+	return &CPU{cfg: cfg, prog: prog, mem: make([]uint32, cfg.MemWords)}, nil
+}
+
+// Reset clears registers and memory.
+func (c *CPU) Reset() {
+	c.regs = [32]uint32{}
+	for i := range c.mem {
+		c.mem[i] = 0
+	}
+	c.prevA, c.prevB = 0, 0
+	c.prevCarries = 0
+}
+
+// Reg reads a register.
+func (c *CPU) Reg(i int) uint32 { return c.regs[i] }
+
+// SetReg writes a register (r0 writes are ignored).
+func (c *CPU) SetReg(i int, v uint32) {
+	if i != 0 {
+		c.regs[i] = v
+	}
+}
+
+// Mem reads a data-memory word.
+func (c *CPU) Mem(addr uint32) uint32 { return c.mem[addr&uint32(c.cfg.MemWords-1)] }
+
+// SetMem writes a data-memory word.
+func (c *CPU) SetMem(addr uint32, v uint32) { c.mem[addr&uint32(c.cfg.MemWords-1)] = v }
+
+// LoadWords copies words into memory starting at addr.
+func (c *CPU) LoadWords(addr uint32, words []uint32) {
+	for i, w := range words {
+		c.SetMem(addr+uint32(i), w)
+	}
+}
+
+// CarriesMask returns the carry-in bit of every adder position for a+b
+// (+carryIn): bit i is set when position i receives a carry.
+func CarriesMask(a, b uint32, carryIn bool) uint32 {
+	sum := uint64(a) + uint64(b)
+	if carryIn {
+		sum++
+	}
+	return uint32(sum ^ uint64(a) ^ uint64(b))
+}
+
+// LongestRun returns the length of the longest run of consecutive set bits.
+func LongestRun(mask uint32) int {
+	best, run := 0, 0
+	for i := 0; i < 32; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return best
+}
+
+// CarryChainLen returns the length of the longest carry-propagation chain in
+// the addition a+b (plus carry-in), which is the settle depth of a
+// ripple-carry adder starting from a quiescent (zero) state.
+func CarryChainLen(a, b uint32, carryIn bool) int {
+	return LongestRun(CarriesMask(a, b, carryIn))
+}
+
+// AdderClass reports whether the op exercises the adder carry chain.
+func AdderClass(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpAddi, isa.OpLw, isa.OpSw,
+		isa.OpSub, isa.OpSlt, isa.OpSlti,
+		isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		return true
+	}
+	return false
+}
+
+// adderOperands returns the effective adder inputs of an adder-class op.
+func adderOperands(op isa.Op, a, b uint32) (uint32, uint32, bool) {
+	switch op {
+	case isa.OpSub, isa.OpSlt, isa.OpSlti, isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		return a, ^b, true
+	default:
+		return a, b, false
+	}
+}
+
+// shallowDepth computes the state-independent depth feature of non-adder ops.
+func shallowDepth(op isa.Op, a, b uint32) int {
+	switch op {
+	case isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlli, isa.OpSrli, isa.OpSrai:
+		return bits.OnesCount32(b&31) + 1
+	case isa.OpMul:
+		lo := a
+		if b < a {
+			lo = b
+		}
+		return 32 - bits.LeadingZeros32(lo|1)
+	case isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpLui:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Run executes the program from entry until halt, the end of the program, or
+// the instruction limit, invoking obs (if non-nil) per retired instruction.
+func (c *CPU) Run(obs Observer) (Stats, error) {
+	var st Stats
+	pc := 0
+	var d DynInst
+	var lastWasLoad bool
+	var lastRd uint8
+	for pc >= 0 && pc < len(c.prog.Insts) {
+		if st.Instructions >= c.cfg.MaxInsts {
+			return st, fmt.Errorf("cpu: instruction limit %d exceeded (runaway program?)", c.cfg.MaxInsts)
+		}
+		in := &c.prog.Insts[pc]
+		a := c.regs[in.Rs1]
+		var b uint32
+		if in.ReadsRs2() {
+			b = c.regs[in.Rs2]
+		} else {
+			b = uint32(in.Imm)
+		}
+
+		d = DynInst{Index: pc, Op: in.Op, A: a, B: b}
+		next := pc + 1
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpHalt:
+			st.Halted = true
+		case isa.OpAdd, isa.OpAddi:
+			d.Result = a + b
+		case isa.OpSub:
+			d.Result = a - b
+		case isa.OpAnd, isa.OpAndi:
+			d.Result = a & b
+		case isa.OpOr, isa.OpOri:
+			d.Result = a | b
+		case isa.OpXor, isa.OpXori:
+			d.Result = a ^ b
+		case isa.OpSll, isa.OpSlli:
+			d.Result = a << (b & 31)
+		case isa.OpSrl, isa.OpSrli:
+			d.Result = a >> (b & 31)
+		case isa.OpSra, isa.OpSrai:
+			d.Result = uint32(int32(a) >> (b & 31))
+		case isa.OpSlt, isa.OpSlti:
+			if int32(a) < int32(b) {
+				d.Result = 1
+			}
+		case isa.OpMul:
+			d.Result = a * b
+		case isa.OpLui:
+			d.Result = uint32(in.Imm) << 16
+		case isa.OpLw:
+			addr := a + uint32(in.Imm)
+			d.Result = c.Mem(addr)
+		case isa.OpSw:
+			addr := a + uint32(in.Imm)
+			c.SetMem(addr, c.regs[in.Rs2])
+			d.Result = addr
+		case isa.OpBeq:
+			d.Taken = a == b
+		case isa.OpBne:
+			d.Taken = a != b
+		case isa.OpBlt:
+			d.Taken = int32(a) < int32(b)
+		case isa.OpBge:
+			d.Taken = int32(a) >= int32(b)
+		case isa.OpJal:
+			d.Result = uint32(pc + 1)
+			d.Taken = true
+		case isa.OpJr:
+			d.Taken = true
+		default:
+			return st, fmt.Errorf("cpu: unimplemented op %v at %d", in.Op, pc)
+		}
+
+		if in.WritesRd() {
+			c.regs[in.Rd] = d.Result
+		}
+		if d.Taken {
+			switch in.Op {
+			case isa.OpJr:
+				next = int(c.regs[in.Rs1])
+			default:
+				next = in.Target
+			}
+		}
+
+		// Activity features.
+		if AdderClass(in.Op) {
+			ea, eb, cin := adderOperands(in.Op, a, b)
+			carries := CarriesMask(ea, eb, cin)
+			d.Depth = LongestRun(carries ^ c.prevCarries)
+			d.DepthFlush = LongestRun(carries)
+			c.prevCarries = carries
+		} else {
+			d.Depth = shallowDepth(in.Op, a, b)
+			d.DepthFlush = d.Depth
+			c.prevCarries = 0 // the ALU computed something else; carry state gone
+		}
+		d.Toggle = bits.OnesCount32(c.prevA^a) + bits.OnesCount32(c.prevB^b)
+		d.ToggleFlush = bits.OnesCount32(a) + bits.OnesCount32(b)
+		c.prevA, c.prevB = a, b
+
+		// Cycle accounting: 1 cycle per instruction, plus hazards.
+		st.Cycles++
+		if lastWasLoad && lastRd != 0 &&
+			((in.ReadsRs1() && in.Rs1 == lastRd) || (in.ReadsRs2() && in.Rs2 == lastRd)) {
+			st.Cycles += c.cfg.LoadUseStall
+		}
+		if d.Taken {
+			st.Cycles += c.cfg.BranchPenalty
+		}
+		lastWasLoad = in.Op.IsLoad()
+		lastRd = in.Rd
+
+		st.Instructions++
+		if obs != nil {
+			obs(&d)
+		}
+		if st.Halted {
+			break
+		}
+		pc = next
+	}
+	// Drain the pipeline.
+	st.Cycles += NumStages - 1
+	return st, nil
+}

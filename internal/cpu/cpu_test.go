@@ -1,0 +1,322 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tsperr/internal/isa"
+)
+
+func run(t *testing.T, src string) (*CPU, Stats) {
+	t.Helper()
+	p, err := isa.Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, st
+}
+
+func TestArithmetic(t *testing.T) {
+	c, st := run(t, `
+		li  r1, 7
+		li  r2, 5
+		add r3, r1, r2
+		sub r4, r1, r2
+		mul r5, r1, r2
+		and r6, r1, r2
+		or  r7, r1, r2
+		xor r8, r1, r2
+		slt r9, r2, r1
+		halt
+	`)
+	if !st.Halted {
+		t.Fatal("program should halt")
+	}
+	checks := map[int]uint32{3: 12, 4: 2, 5: 35, 6: 5, 7: 7, 8: 2, 9: 1}
+	for r, want := range checks {
+		if got := c.Reg(r); got != want {
+			t.Errorf("r%d = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestShiftsAndSigned(t *testing.T) {
+	c, _ := run(t, `
+		li   r1, -8
+		srai r2, r1, 1
+		srli r3, r1, 1
+		slli r4, r1, 2
+		slti r5, r1, 0
+		halt
+	`)
+	if got := int32(c.Reg(2)); got != -4 {
+		t.Errorf("sra -8 >> 1 = %d", got)
+	}
+	if got := c.Reg(3); got != 0x7FFFFFFC {
+		t.Errorf("srl = %x", got)
+	}
+	if got := int32(c.Reg(4)); got != -32 {
+		t.Errorf("sll = %d", got)
+	}
+	if c.Reg(5) != 1 {
+		t.Error("slti -8 < 0 should be 1")
+	}
+}
+
+func TestMemoryAndLoop(t *testing.T) {
+	// Sum memory[0..4] = 10+20+30+40+50.
+	c, _ := run(t, `
+		li r1, 0      # index
+		li r2, 5      # limit
+		li r3, 0      # sum
+	loop:
+		lw   r4, 100(r1)
+		add  r3, r3, r4
+		addi r1, r1, 1
+		blt  r1, r2, loop
+		sw   r3, 200(r0)
+		halt
+	`)
+	// Preload memory before running: need a second run since run() already ran.
+	p, _ := isa.Assemble("sum", `
+		li r1, 0
+		li r2, 5
+		li r3, 0
+	loop:
+		lw   r4, 100(r1)
+		add  r3, r3, r4
+		addi r1, r1, 1
+		blt  r1, r2, loop
+		sw   r3, 200(r0)
+		halt
+	`)
+	c2, _ := New(p, DefaultConfig())
+	c2.LoadWords(100, []uint32{10, 20, 30, 40, 50})
+	if _, err := c2.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Mem(200); got != 150 {
+		t.Errorf("sum = %d, want 150", got)
+	}
+	_ = c
+}
+
+func TestJalJr(t *testing.T) {
+	c, st := run(t, `
+		li  r1, 1
+		jal r31, sub
+		addi r1, r1, 100   # executed after return
+		halt
+	sub:
+		addi r1, r1, 10
+		jr  r31
+	`)
+	if !st.Halted {
+		t.Fatal("should halt")
+	}
+	if got := c.Reg(1); got != 111 {
+		t.Errorf("r1 = %d, want 111", got)
+	}
+}
+
+func TestR0IsZeroSink(t *testing.T) {
+	c, _ := run(t, "addi r0, r0, 5\nadd r1, r0, r0\nhalt\n")
+	if c.Reg(0) != 0 || c.Reg(1) != 0 {
+		t.Error("r0 must stay zero")
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	p, _ := isa.Assemble("spin", "loop: j loop\n")
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 1000
+	c, _ := New(p, cfg)
+	if _, err := c.Run(nil); err == nil {
+		t.Error("infinite loop should hit the instruction limit")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p, _ := isa.Assemble("x", "halt\n")
+	if _, err := New(p, Config{MemWords: 100, MaxInsts: 10}); err == nil {
+		t.Error("non-power-of-two memory should fail")
+	}
+	if _, err := New(p, Config{MemWords: 64, MaxInsts: 0}); err == nil {
+		t.Error("zero MaxInsts should fail")
+	}
+}
+
+func TestCarryChainLen(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		cin  bool
+		want int
+	}{
+		{0, 0, false, 0},
+		{1, 1, false, 1},           // carry out of bit 0 into bit 1
+		{0xFFFFFFFF, 1, false, 31}, // full ripple: carries into bits 1..31
+		{0b0101, 0b0011, false, 3}, // 5+3=8: carries into bits 1,2,3
+		{0, 0xFFFFFFFF, true, 32},  // carry-in propagates through all bits
+	}
+	for _, c := range cases {
+		if got := CarryChainLen(c.a, c.b, c.cin); got != c.want {
+			t.Errorf("CarryChainLen(%x,%x,%v) = %d, want %d", c.a, c.b, c.cin, got, c.want)
+		}
+	}
+}
+
+func TestCarryChainMatchesAdditionProperty(t *testing.T) {
+	// The carry chain length is <= 32 and 0 iff no carries occur.
+	f := func(a, b uint32) bool {
+		l := CarryChainLen(a, b, false)
+		carries := uint32((uint64(a) + uint64(b)) ^ uint64(a) ^ uint64(b))
+		return l >= 0 && l <= 32 && ((l == 0) == (carries == 0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObserverFeatures(t *testing.T) {
+	p, _ := isa.Assemble("obs", `
+		li  r1, 15
+		li  r2, 1
+		add r3, r1, r2    # 15+1: carry chain of 4
+		sll r4, r1, r2    # shift by 1: one active layer + 1
+		halt
+	`)
+	c, _ := New(p, DefaultConfig())
+	var dyn []DynInst
+	_, err := c.Run(func(d *DynInst) { dyn = append(dyn, *d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn) != 5 {
+		t.Fatalf("retired %d instructions", len(dyn))
+	}
+	addD := dyn[2]
+	if addD.Op != isa.OpAdd || addD.Depth != 4 {
+		t.Errorf("add depth = %d, want 4", addD.Depth)
+	}
+	sllD := dyn[3]
+	if sllD.Depth != 2 {
+		t.Errorf("sll depth = %d, want 2 (1 layer + 1)", sllD.Depth)
+	}
+	// ToggleFlush of the add: popcount(15)+popcount(1) = 5.
+	if addD.ToggleFlush != 5 {
+		t.Errorf("toggle-from-flush = %d, want 5", addD.ToggleFlush)
+	}
+	if addD.DepthFlush != 4 {
+		t.Errorf("flush depth = %d, want 4", addD.DepthFlush)
+	}
+}
+
+func TestDepthRelativeToPreviousCarryState(t *testing.T) {
+	// Two identical adds back to back: the second changes no carry bits, so
+	// its normal depth is 0 while its flush depth equals the full chain.
+	p, _ := isa.Assemble("rep", `
+		li  r1, 255
+		li  r2, 1
+		add r3, r1, r2
+		add r4, r1, r2
+		halt
+	`)
+	c, _ := New(p, DefaultConfig())
+	var dyn []DynInst
+	if _, err := c.Run(func(d *DynInst) { dyn = append(dyn, *d) }); err != nil {
+		t.Fatal(err)
+	}
+	first, second := dyn[2], dyn[3]
+	if first.Depth != 8 || first.DepthFlush != 8 {
+		t.Errorf("first add depth = %d/%d, want 8/8", first.Depth, first.DepthFlush)
+	}
+	if second.Depth != 0 {
+		t.Errorf("repeated add should activate no carry bits, depth = %d", second.Depth)
+	}
+	if second.DepthFlush != 8 {
+		t.Errorf("after a flush the full chain re-activates, got %d", second.DepthFlush)
+	}
+}
+
+func TestCycleAccountingHazards(t *testing.T) {
+	// Load followed by dependent use incurs a stall; taken branch a penalty.
+	pNoHaz, _ := isa.Assemble("a", "lw r1, (r0)\nadd r2, r3, r4\nhalt\n")
+	pHaz, _ := isa.Assemble("b", "lw r1, (r0)\nadd r2, r1, r4\nhalt\n")
+	ca, _ := New(pNoHaz, DefaultConfig())
+	cb, _ := New(pHaz, DefaultConfig())
+	sa, _ := ca.Run(nil)
+	sb, _ := cb.Run(nil)
+	if sb.Cycles != sa.Cycles+1 {
+		t.Errorf("load-use hazard should cost 1 cycle: %d vs %d", sb.Cycles, sa.Cycles)
+	}
+	pBr, _ := isa.Assemble("c", "beq r0, r0, skip\nnop\nskip: halt\n")
+	cc, _ := New(pBr, DefaultConfig())
+	sc, _ := cc.Run(nil)
+	// 2 retired instructions + 2 branch penalty + drain.
+	want := int64(2) + 2 + NumStages - 1
+	if sc.Cycles != want {
+		t.Errorf("taken branch cycles = %d, want %d", sc.Cycles, want)
+	}
+}
+
+func TestPerfModelAnchors(t *testing.T) {
+	m := PaperPerfModel()
+	// Paper: 0.4% error rate -> 4.93% improvement.
+	if got := m.ImprovementPct(0.004); math.Abs(got-4.93) > 0.02 {
+		t.Errorf("improvement at 0.4%% = %v, want ~4.93", got)
+	}
+	// Paper: gsm.decode 1.068% -> 8.46% degradation.
+	if got := m.ImprovementPct(0.01068); math.Abs(got+8.46) > 0.03 {
+		t.Errorf("improvement at 1.068%% = %v, want ~-8.46", got)
+	}
+	// Zero errors: pure frequency gain.
+	if got := m.Speedup(0); math.Abs(got-1.15) > 1e-12 {
+		t.Errorf("speedup at 0 = %v", got)
+	}
+	// Break-even at ER = 0.15/24 = 0.625%.
+	be := m.BreakEvenErrorRate()
+	if math.Abs(be-0.15/24) > 1e-12 {
+		t.Errorf("break-even = %v", be)
+	}
+	if math.Abs(m.Speedup(be)-1) > 1e-9 {
+		t.Error("speedup at break-even should be 1")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	st := Stats{Instructions: 100, Cycles: 100}
+	out := ApplyErrors(st, 3, ReplayHalfFrequency)
+	if out.Cycles != 100+72 {
+		t.Errorf("cycles = %d", out.Cycles)
+	}
+	if out2 := ApplyErrors(st, 3, SingleCycleReplay); out2.Cycles != 103 {
+		t.Errorf("single-cycle replay cycles = %d", out2.Cycles)
+	}
+}
+
+func TestCorrectionSchemes(t *testing.T) {
+	if !ReplayHalfFrequency.Flush || ReplayHalfFrequency.PenaltyCycles != 24 {
+		t.Error("replay scheme misconfigured")
+	}
+	if SingleCycleReplay.Flush {
+		t.Error("single-cycle replay does not flush")
+	}
+	if PipelineFlush.PenaltyCycles != float64(NumStages) {
+		t.Error("flush penalty should be the pipeline depth")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	if StageName(0) != "IF" || StageName(NumStages-1) != "WB" {
+		t.Error("stage naming")
+	}
+}

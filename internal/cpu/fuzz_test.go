@@ -1,0 +1,126 @@
+package cpu
+
+import (
+	"testing"
+
+	"tsperr/internal/isa"
+	"tsperr/internal/numeric"
+)
+
+// randomProgram generates a structurally valid random program: arbitrary
+// ALU/memory instructions with in-range registers, forward-only branches,
+// and a final halt, so every run terminates within the instruction limit.
+func randomProgram(rng *numeric.RNG, n int) *isa.Program {
+	insts := make([]isa.Inst, 0, n+1)
+	ops := []isa.Op{
+		isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSll,
+		isa.OpSrl, isa.OpSra, isa.OpSlt, isa.OpMul, isa.OpAddi, isa.OpAndi,
+		isa.OpOri, isa.OpXori, isa.OpSlli, isa.OpSrli, isa.OpSrai,
+		isa.OpSlti, isa.OpLui, isa.OpLw, isa.OpSw, isa.OpBeq, isa.OpBne,
+		isa.OpBlt, isa.OpBge, isa.OpNop,
+	}
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		in := isa.Inst{
+			Op:  op,
+			Rd:  uint8(rng.Intn(32)),
+			Rs1: uint8(rng.Intn(32)),
+			Rs2: uint8(rng.Intn(32)),
+			Imm: int32(rng.Intn(2048) - 1024),
+		}
+		if op.IsBranch() {
+			// Forward target within the program (or the halt).
+			in.Target = i + 1 + rng.Intn(n-i)
+		}
+		insts = append(insts, in)
+	}
+	insts = append(insts, isa.Inst{Op: isa.OpHalt})
+	return &isa.Program{Name: "fuzz", Insts: insts}
+}
+
+// TestRandomProgramsTerminateAndDontPanic exercises the simulator over many
+// random programs.
+func TestRandomProgramsTerminateAndDontPanic(t *testing.T) {
+	rng := numeric.NewRNG(99)
+	for i := 0; i < 300; i++ {
+		p := randomProgram(rng, 2+rng.Intn(60))
+		cfg := DefaultConfig()
+		cfg.MaxInsts = 10000
+		c, err := New(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Run(nil)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		if !st.Halted {
+			t.Fatalf("program %d did not halt", i)
+		}
+		if st.Cycles < st.Instructions {
+			t.Fatalf("program %d: cycles %d < instructions %d", i, st.Cycles, st.Instructions)
+		}
+	}
+}
+
+// TestSimulationDeterminism: identical program + inputs give identical
+// architectural state and identical observer streams.
+func TestSimulationDeterminism(t *testing.T) {
+	rng := numeric.NewRNG(5)
+	p := randomProgram(rng, 50)
+	run := func() ([]uint32, []DynInst) {
+		cfg := DefaultConfig()
+		cfg.MaxInsts = 10000
+		c, _ := New(p, cfg)
+		c.LoadWords(0, []uint32{7, 11, 13})
+		var dyn []DynInst
+		if _, err := c.Run(func(d *DynInst) { dyn = append(dyn, *d) }); err != nil {
+			t.Fatal(err)
+		}
+		regs := make([]uint32, 32)
+		for i := range regs {
+			regs[i] = c.Reg(i)
+		}
+		return regs, dyn
+	}
+	r1, d1 := run()
+	r2, d2 := run()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("register %d differs", i)
+		}
+	}
+	if len(d1) != len(d2) {
+		t.Fatal("retire streams differ in length")
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("retire %d differs: %+v vs %+v", i, d1[i], d2[i])
+		}
+	}
+}
+
+// TestFeatureRanges: depth features stay within their documented ranges for
+// arbitrary operand values.
+func TestFeatureRanges(t *testing.T) {
+	rng := numeric.NewRNG(17)
+	for i := 0; i < 200; i++ {
+		p := randomProgram(rng, 40)
+		cfg := DefaultConfig()
+		cfg.MaxInsts = 5000
+		c, _ := New(p, cfg)
+		if _, err := c.Run(func(d *DynInst) {
+			if d.Depth < 0 || d.Depth > 32 {
+				t.Fatalf("depth out of range: %+v", d)
+			}
+			if d.DepthFlush < 0 || d.DepthFlush > 32 {
+				t.Fatalf("flush depth out of range: %+v", d)
+			}
+			if d.Toggle < 0 || d.Toggle > 64 || d.ToggleFlush < 0 || d.ToggleFlush > 64 {
+				t.Fatalf("toggle out of range: %+v", d)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

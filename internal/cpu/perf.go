@@ -1,0 +1,75 @@
+package cpu
+
+// Correction describes a timing-error detection/correction scheme and its
+// recovery cost, following Section 4.1 and the experimental setup of the
+// paper.
+type Correction struct {
+	Name string
+	// PenaltyCycles is the recovery cost charged per timing error, in
+	// baseline clock cycles.
+	PenaltyCycles float64
+	// Flush reports whether recovery squashes the pipeline, which determines
+	// how the error-conditioned probabilities p^e are extracted (the nop
+	// instrumentation of Section 4.1 applies to flushing schemes).
+	Flush bool
+}
+
+// The schemes discussed in the paper.
+var (
+	// ReplayHalfFrequency is the conservative Intel resilient-core scheme
+	// the evaluation adopts: on error, halve the frequency, flush the
+	// pipeline, and reissue the errant instruction — 24 cycles for the
+	// 6-stage pipeline.
+	ReplayHalfFrequency = Correction{Name: "replay-half-frequency", PenaltyCycles: 24, Flush: true}
+	// PipelineFlush models RazorII-style flush-and-refill recovery.
+	PipelineFlush = Correction{Name: "pipeline-flush", PenaltyCycles: float64(NumStages), Flush: true}
+	// SingleCycleReplay models iRazor-style one-cycle in-place correction.
+	SingleCycleReplay = Correction{Name: "single-cycle-replay", PenaltyCycles: 1, Flush: false}
+)
+
+// PerfModel converts a program error rate into timing-speculative
+// performance, reproducing the top axis of Figure 3.
+type PerfModel struct {
+	// FreqRatio is the speculative over baseline frequency ratio
+	// (825 MHz / 718 MHz = 1.15 in the paper).
+	FreqRatio float64
+	// BaseCPI is the baseline cycles per instruction.
+	BaseCPI float64
+	// Scheme is the error-correction scheme in effect.
+	Scheme Correction
+}
+
+// PaperPerfModel returns the model of the paper's experimental setup:
+// 1.15x frequency, unit base CPI, replay at half frequency.
+func PaperPerfModel() PerfModel {
+	return PerfModel{FreqRatio: 1.15, BaseCPI: 1, Scheme: ReplayHalfFrequency}
+}
+
+// Speedup returns TS performance relative to the non-speculative baseline
+// for a given error rate (fraction of instructions that experience a timing
+// error): FreqRatio * BaseCPI / (BaseCPI + errRate * penalty).
+//
+// At the paper's anchors: Speedup(0.004) = 1.0493 (+4.93%) and
+// Speedup(0.01068) = 0.9154 (-8.46%).
+func (m PerfModel) Speedup(errRate float64) float64 {
+	return m.FreqRatio * m.BaseCPI / (m.BaseCPI + errRate*m.Scheme.PenaltyCycles)
+}
+
+// ImprovementPct returns the performance improvement in percent (negative
+// for degradation).
+func (m PerfModel) ImprovementPct(errRate float64) float64 {
+	return (m.Speedup(errRate) - 1) * 100
+}
+
+// BreakEvenErrorRate returns the error rate at which timing speculation
+// stops paying off (Speedup = 1).
+func (m PerfModel) BreakEvenErrorRate() float64 {
+	return m.BaseCPI * (m.FreqRatio - 1) / m.Scheme.PenaltyCycles
+}
+
+// ApplyErrors charges the recovery penalty for a number of timing errors to
+// a run's cycle count.
+func ApplyErrors(st Stats, errors int64, scheme Correction) Stats {
+	st.Cycles += int64(float64(errors) * scheme.PenaltyCycles)
+	return st
+}

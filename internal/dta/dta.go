@@ -1,0 +1,152 @@
+// Package dta implements the paper's dynamic timing analysis: Algorithm 1
+// computes the dynamic timing slack (DTS) of a pipeline stage at a clock
+// cycle as the slack of the most critical *activated* path, and Algorithm 2
+// computes the DTS of an instruction as the minimum over the stages it
+// traverses. Under SSTA, slacks are canonical Gaussian forms: the
+// most-critical-path scan runs twice (1st- and 99th-percentile orderings)
+// and the result is the statistical minimum over the collected activated
+// paths, exactly as Section 3 describes.
+package dta
+
+import (
+	"sort"
+
+	"tsperr/internal/activity"
+	"tsperr/internal/netlist"
+	"tsperr/internal/sta"
+	"tsperr/internal/variation"
+)
+
+// pathSlack couples an enumerated path with its canonical slack form.
+type pathSlack struct {
+	path  netlist.Path
+	slack variation.Canon
+	p01   float64 // 1st percentile of slack (worst case)
+	p99   float64 // 99th percentile of slack (best case)
+}
+
+// Analyzer caches per-endpoint critical-path sets for a netlist and engine.
+type Analyzer struct {
+	Engine *sta.Engine
+	// K is the number of most-critical paths enumerated per endpoint per
+	// ranking metric.
+	K int
+
+	cache map[netlist.GateID][]pathSlack
+}
+
+// New builds an analyzer. k must be positive.
+func New(e *sta.Engine, k int) *Analyzer {
+	if k <= 0 {
+		k = 8
+	}
+	return &Analyzer{Engine: e, K: k, cache: map[netlist.GateID][]pathSlack{}}
+}
+
+// endpointPaths returns the cached candidate paths of an endpoint.
+func (a *Analyzer) endpointPaths(ep netlist.GateID) []pathSlack {
+	if ps, ok := a.cache[ep]; ok {
+		return ps
+	}
+	var out []pathSlack
+	for _, p := range a.Engine.CriticalPaths(ep, a.K) {
+		s := a.Engine.PathSlack(p)
+		out = append(out, pathSlack{
+			path:  p,
+			slack: s,
+			p01:   s.Percentile(0.01),
+			p99:   s.Percentile(0.99),
+		})
+	}
+	a.cache[ep] = out
+	return out
+}
+
+// activated reports whether every gate of the path is in VCD(t)
+// (Definition 3.3).
+func activated(p netlist.Path, tr *activity.Trace, t int) bool {
+	for _, g := range p.Gates {
+		if !tr.Activated(t, g) {
+			return false
+		}
+	}
+	return true
+}
+
+// StageDTS is Algorithm 1 restricted to an endpoint set: it returns the
+// canonical DTS form of the given endpoints at cycle t, and false when no
+// path is activated (the stage imposes no timing constraint that cycle).
+func (a *Analyzer) StageDTS(eps []netlist.GateID, t int, tr *activity.Trace) (variation.Canon, bool) {
+	var ap []variation.Canon
+	for _, ep := range eps {
+		ps := a.endpointPaths(ep)
+		if len(ps) == 0 {
+			continue
+		}
+		// Two scans: worst-case (1st percentile) and best-case (99th
+		// percentile) criticality orderings; each contributes the first
+		// activated path, ensuring AP contains every path that could be the
+		// true most-critical one over process variation.
+		idx := make([]int, len(ps))
+		for i := range idx {
+			idx[i] = i
+		}
+		found := map[int]bool{}
+		for pass := 0; pass < 2; pass++ {
+			if pass == 0 {
+				sort.SliceStable(idx, func(x, y int) bool { return ps[idx[x]].p01 < ps[idx[y]].p01 })
+			} else {
+				sort.SliceStable(idx, func(x, y int) bool { return ps[idx[x]].p99 < ps[idx[y]].p99 })
+			}
+			for _, i := range idx {
+				if activated(ps[i].path, tr, t) {
+					found[i] = true
+					break
+				}
+			}
+		}
+		for i := range ps {
+			if found[i] {
+				ap = append(ap, ps[i].slack)
+			}
+		}
+	}
+	if len(ap) == 0 {
+		return variation.Canon{}, false
+	}
+	return sta.StatMin(ap), true
+}
+
+// StageDTSAll runs StageDTS over all endpoints of a pipeline stage.
+func (a *Analyzer) StageDTSAll(stage, t int, tr *activity.Trace) (variation.Canon, bool) {
+	return a.StageDTS(a.Engine.N.Endpoints(stage), t, tr)
+}
+
+// InstDTS is Algorithm 2: the DTS of the instruction that occupies stage 0
+// at cycle t is the minimum over stages s of the stage DTS at cycle t+s.
+// keep filters the endpoints considered (e.g. control endpoints only).
+func (a *Analyzer) InstDTS(t int, tr *activity.Trace, keep func(*netlist.Gate) bool) (variation.Canon, bool) {
+	if keep == nil {
+		keep = func(*netlist.Gate) bool { return true }
+	}
+	var forms []variation.Canon
+	for s := 0; s < a.Engine.N.Stages; s++ {
+		eps := a.Engine.N.EndpointsOf(s, keep)
+		if len(eps) == 0 {
+			continue
+		}
+		if f, ok := a.StageDTS(eps, t+s, tr); ok {
+			forms = append(forms, f)
+		}
+	}
+	if len(forms) == 0 {
+		return variation.Canon{}, false
+	}
+	return sta.StatMin(forms), true
+}
+
+// ErrorProbability converts an instruction DTS form into the probability of
+// a timing error: P(DTS < 0) under the process-variation model (Section 4.1).
+func ErrorProbability(dts variation.Canon) float64 {
+	return dts.ProbBelow(0)
+}

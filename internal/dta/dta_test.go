@@ -1,0 +1,156 @@
+package dta
+
+import (
+	"math"
+	"testing"
+
+	"tsperr/internal/activity"
+	"tsperr/internal/cell"
+	"tsperr/internal/gen"
+	"tsperr/internal/netlist"
+	"tsperr/internal/sta"
+	"tsperr/internal/variation"
+)
+
+func newModel(t *testing.T) *variation.Model {
+	t.Helper()
+	m, err := variation.NewModel(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func setWord(in map[netlist.GateID]bool, gates [32]netlist.GateID, w uint32) {
+	for i := 0; i < 32; i++ {
+		in[gates[i]] = (w>>uint(i))&1 == 1
+	}
+}
+
+// adderFixture simulates the adder for the given operand sequence and
+// returns an analyzer plus the trace.
+func adderFixture(t *testing.T, period float64, ops [][2]uint32) (*Analyzer, *activity.Trace, *gen.AdderNet) {
+	t.Helper()
+	ad := gen.Adder()
+	e, err := sta.NewEngine(ad.N, newModel(t), period, cell.SigmaRel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := activity.NewSimulator(ad.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &activity.Trace{NumGates: ad.N.NumGates()}
+	for _, op := range ops {
+		in := map[netlist.GateID]bool{}
+		setWord(in, ad.A, op[0])
+		setWord(in, ad.B, op[1])
+		tr.Sets = append(tr.Sets, sim.Cycle(in))
+	}
+	return New(e, 8), tr, ad
+}
+
+func TestStageDTSTracksActivatedDepth(t *testing.T) {
+	// Cycle 0: zeros (settle). Cycle 1: short carry. Cycle 2: zeros.
+	// Cycle 3: full-length carry chain.
+	a, tr, ad := adderFixture(t, 2500, [][2]uint32{
+		{0, 0}, {1, 1}, {0, 0}, {0xFFFFFFFF, 1},
+	})
+	eps := ad.N.Endpoints(0)
+	shortDTS, ok1 := a.StageDTS(eps, 1, tr)
+	longDTS, ok2 := a.StageDTS(eps, 3, tr)
+	if !ok1 || !ok2 {
+		t.Fatal("both cycles should have activated paths")
+	}
+	if longDTS.Mean >= shortDTS.Mean {
+		t.Errorf("full carry chain must have less slack: short=%v long=%v",
+			shortDTS.Mean, longDTS.Mean)
+	}
+}
+
+func TestStageDTSNoActivation(t *testing.T) {
+	a, tr, ad := adderFixture(t, 2500, [][2]uint32{
+		{0, 0}, {5, 3}, {5, 3}, {5, 3},
+	})
+	eps := ad.N.Endpoints(0)
+	// Cycle 2: identical operands, combinational logic quiet; only sum FFs
+	// captured values. Most endpoints should see no activated full path.
+	if _, ok := a.StageDTS(eps, 3, tr); ok {
+		t.Error("steady-state cycle should have no activated endpoint paths")
+	}
+}
+
+func TestErrorProbabilityMonotoneInPeriod(t *testing.T) {
+	ops := [][2]uint32{{0, 0}, {0xFFFFFFFF, 1}}
+	aFast, trFast, adf := adderFixture(t, 1700, ops)
+	aSlow, trSlow, ads := adderFixture(t, 2600, ops)
+	fast, ok1 := aFast.StageDTS(adf.N.Endpoints(0), 1, trFast)
+	slow, ok2 := aSlow.StageDTS(ads.N.Endpoints(0), 1, trSlow)
+	if !ok1 || !ok2 {
+		t.Fatal("expected activated paths")
+	}
+	pFast := ErrorProbability(fast)
+	pSlow := ErrorProbability(slow)
+	if pFast <= pSlow {
+		t.Errorf("shorter period must raise error probability: fast=%v slow=%v", pFast, pSlow)
+	}
+	if pSlow < 0 || pFast > 1 {
+		t.Error("probabilities out of range")
+	}
+}
+
+func TestInstDTSMinOverStages(t *testing.T) {
+	// Control network: instruction flows through stages; InstDTS should be
+	// at most the minimum of the individual stage DTS values (statistical
+	// min can only reduce the mean).
+	c := gen.Control()
+	e, err := sta.NewEngine(c.N, newModel(t), 1600, cell.SigmaRel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := activity.NewSimulator(c.N)
+	tr := &activity.Trace{NumGates: c.N.NumGates()}
+	words := []uint32{0x04211000, 0x58E70FFC, 0x04211000, 0x2C850008, 0x04211000, 0x58E70FFC, 0x04211000}
+	for _, w := range words {
+		in := map[netlist.GateID]bool{}
+		setWord(in, c.Instr, w)
+		setWord(in, c.ExResult, w^0x5A5A5A5A)
+		tr.Sets = append(tr.Sets, sim.Cycle(in))
+	}
+	a := New(e, 8)
+	inst, ok := a.InstDTS(1, tr, nil)
+	if !ok {
+		t.Fatal("expected instruction DTS")
+	}
+	for s := 0; s < c.N.Stages; s++ {
+		if f, ok := a.StageDTSAll(s, 1+s, tr); ok {
+			if inst.Mean > f.Mean+1 {
+				t.Errorf("instruction DTS mean %v exceeds stage %d DTS %v", inst.Mean, s, f.Mean)
+			}
+		}
+	}
+	// Control-endpoint restriction must also work.
+	if _, ok := a.InstDTS(1, tr, func(g *netlist.Gate) bool { return !g.Data }); !ok {
+		t.Error("control-only instruction DTS should exist")
+	}
+}
+
+func TestAnalyzerCaching(t *testing.T) {
+	a, tr, ad := adderFixture(t, 2500, [][2]uint32{{0, 0}, {3, 1}})
+	eps := ad.N.Endpoints(0)
+	d1, ok1 := a.StageDTS(eps, 1, tr)
+	d2, ok2 := a.StageDTS(eps, 1, tr)
+	if ok1 != ok2 || math.Abs(d1.Mean-d2.Mean) > 1e-12 {
+		t.Error("cached recomputation should be identical")
+	}
+	if len(a.cache) == 0 {
+		t.Error("cache should be populated")
+	}
+}
+
+func TestNewDefaultK(t *testing.T) {
+	a := New(nil, 0)
+	if a.K <= 0 {
+		t.Error("K must default to a positive value")
+	}
+}

@@ -1,0 +1,182 @@
+package errormodel
+
+import (
+	"tsperr/internal/activity"
+	"tsperr/internal/cfg"
+	"tsperr/internal/cpu"
+	"tsperr/internal/dta"
+	"tsperr/internal/isa"
+	"tsperr/internal/netlist"
+)
+
+// ControlChar is the per-basic-block control-network DTS characterization of
+// Section 4: for every block and every instruction position it stores the
+// control-path timing-error probability, mixed over the profiled incoming
+// edges (the paper characterizes "along all incoming edges" because two
+// blocks share the pipeline at block boundaries), plus the flushed-state
+// variant extracted with nop instrumentation.
+type ControlChar struct {
+	// Fail[b][k] is P(control DTS < 0) for the k-th instruction of block b
+	// given normal execution of its predecessor.
+	Fail [][]float64
+	// FailFlush[b][k] is the same probability given the pipeline was flushed
+	// before the instruction (previous instruction errored).
+	FailFlush [][]float64
+	// TrainedBlocks counts blocks that were actually characterized
+	// (executed at least once in the training profile).
+	TrainedBlocks int
+}
+
+// prefixWindow is how many trailing predecessor instructions precede the
+// block during characterization, enough to fill the 6-stage pipeline.
+const prefixWindow = cpu.NumStages
+
+// controlStimulus drives the control network for one instruction sequence
+// and returns the activation trace. results[i] supplies the representative
+// EX result value for static instruction index i (from the training run);
+// entries for pseudo-instructions (nops) observe zero.
+func (m *Machine) controlStimulus(seq []isa.Inst, seqIdx []int, results []uint32) (*activity.Trace, error) {
+	sim, err := activity.NewSimulator(m.Ctrl.N)
+	if err != nil {
+		return nil, err
+	}
+	tr := &activity.Trace{NumGates: m.Ctrl.N.NumGates()}
+	total := len(seq) + cpu.NumStages // drain so late stages see the tail
+	in := map[netlist.GateID]bool{}
+	for t := 0; t < total; t++ {
+		var word uint32
+		if t < len(seq) {
+			word = seq[t].Encode()
+		}
+		setWordInputs(in, m.Ctrl.Instr, word)
+		// The instruction in EX at cycle t entered IF at t-StageEX.
+		var res uint32
+		if k := t - cpu.StageEX; k >= 0 && k < len(seq) {
+			if idx := seqIdx[k]; idx >= 0 && idx < len(results) {
+				res = results[idx]
+			}
+		}
+		setWordInputs(in, m.Ctrl.ExResult, res)
+		in[m.Ctrl.Stall] = false
+		in[m.Ctrl.Flush] = false
+		tr.Sets = append(tr.Sets, sim.Cycle(in))
+	}
+	return tr, nil
+}
+
+// instDTSFail returns the control-endpoint instruction error probability for
+// the instruction fetched at cycle t of the trace.
+func (m *Machine) instDTSFail(t int, tr *activity.Trace) float64 {
+	form, ok := m.CtrlDTA.InstDTS(t, tr, func(g *netlist.Gate) bool { return !g.Data })
+	if !ok {
+		return 0
+	}
+	return dta.ErrorProbability(form)
+}
+
+// CharacterizeControl performs the control-network DTS characterization for
+// every executed basic block of the program. This is the expensive gate-level
+// part of the framework, and — as the paper stresses — it runs only once and
+// only on short sequences (each block prefixed by a window of its
+// predecessor), not on whole program executions. results holds a
+// representative EX result value per static instruction, recorded during the
+// training run.
+func (m *Machine) CharacterizeControl(g *cfg.Graph, pr *cfg.Profile, results []uint32) (*ControlChar, error) {
+	nb := len(g.Blocks)
+	cc := &ControlChar{
+		Fail:      make([][]float64, nb),
+		FailFlush: make([][]float64, nb),
+	}
+	for b := 0; b < nb; b++ {
+		blk := &g.Blocks[b]
+		n := blk.NumInsts()
+		cc.Fail[b] = make([]float64, n)
+		cc.FailFlush[b] = make([]float64, n)
+		if pr.ExecCount[b] == 0 {
+			continue
+		}
+		cc.TrainedBlocks++
+
+		// Incoming edges with activation probabilities; the residual mass is
+		// the program-start pseudo-edge, characterized with a nop prefix
+		// (flushed processor, as the paper assumes at program entry).
+		type incoming struct {
+			weight  float64
+			prefix  []isa.Inst
+			prefIdx []int
+		}
+		var ins []incoming
+		var mass float64
+		for _, e := range pr.IncomingEdges(b) {
+			w := pr.ActivationProb(e)
+			if w <= 0 {
+				continue
+			}
+			mass += w
+			pred := &g.Blocks[e.From]
+			start := pred.End - prefixWindow
+			if start < pred.Start {
+				start = pred.Start
+			}
+			var pfx []isa.Inst
+			var idx []int
+			for i := start; i < pred.End; i++ {
+				pfx = append(pfx, g.Prog.Insts[i])
+				idx = append(idx, i)
+			}
+			ins = append(ins, incoming{weight: w, prefix: pfx, prefIdx: idx})
+		}
+		if rest := 1 - mass; rest > 1e-9 {
+			pfx := make([]isa.Inst, prefixWindow)
+			idx := make([]int, prefixWindow)
+			for i := range idx {
+				idx[i] = -1
+			}
+			ins = append(ins, incoming{weight: rest, prefix: pfx, prefIdx: idx})
+		}
+
+		for _, in := range ins {
+			// Normal-execution sequence: prefix ++ block body.
+			seq := append([]isa.Inst{}, in.prefix...)
+			seqIdx := append([]int{}, in.prefIdx...)
+			for i := blk.Start; i < blk.End; i++ {
+				seq = append(seq, g.Prog.Insts[i])
+				seqIdx = append(seqIdx, i)
+			}
+			tr, err := m.controlStimulus(seq, seqIdx, results)
+			if err != nil {
+				return nil, err
+			}
+			for k := 0; k < n; k++ {
+				cc.Fail[b][k] += in.weight * m.instDTSFail(len(in.prefix)+k, tr)
+			}
+		}
+
+		// Flushed-state sequence: a nop is inserted before every block
+		// instruction (Section 4.1). The conditional p^e does not depend on
+		// which edge was taken — the pipeline state is the flush state — so
+		// one characterization per block suffices.
+		var seq []isa.Inst
+		var seqIdx []int
+		for i := 0; i < prefixWindow; i++ {
+			seq = append(seq, isa.Inst{})
+			seqIdx = append(seqIdx, -1)
+		}
+		pos := make([]int, n)
+		for i := blk.Start; i < blk.End; i++ {
+			seq = append(seq, isa.Inst{}) // nop mimicking the flush
+			seqIdx = append(seqIdx, -1)
+			pos[i-blk.Start] = len(seq)
+			seq = append(seq, g.Prog.Insts[i])
+			seqIdx = append(seqIdx, i)
+		}
+		tr, err := m.controlStimulus(seq, seqIdx, results)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < n; k++ {
+			cc.FailFlush[b][k] = m.instDTSFail(pos[k], tr)
+		}
+	}
+	return cc, nil
+}

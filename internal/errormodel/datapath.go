@@ -1,0 +1,210 @@
+package errormodel
+
+import (
+	"tsperr/internal/activity"
+	"tsperr/internal/dta"
+	"tsperr/internal/isa"
+	"tsperr/internal/netlist"
+	"tsperr/internal/variation"
+)
+
+// DatapathModel is the higher-level datapath timing model of [2]: it is
+// trained by applying Algorithm 1 to the data endpoints of each functional
+// unit while special stimulus selectively activates timing paths of a known
+// depth, and is then consulted per dynamic instruction using only
+// architecturally visible values (the activated-depth features the simulator
+// extracts).
+type DatapathModel struct {
+	// AdderSlack[d] is the canonical DTS form of the adder when a carry
+	// chain of exactly d bits is activated; AdderFail[d] = P(DTS < 0).
+	AdderSlack []variation.Canon
+	AdderFail  []float64
+	// ShiftSlack[k]/ShiftFail[k] cover k active barrel-shifter layers
+	// (depth feature = k+1).
+	ShiftSlack []variation.Canon
+	ShiftFail  []float64
+	// LogicFail is the (depth-independent) logic-unit failure probability.
+	LogicFail float64
+	// MulSlack[d]/MulFail[d] cover the array multiplier when the smaller
+	// operand has d significant bits (d rows of the array carry).
+	MulSlack []variation.Canon
+	MulFail  []float64
+}
+
+func setWordInputs(in map[netlist.GateID]bool, gates [32]netlist.GateID, w uint32) {
+	for i := 0; i < 32; i++ {
+		in[gates[i]] = (w>>uint(i))&1 == 1
+	}
+}
+
+// TrainDatapath measures the per-depth DTS tables. It mirrors the training
+// flow of Figure 2: run targeted vectors through the gate-level unit, record
+// activity, and apply Algorithm 1 to the data endpoints.
+func (m *Machine) TrainDatapath() (*DatapathModel, error) {
+	dp := &DatapathModel{}
+
+	// ---- Adder: carry chains of exact length d. ----
+	adderSim, err := activity.NewSimulator(m.Adder.N)
+	if err != nil {
+		return nil, err
+	}
+	adderEps := m.Adder.N.DataEndpoints(0)
+	dp.AdderSlack = make([]variation.Canon, 33)
+	dp.AdderFail = make([]float64, 33)
+	for d := 1; d <= 32; d++ {
+		adderSim.Reset()
+		in := map[netlist.GateID]bool{}
+		setWordInputs(in, m.Adder.A, 0)
+		setWordInputs(in, m.Adder.B, 0)
+		in[m.Adder.Cin] = false
+		tr := &activity.Trace{NumGates: m.Adder.N.NumGates()}
+		tr.Sets = append(tr.Sets, adderSim.Cycle(in))
+		var a uint32
+		if d == 32 {
+			a = 0xFFFFFFFF
+		} else {
+			a = (uint32(1) << uint(d)) - 1
+		}
+		setWordInputs(in, m.Adder.A, a)
+		setWordInputs(in, m.Adder.B, 1)
+		tr.Sets = append(tr.Sets, adderSim.Cycle(in))
+		slack, ok := m.AdderDTA.StageDTS(adderEps, 1, tr)
+		if !ok {
+			continue // no activated path at this depth
+		}
+		dp.AdderSlack[d] = slack
+		dp.AdderFail[d] = dta.ErrorProbability(slack)
+	}
+
+	// ---- Shifter: k active layers. ----
+	shiftSim, err := activity.NewSimulator(m.Shifter.N)
+	if err != nil {
+		return nil, err
+	}
+	shiftEps := m.Shifter.N.DataEndpoints(0)
+	dp.ShiftSlack = make([]variation.Canon, 6)
+	dp.ShiftFail = make([]float64, 6)
+	for k := 1; k <= 5; k++ {
+		shiftSim.Reset()
+		in := map[netlist.GateID]bool{}
+		setWordInputs(in, m.Shifter.In, 0)
+		for i := 0; i < 5; i++ {
+			in[m.Shifter.Amt[i]] = false
+		}
+		tr := &activity.Trace{NumGates: m.Shifter.N.NumGates()}
+		tr.Sets = append(tr.Sets, shiftSim.Cycle(in))
+		setWordInputs(in, m.Shifter.In, 0xFFFFFFFF)
+		amt := (uint32(1) << uint(k)) - 1 // k low bits set => k active layers
+		for i := 0; i < 5; i++ {
+			in[m.Shifter.Amt[i]] = (amt>>uint(i))&1 == 1
+		}
+		tr.Sets = append(tr.Sets, shiftSim.Cycle(in))
+		slack, ok := m.ShifterDTA.StageDTS(shiftEps, 1, tr)
+		if !ok {
+			continue
+		}
+		dp.ShiftSlack[k] = slack
+		dp.ShiftFail[k] = dta.ErrorProbability(slack)
+	}
+
+	// ---- Multiplier: d significant bits in the smaller operand. ----
+	mulSim, err := activity.NewSimulator(m.Mult.N)
+	if err != nil {
+		return nil, err
+	}
+	mulEps := m.Mult.N.DataEndpoints(0)
+	dp.MulSlack = make([]variation.Canon, 17)
+	dp.MulFail = make([]float64, 17)
+	setMulWord := func(in map[netlist.GateID]bool, gates [16]netlist.GateID, w uint32) {
+		for i := 0; i < 16; i++ {
+			in[gates[i]] = (w>>uint(i))&1 == 1
+		}
+	}
+	for d := 1; d <= 16; d++ {
+		mulSim.Reset()
+		in := map[netlist.GateID]bool{}
+		setMulWord(in, m.Mult.A, 0)
+		setMulWord(in, m.Mult.B, 0)
+		tr := &activity.Trace{NumGates: m.Mult.N.NumGates()}
+		tr.Sets = append(tr.Sets, mulSim.Cycle(in))
+		var bw uint32
+		if d == 16 {
+			bw = 0xFFFF
+		} else {
+			bw = (uint32(1) << uint(d)) - 1
+		}
+		setMulWord(in, m.Mult.A, 0xFFFF)
+		setMulWord(in, m.Mult.B, bw)
+		tr.Sets = append(tr.Sets, mulSim.Cycle(in))
+		slack, ok := m.MultDTA.StageDTS(mulEps, 1, tr)
+		if !ok {
+			continue
+		}
+		dp.MulSlack[d] = slack
+		dp.MulFail[d] = dta.ErrorProbability(slack)
+	}
+
+	// ---- Logic unit: one full-switch measurement. ----
+	logicSim, err := activity.NewSimulator(m.Logic.N)
+	if err != nil {
+		return nil, err
+	}
+	logicEps := m.Logic.N.DataEndpoints(0)
+	{
+		in := map[netlist.GateID]bool{}
+		setWordInputs(in, m.Logic.A, 0)
+		setWordInputs(in, m.Logic.B, 0)
+		in[m.Logic.Sel[0]] = false
+		in[m.Logic.Sel[1]] = false
+		tr := &activity.Trace{NumGates: m.Logic.N.NumGates()}
+		tr.Sets = append(tr.Sets, logicSim.Cycle(in))
+		setWordInputs(in, m.Logic.A, 0xFFFFFFFF)
+		setWordInputs(in, m.Logic.B, 0x55555555)
+		in[m.Logic.Sel[1]] = true // xor
+		tr.Sets = append(tr.Sets, logicSim.Cycle(in))
+		if slack, ok := m.LogicDTA.StageDTS(logicEps, 1, tr); ok {
+			dp.LogicFail = dta.ErrorProbability(slack)
+		}
+	}
+	return dp, nil
+}
+
+// FailProb returns the datapath timing-error probability of an instruction
+// whose activated-depth feature is depth. Monotonicity in depth is inherited
+// from the trained tables.
+func (dp *DatapathModel) FailProb(op isa.Op, depth int) float64 {
+	if depth <= 0 {
+		return 0
+	}
+	switch {
+	case op == isa.OpMul:
+		// The 32-bit mul's depth feature is the bit length of the smaller
+		// operand; the modeled low-half 16x16 array saturates at 16 rows.
+		if depth > 16 {
+			depth = 16
+		}
+		return dp.MulFail[depth]
+	case op == isa.OpAdd, op == isa.OpAddi, op == isa.OpLw, op == isa.OpSw,
+		op == isa.OpSub, op == isa.OpSlt, op == isa.OpSlti,
+		op == isa.OpBeq, op == isa.OpBne, op == isa.OpBlt, op == isa.OpBge:
+		if depth > 32 {
+			depth = 32
+		}
+		return dp.AdderFail[depth]
+	case op == isa.OpSll, op == isa.OpSrl, op == isa.OpSra,
+		op == isa.OpSlli, op == isa.OpSrli, op == isa.OpSrai:
+		k := depth - 1
+		if k < 0 {
+			k = 0
+		}
+		if k > 5 {
+			k = 5
+		}
+		return dp.ShiftFail[k]
+	case op == isa.OpAnd, op == isa.OpOr, op == isa.OpXor,
+		op == isa.OpAndi, op == isa.OpOri, op == isa.OpXori, op == isa.OpLui:
+		return dp.LogicFail
+	default:
+		return 0
+	}
+}

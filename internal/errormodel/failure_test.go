@@ -1,0 +1,167 @@
+package errormodel
+
+import (
+	"math"
+	"testing"
+
+	"tsperr/internal/cfg"
+	"tsperr/internal/cpu"
+	"tsperr/internal/isa"
+)
+
+// Failure-injection tests: pathological probability configurations must not
+// produce NaNs, out-of-range marginals, or silent nonsense.
+
+func loopFixture(t *testing.T) (*cfg.Graph, *cfg.Profile, *cfg.SCC) {
+	t.Helper()
+	p, err := isa.Assemble("loop", `
+	li r1, 5
+loop:
+	addi r1, r1, -1
+	bne  r1, r0, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := cfg.NewProfile(g)
+	c, _ := cpu.New(p, cpu.DefaultConfig())
+	obs := pr.Observer()
+	if _, err := c.Run(obs); err != nil {
+		t.Fatal(err)
+	}
+	return g, pr, cfg.ComputeSCC(g, pr)
+}
+
+func uniformCond(n int, pc, pe float64) *Conditionals {
+	c := &Conditionals{PC: make([]float64, n), PE: make([]float64, n)}
+	for i := range c.PC {
+		c.PC[i] = pc
+		c.PE[i] = pe
+	}
+	return c
+}
+
+func TestMarginalsExtremeProbabilities(t *testing.T) {
+	g, pr, scc := loopFixture(t)
+	n := len(g.Prog.Insts)
+	cases := []struct {
+		name   string
+		pc, pe float64
+	}{
+		{"all-zero", 0, 0},
+		{"all-one", 1, 1},
+		{"certain-after-error", 0.001, 1},
+		{"never-after-error", 0.3, 0},
+		{"alternating-extremes", 1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := ComputeMarginals(g, pr, scc, uniformCond(n, c.pc, c.pe))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range m.P {
+				if math.IsNaN(p) || p < 0 || p > 1 {
+					t.Fatalf("marginal[%d] = %v", i, p)
+				}
+			}
+			for b := range m.In {
+				if math.IsNaN(m.In[b]) || m.In[b] < 0 || m.In[b] > 1 {
+					t.Fatalf("In[%d] = %v", b, m.In[b])
+				}
+			}
+		})
+	}
+}
+
+func TestMarginalsAllOneIsAbsorbing(t *testing.T) {
+	g, pr, scc := loopFixture(t)
+	n := len(g.Prog.Insts)
+	m, err := ComputeMarginals(g, pr, scc, uniformCond(n, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range m.P {
+		if p != 1 {
+			t.Errorf("with pc=pe=1 every marginal should be 1, P[%d]=%v", i, p)
+		}
+	}
+}
+
+func TestMarginalsFixedPointOnSelfLoop(t *testing.T) {
+	// For the self-looping block with constant pc/pe, the steady-state
+	// marginal q solves q = pe*q + pc*(1-q) per Eq (1)+(2); with the loop
+	// executed many times the block's output probability should be close to
+	// the fixed point q = pc / (1 + pc - pe).
+	p, err := isa.Assemble("tight", `
+	li r1, 4000
+loop:
+	addi r1, r1, -1
+	bne  r1, r0, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := cfg.NewProfile(g)
+	c, _ := cpu.New(p, cpu.DefaultConfig())
+	obs := pr.Observer()
+	if _, err := c.Run(obs); err != nil {
+		t.Fatal(err)
+	}
+	scc := cfg.ComputeSCC(g, pr)
+	pc, pe := 0.01, 0.4
+	m, err := ComputeMarginals(g, pr, scc, uniformCond(len(p.Insts), pc, pe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := pc / (1 + pc - pe)
+	loopBlock := g.BlockOf[1]
+	if math.Abs(m.Out[loopBlock]-fixed) > 0.01 {
+		t.Errorf("loop steady state %v, want ~%v", m.Out[loopBlock], fixed)
+	}
+}
+
+func TestBuildConditionalsZeroCountInstruction(t *testing.T) {
+	// Instructions never executed in a scenario must still get well-formed
+	// conditionals (control-only contribution).
+	g, pr, _ := loopFixture(t)
+	_ = pr
+	n := len(g.Prog.Insts)
+	cc := &ControlChar{
+		Fail:      make([][]float64, len(g.Blocks)),
+		FailFlush: make([][]float64, len(g.Blocks)),
+	}
+	for b := range g.Blocks {
+		cc.Fail[b] = make([]float64, g.Blocks[b].NumInsts())
+		cc.FailFlush[b] = make([]float64, g.Blocks[b].NumInsts())
+		for k := range cc.Fail[b] {
+			cc.Fail[b][k] = 0.001
+			cc.FailFlush[b][k] = 0.002
+		}
+	}
+	feats := &ScenarioFeatures{
+		Count:     make([]int64, n),
+		sumFailC:  make([]float64, n),
+		sumFailE:  make([]float64, n),
+		sumFailC2: make([]float64, n),
+		sumFailC3: make([]float64, n),
+		sumFailC4: make([]float64, n),
+		Results:   make([]uint32, n),
+	}
+	cond := BuildConditionals(g, cc, feats)
+	for i := range cond.PC {
+		if math.Abs(cond.PC[i]-0.001) > 1e-12 || math.Abs(cond.PE[i]-0.002) > 1e-12 {
+			t.Errorf("zero-count instruction %d conditionals = %v/%v", i, cond.PC[i], cond.PE[i])
+		}
+	}
+}

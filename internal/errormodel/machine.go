@@ -1,0 +1,167 @@
+// Package errormodel implements the paper's instruction error model
+// (Section 4): control-network DTS characterization per basic block and
+// incoming edge, the trained higher-level datapath timing model of [2], the
+// nop-instrumentation extraction of error-conditioned probabilities (Section
+// 4.1), and the marginal error probability computation of Section 4.2
+// (recurrence within blocks, linear systems per CFG strongly connected
+// component).
+package errormodel
+
+import (
+	"fmt"
+
+	"tsperr/internal/cell"
+	"tsperr/internal/dta"
+	"tsperr/internal/gen"
+	"tsperr/internal/netlist"
+	"tsperr/internal/sta"
+	"tsperr/internal/variation"
+)
+
+// Options configure the modeled silicon and operating point, mirroring the
+// experimental setup of Section 6.1.
+type Options struct {
+	// BaseFreqMHz is the non-speculative (STA sign-off) frequency.
+	BaseFreqMHz float64
+	// PoFFRatio is the point-of-first-failure frequency over base (1.13).
+	PoFFRatio float64
+	// WorkingRatio is the speculative operating frequency over base (1.15).
+	WorkingRatio float64
+	// SigmaRel is the per-gate relative delay sigma.
+	SigmaRel float64
+	// VariationLevels and CorrShare parameterize the quad-tree model.
+	VariationLevels int
+	CorrShare       float64
+	// KPaths is the per-endpoint critical path count for DTA.
+	KPaths int
+	// Unit delay balancing: each unit's statistically-worst delay is placed
+	// at this fraction of the PoFF period (the adder at 1.0 defines PoFF).
+	ControlRatio, ShifterRatio, LogicRatio, MultiplierRatio float64
+	// CalibrationPercentile is the max-delay quantile pinned to the PoFF
+	// period (errors first appear when the clock intrudes into the upper
+	// tail of the critical-delay distribution).
+	CalibrationPercentile float64
+}
+
+// DefaultOptions returns the paper's setup.
+func DefaultOptions() Options {
+	return Options{
+		BaseFreqMHz:           718,
+		PoFFRatio:             1.13,
+		WorkingRatio:          1.15,
+		SigmaRel:              cell.SigmaRel,
+		VariationLevels:       2,
+		CorrShare:             0.5,
+		KPaths:                6,
+		ControlRatio:          0.97,
+		ShifterRatio:          0.90,
+		LogicRatio:            0.85,
+		MultiplierRatio:       0.95,
+		CalibrationPercentile: 0.99,
+	}
+}
+
+// Machine bundles the generated netlists, their SSTA engines, and DTA
+// analyzers at a chosen operating point.
+type Machine struct {
+	Opts  Options
+	Model *variation.Model
+
+	Ctrl    *gen.ControlNet
+	Adder   *gen.AdderNet
+	Shifter *gen.ShifterNet
+	Logic   *gen.LogicNet
+	Mult    *gen.MultiplierNet
+
+	// BasePeriodPs, PoFFPeriodPs and WorkingPeriodPs are the clock periods
+	// of the three operating points in picoseconds.
+	BasePeriodPs    float64
+	PoFFPeriodPs    float64
+	WorkingPeriodPs float64
+
+	CtrlEngine    *sta.Engine
+	AdderEngine   *sta.Engine
+	ShifterEngine *sta.Engine
+	LogicEngine   *sta.Engine
+	MultEngine    *sta.Engine
+
+	CtrlDTA    *dta.Analyzer
+	AdderDTA   *dta.Analyzer
+	ShifterDTA *dta.Analyzer
+	LogicDTA   *dta.Analyzer
+	MultDTA    *dta.Analyzer
+}
+
+// NewMachine generates the netlists and calibrates each unit's delay scale
+// so that the design's point of first failure and working point sit at the
+// configured ratios of the base frequency.
+func NewMachine(opts Options) (*Machine, error) {
+	if opts.BaseFreqMHz <= 0 || opts.WorkingRatio <= 0 || opts.PoFFRatio <= 0 {
+		return nil, fmt.Errorf("errormodel: non-positive frequency configuration")
+	}
+	model, err := variation.NewModel(opts.VariationLevels, opts.CorrShare)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{Opts: opts, Model: model}
+	m.Ctrl = gen.Control()
+	m.Adder = gen.Adder()
+	m.Shifter = gen.Shifter()
+	m.Logic = gen.Logic()
+	m.Mult = gen.Multiplier()
+
+	m.BasePeriodPs = 1e6 / opts.BaseFreqMHz
+	m.PoFFPeriodPs = m.BasePeriodPs / opts.PoFFRatio
+	m.WorkingPeriodPs = m.BasePeriodPs / opts.WorkingRatio
+
+	type unit struct {
+		n     *netlist.Netlist
+		ratio float64
+		eng   **sta.Engine
+		ana   **dta.Analyzer
+	}
+	units := []unit{
+		{m.Adder.N, 1.0, &m.AdderEngine, &m.AdderDTA},
+		{m.Ctrl.N, opts.ControlRatio, &m.CtrlEngine, &m.CtrlDTA},
+		{m.Shifter.N, opts.ShifterRatio, &m.ShifterEngine, &m.ShifterDTA},
+		{m.Logic.N, opts.LogicRatio, &m.LogicEngine, &m.LogicDTA},
+		{m.Mult.N, opts.MultiplierRatio, &m.MultEngine, &m.MultDTA},
+	}
+	for _, u := range units {
+		target := m.PoFFPeriodPs * u.ratio
+		scale, err := gen.CalibrateScale([]*netlist.Netlist{u.n}, model,
+			opts.SigmaRel, target, opts.CalibrationPercentile, opts.KPaths)
+		if err != nil {
+			return nil, fmt.Errorf("errormodel: calibrating %s: %w", u.n.Name, err)
+		}
+		e, err := sta.NewEngine(u.n, model, m.WorkingPeriodPs, opts.SigmaRel, scale)
+		if err != nil {
+			return nil, err
+		}
+		*u.eng = e
+		*u.ana = dta.New(e, opts.KPaths)
+	}
+	return m, nil
+}
+
+// WorkingFreqMHz returns the speculative operating frequency.
+func (m *Machine) WorkingFreqMHz() float64 { return 1e6 / m.WorkingPeriodPs }
+
+// SetWorkingPeriod re-targets all engines and analyzers at a new clock
+// period, used by the operating-point sweep example.
+func (m *Machine) SetWorkingPeriod(periodPs float64) {
+	m.WorkingPeriodPs = periodPs
+	for _, pair := range []struct {
+		eng *sta.Engine
+		ana **dta.Analyzer
+	}{
+		{m.CtrlEngine, &m.CtrlDTA},
+		{m.AdderEngine, &m.AdderDTA},
+		{m.ShifterEngine, &m.ShifterDTA},
+		{m.LogicEngine, &m.LogicDTA},
+		{m.MultEngine, &m.MultDTA},
+	} {
+		pair.eng.ClockPeriod = periodPs
+		*pair.ana = dta.New(pair.eng, m.Opts.KPaths)
+	}
+}

@@ -1,0 +1,143 @@
+package errormodel
+
+import (
+	"fmt"
+
+	"tsperr/internal/cfg"
+	"tsperr/internal/linsys"
+)
+
+// Marginals holds the solution of the Section 4.2 problem for one scenario:
+// marginal error probabilities per static instruction, plus the block
+// input/output error probabilities.
+type Marginals struct {
+	// P[i] is the marginal error probability of static instruction i.
+	P []float64
+	// In[b] and Out[b] are the block input/output error probabilities.
+	In, Out []float64
+}
+
+// blockAffine composes Equation (1) through a block: given the input error
+// probability x, the k-th instruction's marginal is p_k where
+// p_k = pe_k * p_{k-1} + pc_k * (1 - p_{k-1}), p_0 = x. The block output is
+// affine in x: out = A*x + B.
+func blockAffine(blk *cfg.Block, pc, pe []float64) (a, b float64) {
+	a, b = 1, 0
+	for i := blk.Start; i < blk.End; i++ {
+		// p = (pe-pc)*prev + pc, with prev = a*x + b.
+		d := pe[i] - pc[i]
+		a = d * a
+		b = d*b + pc[i]
+	}
+	return a, b
+}
+
+// ComputeMarginals solves the marginal error probability problem: the
+// recurrence of Equation (1) inside blocks, the mixture of Equation (2) at
+// joins, and one linear system per strongly connected component of the CFG,
+// processed in condensation topological order (Tarjan). The processor is
+// assumed flushed at program start, so the entry pseudo-edge carries an
+// output error probability of 1, exactly as the paper sets p^in = 1.
+func ComputeMarginals(g *cfg.Graph, pr *cfg.Profile, scc *cfg.SCC, c *Conditionals) (*Marginals, error) {
+	nb := len(g.Blocks)
+	m := &Marginals{
+		P:   make([]float64, len(g.Prog.Insts)),
+		In:  make([]float64, nb),
+		Out: make([]float64, nb),
+	}
+	// Affine coefficients per block.
+	alpha := make([]float64, nb)
+	beta := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		alpha[b], beta[b] = blockAffine(&g.Blocks[b], c.PC, c.PE)
+	}
+
+	solved := make([]bool, nb)
+	for _, comp := range scc.Comps {
+		// Executed blocks only; unexecuted blocks keep zero probabilities.
+		var active []int
+		for _, b := range comp {
+			if pr.ExecCount[b] > 0 {
+				active = append(active, b)
+			}
+		}
+		if len(active) == 0 {
+			for _, b := range comp {
+				solved[b] = true
+			}
+			continue
+		}
+		index := map[int]int{}
+		for i, b := range active {
+			index[b] = i
+		}
+		n := len(active)
+		A := make([][]float64, n)
+		rhs := make([]float64, n)
+		for i, b := range active {
+			A[i] = make([]float64, n)
+			A[i][i] = 1
+			var mass float64
+			for _, e := range pr.IncomingEdges(b) {
+				w := pr.ActivationProb(e)
+				if w <= 0 {
+					continue
+				}
+				mass += w
+				src := e.From
+				if j, in := index[src]; in {
+					// In-component predecessor: out_src = alpha*x_j + beta.
+					A[i][j] -= w * alpha[src]
+					rhs[i] += w * beta[src]
+				} else {
+					if !solved[src] && pr.ExecCount[src] > 0 {
+						return nil, fmt.Errorf(
+							"errormodel: block %d depends on unsolved block %d outside its SCC", b, src)
+					}
+					rhs[i] += w * m.Out[src]
+				}
+			}
+			// Program-start pseudo-edge: flushed state, error probability 1.
+			if rest := 1 - mass; rest > 1e-12 {
+				rhs[i] += rest * 1
+			}
+		}
+		var x []float64
+		var err error
+		if n == 1 && A[0][0] == 1 {
+			x = []float64{rhs[0]}
+		} else {
+			x, err = linsys.Solve(A, rhs)
+			if err != nil {
+				return nil, fmt.Errorf("errormodel: SCC system: %w", err)
+			}
+		}
+		for i, b := range active {
+			m.In[b] = clamp01(x[i])
+			m.Out[b] = clamp01(alpha[b]*m.In[b] + beta[b])
+			// Instruction marginals via the recurrence.
+			prev := m.In[b]
+			blk := &g.Blocks[b]
+			for k := blk.Start; k < blk.End; k++ {
+				p := c.PE[k]*prev + c.PC[k]*(1-prev)
+				m.P[k] = clamp01(p)
+				prev = p
+			}
+			solved[b] = true
+		}
+		for _, b := range comp {
+			solved[b] = true
+		}
+	}
+	return m, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,160 @@
+package gdta
+
+import (
+	"math"
+	"testing"
+
+	"tsperr/internal/activity"
+	"tsperr/internal/cell"
+	"tsperr/internal/dta"
+	"tsperr/internal/gen"
+	"tsperr/internal/netlist"
+	"tsperr/internal/sta"
+	"tsperr/internal/variation"
+)
+
+func newEngine(t *testing.T, n *netlist.Netlist, period float64) *sta.Engine {
+	t.Helper()
+	m, err := variation.NewModel(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sta.NewEngine(n, m, period, cell.SigmaRel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func setWord(in map[netlist.GateID]bool, gates [32]netlist.GateID, w uint32) {
+	for i := 0; i < 32; i++ {
+		in[gates[i]] = (w>>uint(i))&1 == 1
+	}
+}
+
+// chainFixture: in -> inv x n -> ff. Simple enough that the exact activated
+// path delay is known.
+func chainFixture(t *testing.T, n int, period float64) (*Analyzer, *dta.Analyzer, *activity.Trace, []netlist.GateID) {
+	t.Helper()
+	nl := netlist.New("chain", 1)
+	in := nl.Add(cell.INPUT, "in", 0)
+	prev := in
+	for i := 0; i < n; i++ {
+		prev = nl.Add(cell.INV, "inv", 0, prev)
+	}
+	ff := nl.Add(cell.DFF, "ff", 0, prev)
+	_ = ff
+	gen.Place(nl)
+	e := newEngine(t, nl, period)
+	ga, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := dta.New(e, 8)
+	sim, err := activity.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &activity.Trace{NumGates: nl.NumGates()}
+	tr.Sets = append(tr.Sets, sim.Cycle(map[netlist.GateID]bool{}))
+	tr.Sets = append(tr.Sets, sim.Cycle(map[netlist.GateID]bool{in: true}))
+	return ga, pa, tr, nl.Endpoints(0)
+}
+
+func TestGraphMatchesPathOnChain(t *testing.T) {
+	ga, pa, tr, eps := chainFixture(t, 6, 1000)
+	g, ok1 := ga.StageDTS(eps, 1, tr)
+	p, ok2 := pa.StageDTS(eps, 1, tr)
+	if !ok1 || !ok2 {
+		t.Fatal("both analyzers should find the activated chain")
+	}
+	if math.Abs(g.Mean-p.Mean) > 1e-6 {
+		t.Errorf("graph %v vs path %v DTS mean", g.Mean, p.Mean)
+	}
+	if math.Abs(g.Std()-p.Std()) > 1e-6 {
+		t.Errorf("graph %v vs path %v DTS sigma", g.Std(), p.Std())
+	}
+}
+
+func TestGraphNoActivation(t *testing.T) {
+	ga, _, tr, eps := chainFixture(t, 4, 1000)
+	// Cycle 0 has no input change: nothing activated.
+	if _, ok := ga.StageDTS(eps, 0, tr); ok {
+		t.Error("quiet cycle should yield no DTS")
+	}
+	if _, ok := ga.StageDTS(eps, 99, tr); ok {
+		t.Error("out-of-range cycle should yield no DTS")
+	}
+}
+
+func TestGraphAtMostPathDTSOnAdder(t *testing.T) {
+	// The graph method sees every activated path; the path method only the
+	// K it enumerated. Graph DTS therefore cannot exceed path DTS by more
+	// than the Clark-approximation wiggle.
+	ad := gen.Adder()
+	e := newEngine(t, ad.N, 2400)
+	ga, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := dta.New(e, 8)
+	sim, _ := activity.NewSimulator(ad.N)
+	tr := &activity.Trace{NumGates: ad.N.NumGates()}
+	ops := [][2]uint32{{0, 0}, {0xFFFFFFFF, 1}, {3, 5}, {0x0F0F0F0F, 0x00F0F0F1}}
+	for _, op := range ops {
+		in := map[netlist.GateID]bool{}
+		setWord(in, ad.A, op[0])
+		setWord(in, ad.B, op[1])
+		in[ad.Cin] = false
+		tr.Sets = append(tr.Sets, sim.Cycle(in))
+	}
+	eps := ad.N.Endpoints(0)
+	for cyc := 1; cyc < len(ops); cyc++ {
+		g, okG := ga.StageDTS(eps, cyc, tr)
+		p, okP := pa.StageDTS(eps, cyc, tr)
+		// The graph method sees a superset of the enumerated paths: it may
+		// report DTS where top-K path enumeration found nothing, never the
+		// reverse.
+		if okP && !okG {
+			t.Fatalf("cycle %d: path-based found activation the graph method missed", cyc)
+		}
+		if !okP || !okG {
+			continue
+		}
+		if g.Mean > p.Mean+5 {
+			t.Errorf("cycle %d: graph DTS %v should not exceed path DTS %v", cyc, g.Mean, p.Mean)
+		}
+		// And they should agree closely when the critical path is in the
+		// enumerated set (full-carry cycle).
+		if cyc == 1 && math.Abs(g.Mean-p.Mean) > 40 {
+			t.Errorf("cycle 1: graph %v vs path %v too far apart", g.Mean, p.Mean)
+		}
+	}
+}
+
+func TestGraphInstDTSControl(t *testing.T) {
+	c := gen.Control()
+	e := newEngine(t, c.N, 1500)
+	ga, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := activity.NewSimulator(c.N)
+	tr := &activity.Trace{NumGates: c.N.NumGates()}
+	for i := 0; i < 10; i++ {
+		in := map[netlist.GateID]bool{}
+		setWord(in, c.Instr, uint32(0x04211000+i*0x5A5A5A5))
+		setWord(in, c.ExResult, uint32(i)*0x10101)
+		tr.Sets = append(tr.Sets, sim.Cycle(in))
+	}
+	inst, ok := ga.InstDTS(1, tr, func(g *netlist.Gate) bool { return !g.Data })
+	if !ok {
+		t.Fatal("expected an instruction DTS")
+	}
+	if inst.Mean <= 0 || inst.Mean > 1500 {
+		t.Errorf("instruction DTS mean %v implausible", inst.Mean)
+	}
+	if inst.Std() <= 0 {
+		t.Error("instruction DTS must carry process variation")
+	}
+}

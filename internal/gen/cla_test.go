@@ -1,0 +1,135 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tsperr/internal/activity"
+	"tsperr/internal/cell"
+	"tsperr/internal/dta"
+	"tsperr/internal/netlist"
+	"tsperr/internal/sta"
+	"tsperr/internal/variation"
+)
+
+func newTestEngine(n *netlist.Netlist, m *variation.Model) (*sta.Engine, error) {
+	return sta.NewEngine(n, m, 2000, cell.SigmaRel, 1)
+}
+
+func claSum(t *testing.T, sim *activity.Simulator, ad *AdderNet, a, b uint32, cin bool) uint32 {
+	t.Helper()
+	in := map[netlist.GateID]bool{}
+	setWord(in, ad.A, a)
+	setWord(in, ad.B, b)
+	in[ad.Cin] = cin
+	sim.Cycle(in)
+	var got uint32
+	for i := 0; i < 32; i++ {
+		if sim.Value(ad.N.Gate(ad.Sum[i]).Fanin[0]) {
+			got |= 1 << uint(i)
+		}
+	}
+	return got
+}
+
+func TestCLAAdderFunctional(t *testing.T) {
+	ad := CLAAdder()
+	if err := ad.N.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := activity.NewSimulator(ad.N)
+	cases := []struct {
+		a, b uint32
+		cin  bool
+	}{
+		{0, 0, false}, {1, 1, false}, {0xFFFFFFFF, 1, false},
+		{0xFFFFFFFF, 0xFFFFFFFF, true}, {12345, 67890, false},
+		{0x80000000, 0x7FFFFFFF, true},
+	}
+	for _, c := range cases {
+		want := c.a + c.b
+		if c.cin {
+			want++
+		}
+		if got := claSum(t, sim, ad, c.a, c.b, c.cin); got != want {
+			t.Errorf("cla(%x,%x,%v) = %x, want %x", c.a, c.b, c.cin, got, want)
+		}
+	}
+}
+
+func TestCLAAdderProperty(t *testing.T) {
+	ad := CLAAdder()
+	sim, _ := activity.NewSimulator(ad.N)
+	f := func(a, b uint32) bool {
+		return claSum(t, sim, ad, a, b, false) == a+b
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCLAShorterCriticalPath(t *testing.T) {
+	model, err := variation.NewModel(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ripple := Adder()
+	cla := CLAAdder()
+	eR, err := newTestEngine(ripple.N, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eC, err := newTestEngine(cla.N, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dR := eR.MaxDelayNominal()
+	dC := eC.MaxDelayNominal()
+	if dC >= dR/2 {
+		t.Errorf("CLA critical path %v should be well under half the ripple's %v", dC, dR)
+	}
+}
+
+func TestCLALessOperandDependentDelay(t *testing.T) {
+	// The activated critical-path *delay* of a CLA varies much less between
+	// short-carry and full-carry operands than the ripple adder's: the
+	// lookahead network bounds the carry depth. This is the depth-delay
+	// profile ablation DESIGN.md calls out.
+	model, err := variation.NewModel(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const period = 2600.0
+	spread := func(ad *AdderNet) float64 {
+		e, err := sta.NewEngine(ad.N, model, period, cell.SigmaRel, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := dta.New(e, 8)
+		sim, _ := activity.NewSimulator(ad.N)
+		tr := &activity.Trace{NumGates: ad.N.NumGates()}
+		for _, op := range [][2]uint32{{0, 0}, {1, 1}, {0, 0}, {0xFFFFFFFF, 1}} {
+			in := map[netlist.GateID]bool{}
+			setWord(in, ad.A, op[0])
+			setWord(in, ad.B, op[1])
+			tr.Sets = append(tr.Sets, sim.Cycle(in))
+		}
+		eps := ad.N.Endpoints(0)
+		shortDTS, ok1 := an.StageDTS(eps, 1, tr)
+		longDTS, ok2 := an.StageDTS(eps, 3, tr)
+		if !ok1 || !ok2 {
+			t.Fatal("expected activated paths in both cycles")
+		}
+		// Activated path delay = period - DTS.
+		return (period - longDTS.Mean) / (period - shortDTS.Mean)
+	}
+	r := spread(Adder())
+	c := spread(CLAAdder())
+	if c >= r {
+		t.Errorf("CLA delay spread %v should be below ripple's %v", c, r)
+	}
+	if c > 8 {
+		t.Errorf("CLA activated delay spread implausibly wide: %v", c)
+	}
+}

@@ -1,0 +1,419 @@
+// Package gen generates the synthetic-but-functional gate-level netlists the
+// reproduction uses in place of the paper's synthesized LEON3 integer unit:
+// a 6-stage control network whose decode logic is derived from the real
+// TS-V8 opcode table, and gate-level datapath units (ripple-carry adder,
+// barrel shifter, logic unit, equality comparator) whose activated timing
+// paths depend on operand values exactly as Algorithm 1 expects. It also
+// places gates on the die for the spatial variation model and calibrates the
+// global delay scale to the paper's operating points (Section 6.1).
+package gen
+
+import (
+	"fmt"
+
+	"tsperr/internal/cell"
+	"tsperr/internal/cpu"
+	"tsperr/internal/isa"
+	"tsperr/internal/netlist"
+	"tsperr/internal/sta"
+	"tsperr/internal/variation"
+)
+
+// builder wraps netlist construction with tree helpers.
+type builder struct {
+	n     *netlist.Netlist
+	stage int
+}
+
+func (b *builder) add(kind cell.Kind, name string, fanin ...netlist.GateID) netlist.GateID {
+	return b.n.Add(kind, name, b.stage, fanin...)
+}
+
+// tree reduces inputs with a balanced binary tree of the given 2-input kind.
+func (b *builder) tree(kind cell.Kind, name string, in []netlist.GateID) netlist.GateID {
+	if len(in) == 0 {
+		panic("gen: empty tree")
+	}
+	level := 0
+	for len(in) > 1 {
+		var next []netlist.GateID
+		for i := 0; i+1 < len(in); i += 2 {
+			next = append(next, b.add(kind, fmt.Sprintf("%s_l%d_%d", name, level, i/2), in[i], in[i+1]))
+		}
+		if len(in)%2 == 1 {
+			next = append(next, in[len(in)-1])
+		}
+		in = next
+		level++
+	}
+	return in[0]
+}
+
+// ControlNet is the control network of the 6-stage pipeline together with
+// its external input handles. All its flip-flops are control endpoints.
+type ControlNet struct {
+	N *netlist.Netlist
+	// Instr are the 32 fetched-instruction bit inputs (bit 0 = LSB).
+	Instr [32]netlist.GateID
+	// ExResult are the EX-stage result bits observed by the branch-resolution
+	// zero detector.
+	ExResult [32]netlist.GateID
+	// Stall and Flush are the external hazard inputs.
+	Stall, Flush netlist.GateID
+	// IR are the instruction-register flip-flops (stage IF).
+	IR [32]netlist.GateID
+}
+
+// Control builds the control network. The decode logic is generated from the
+// TS-V8 opcode table: one AND-tree matcher per opcode and OR-trees for each
+// derived control signal, so the set of activated decode paths genuinely
+// depends on the instruction sequence, which is what makes per-basic-block
+// control DTS characterization meaningful.
+func Control() *ControlNet {
+	n := netlist.New("control", cpu.NumStages)
+	c := &ControlNet{N: n}
+	b := &builder{n: n}
+
+	// ---- Stage IF: instruction register + PC increment chain. ----
+	b.stage = cpu.StageIF
+	for i := 0; i < 32; i++ {
+		c.Instr[i] = b.add(cell.INPUT, fmt.Sprintf("instr%d", i))
+	}
+	c.Stall = b.add(cell.INPUT, "stall")
+	c.Flush = b.add(cell.INPUT, "flush")
+	for i := 0; i < 32; i++ {
+		// IR captures the fetched word unless stalled (hold) or flushed
+		// (clear): d = flush ? 0 : (stall ? q : instr).
+		ir := b.add(cell.DFF, fmt.Sprintf("ir%d", i), c.Instr[i]) // placeholder fanin
+		hold := b.add(cell.MUX2, fmt.Sprintf("ir_hold%d", i), c.Instr[i], ir, c.Stall)
+		nflush := b.add(cell.INV, fmt.Sprintf("ir_nfl%d", i), c.Flush)
+		d := b.add(cell.AND2, fmt.Sprintf("ir_d%d", i), hold, nflush)
+		n.Gate(ir).Fanin[0] = d
+		c.IR[i] = ir
+	}
+	// PC: an 12-bit counter with ripple-carry increment (a classic control
+	// critical path).
+	var pc [12]netlist.GateID
+	for i := range pc {
+		pc[i] = b.add(cell.DFF, fmt.Sprintf("pc%d", i), c.Stall) // patched below
+	}
+	carry := b.add(cell.INV, "pc_cin", c.Stall) // increment when not stalled
+	for i := range pc {
+		sum := b.add(cell.XOR2, fmt.Sprintf("pc_sum%d", i), pc[i], carry)
+		carry = b.add(cell.AND2, fmt.Sprintf("pc_c%d", i), pc[i], carry)
+		n.Gate(pc[i]).Fanin[0] = sum
+	}
+
+	// ---- Stage ID: opcode matchers and control-signal OR trees. ----
+	b.stage = cpu.StageID
+	opBits := c.IR[26:32] // opcode field [31:26]
+	inv := make([]netlist.GateID, 6)
+	for i, g := range opBits {
+		inv[i] = b.add(cell.INV, fmt.Sprintf("nop%d", i), g)
+	}
+	match := make([]netlist.GateID, isa.NumOps)
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		var lits []netlist.GateID
+		for bit := 0; bit < 6; bit++ {
+			if (uint32(op)>>uint(bit))&1 == 1 {
+				lits = append(lits, opBits[bit])
+			} else {
+				lits = append(lits, inv[bit])
+			}
+		}
+		match[op] = b.tree(cell.AND2, fmt.Sprintf("match_%s", op), lits)
+	}
+	orOf := func(name string, ops ...isa.Op) netlist.GateID {
+		in := make([]netlist.GateID, len(ops))
+		for i, op := range ops {
+			in[i] = match[op]
+		}
+		return b.tree(cell.OR2, name, in)
+	}
+	isR := orOf("isR", isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlt, isa.OpMul)
+	isI := orOf("isI", isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori,
+		isa.OpSlli, isa.OpSrli, isa.OpSrai, isa.OpSlti, isa.OpLui)
+	isLd := match[isa.OpLw]
+	isSt := match[isa.OpSw]
+	isBr := orOf("isBr", isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge)
+	isJmp := orOf("isJmp", isa.OpJal, isa.OpJr)
+	wrRd := b.tree(cell.OR2, "wrRd", []netlist.GateID{isR, isI, isLd, match[isa.OpJal]})
+	useImm := b.tree(cell.OR2, "useImm", []netlist.GateID{isI, isLd, isSt})
+	aluSub := orOf("aluSub", isa.OpSub, isa.OpSlt, isa.OpSlti,
+		isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge)
+	aluShift := orOf("aluShift", isa.OpSll, isa.OpSrl, isa.OpSra,
+		isa.OpSlli, isa.OpSrli, isa.OpSrai)
+	aluLogic := orOf("aluLogic", isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpAndi, isa.OpOri, isa.OpXori)
+
+	ctlSignals := map[string]netlist.GateID{
+		"dec_isR": isR, "dec_isI": isI, "dec_isLd": isLd, "dec_isSt": isSt,
+		"dec_isBr": isBr, "dec_isJmp": isJmp, "dec_wrRd": wrRd,
+		"dec_useImm": useImm, "dec_aluSub": aluSub, "dec_aluShift": aluShift,
+		"dec_aluLogic": aluLogic,
+	}
+	decFF := map[string]netlist.GateID{}
+	for _, name := range []string{"dec_isR", "dec_isI", "dec_isLd", "dec_isSt",
+		"dec_isBr", "dec_isJmp", "dec_wrRd", "dec_useImm", "dec_aluSub",
+		"dec_aluShift", "dec_aluLogic"} {
+		decFF[name] = b.add(cell.DFF, name+"_ff", ctlSignals[name])
+	}
+	// Register fields latched for the hazard unit.
+	var rdFF, rs1FF, rs2FF [5]netlist.GateID
+	for i := 0; i < 5; i++ {
+		rdFF[i] = b.add(cell.DFF, fmt.Sprintf("rd_ff%d", i), c.IR[21+i])
+		rs1FF[i] = b.add(cell.DFF, fmt.Sprintf("rs1_ff%d", i), c.IR[16+i])
+		rs2FF[i] = b.add(cell.DFF, fmt.Sprintf("rs2_ff%d", i), c.IR[11+i])
+	}
+
+	// ---- Stage RA: hazard comparators and forwarding selects. ----
+	b.stage = cpu.StageRA
+	// Previous destination register (pipelined copy of rd).
+	var exRd [5]netlist.GateID
+	for i := 0; i < 5; i++ {
+		exRd[i] = b.add(cell.DFF, fmt.Sprintf("exrd_ff%d", i), rdFF[i])
+	}
+	eq := func(name string, a, bb [5]netlist.GateID) netlist.GateID {
+		bitsEq := make([]netlist.GateID, 5)
+		for i := 0; i < 5; i++ {
+			bitsEq[i] = b.add(cell.XNOR2, fmt.Sprintf("%s_x%d", name, i), a[i], bb[i])
+		}
+		return b.tree(cell.AND2, name+"_and", bitsEq)
+	}
+	rawA := eq("hazA", rs1FF, exRd)
+	rawB := eq("hazB", rs2FF, exRd)
+	ldUse := b.add(cell.AND2, "ldUse", decFF["dec_isLd"], rawA)
+	fwdA := b.add(cell.AND2, "fwdA_sig", rawA, decFF["dec_wrRd"])
+	fwdB := b.add(cell.AND2, "fwdB_sig", rawB, decFF["dec_wrRd"])
+	b.add(cell.DFF, "ldUse_ff", ldUse)
+	b.add(cell.DFF, "fwdA_ff", fwdA)
+	b.add(cell.DFF, "fwdB_ff", fwdB)
+	// Register-file address decoders: one-hot 5-to-32 decode of the read
+	// port (rs1) and the write port (rd), gated by the write enable — the
+	// classic RA-stage control structure whose activation pattern tracks
+	// which architectural registers the instruction stream touches.
+	invRs1 := make([]netlist.GateID, 5)
+	invRd := make([]netlist.GateID, 5)
+	for i := 0; i < 5; i++ {
+		invRs1[i] = b.add(cell.INV, fmt.Sprintf("nrs1_%d", i), rs1FF[i])
+		invRd[i] = b.add(cell.INV, fmt.Sprintf("nrd_%d", i), rdFF[i])
+	}
+	for r := 0; r < 32; r++ {
+		litsR := make([]netlist.GateID, 5)
+		litsW := make([]netlist.GateID, 5)
+		for i := 0; i < 5; i++ {
+			if (r>>uint(i))&1 == 1 {
+				litsR[i] = rs1FF[i]
+				litsW[i] = rdFF[i]
+			} else {
+				litsR[i] = invRs1[i]
+				litsW[i] = invRd[i]
+			}
+		}
+		rdEn := b.tree(cell.AND2, fmt.Sprintf("rfr%d", r), litsR)
+		b.add(cell.DFF, fmt.Sprintf("rfr%d_ff", r), rdEn)
+		wrHot := b.tree(cell.AND2, fmt.Sprintf("rfw%d", r), litsW)
+		wrEn := b.add(cell.AND2, fmt.Sprintf("rfw%d_en", r), wrHot, decFF["dec_wrRd"])
+		b.add(cell.DFF, fmt.Sprintf("rfw%d_ff", r), wrEn)
+	}
+	isBrRA := b.add(cell.DFF, "isBr_ra", decFF["dec_isBr"])
+	aluSubRA := b.add(cell.DFF, "aluSub_ra", decFF["dec_aluSub"])
+	b.add(cell.DFF, "aluShift_ra", decFF["dec_aluShift"])
+	b.add(cell.DFF, "aluLogic_ra", decFF["dec_aluLogic"])
+
+	// ---- Stage EX: branch resolution over the datapath result. ----
+	b.stage = cpu.StageEX
+	for i := 0; i < 32; i++ {
+		c.ExResult[i] = b.add(cell.INPUT, fmt.Sprintf("exres%d", i))
+	}
+	zero := b.add(cell.INV, "zeroDet",
+		b.tree(cell.OR2, "resOr", c.ExResult[:]))
+	sign := c.ExResult[31]
+	condTrue := b.add(cell.OR2, "condTrue",
+		b.add(cell.AND2, "condZero", zero, aluSubRA),
+		b.add(cell.AND2, "condNeg", sign, aluSubRA))
+	taken := b.add(cell.AND2, "brTaken", condTrue, isBrRA)
+	redirect := b.add(cell.OR2, "redirect", taken, c.Flush)
+	takenFF := b.add(cell.DFF, "brTaken_ff", taken)
+	b.add(cell.DFF, "redirect_ff", redirect)
+
+	// ---- Stage ME: memory handshake. ----
+	b.stage = cpu.StageME
+	isLdME := b.add(cell.DFF, "isLd_me", decFF["dec_isLd"])
+	isStME := b.add(cell.DFF, "isSt_me", decFF["dec_isSt"])
+	memEn := b.add(cell.OR2, "memEn", isLdME, isStME)
+	nredir := b.add(cell.INV, "nredir", takenFF)
+	memGo := b.add(cell.AND2, "memGo", memEn, nredir)
+	b.add(cell.DFF, "memGo_ff", memGo)
+
+	// ---- Stage WB: write-back enable. ----
+	b.stage = cpu.StageWB
+	wrWB := b.add(cell.DFF, "wrRd_wb", decFF["dec_wrRd"])
+	stallN := b.add(cell.INV, "nstall_wb", c.Stall)
+	wbEn := b.add(cell.AND2, "wbEn", wrWB, stallN)
+	b.add(cell.DFF, "wbEn_ff", wbEn)
+
+	Place(n)
+	return c
+}
+
+// AdderNet is a 32-bit ripple-carry adder netlist. Its sum flip-flops are
+// data endpoints; the activated carry chain depends on the operands.
+type AdderNet struct {
+	N    *netlist.Netlist
+	A, B [32]netlist.GateID
+	Cin  netlist.GateID
+	Sum  [32]netlist.GateID // DFF endpoints
+	Cout netlist.GateID     // DFF endpoint
+}
+
+// Adder builds the ripple-carry adder.
+func Adder() *AdderNet {
+	n := netlist.New("adder", 1)
+	a := &AdderNet{N: n}
+	b := &builder{n: n}
+	for i := 0; i < 32; i++ {
+		a.A[i] = b.add(cell.INPUT, fmt.Sprintf("a%d", i))
+		a.B[i] = b.add(cell.INPUT, fmt.Sprintf("b%d", i))
+	}
+	a.Cin = b.add(cell.INPUT, "cin")
+	carry := a.Cin
+	for i := 0; i < 32; i++ {
+		p := b.add(cell.XOR2, fmt.Sprintf("p%d", i), a.A[i], a.B[i])
+		g := b.add(cell.AND2, fmt.Sprintf("g%d", i), a.A[i], a.B[i])
+		s := b.add(cell.XOR2, fmt.Sprintf("s%d", i), p, carry)
+		pc := b.add(cell.AND2, fmt.Sprintf("pc%d", i), p, carry)
+		carry = b.add(cell.OR2, fmt.Sprintf("c%d", i), g, pc)
+		ff := b.add(cell.DFF, fmt.Sprintf("sum%d", i), s)
+		n.MarkData(ff)
+		a.Sum[i] = ff
+	}
+	cff := b.add(cell.DFF, "cout", carry)
+	n.MarkData(cff)
+	a.Cout = cff
+	Place(n)
+	return a
+}
+
+// ShifterNet is a 32-bit logarithmic right barrel shifter (zero fill).
+type ShifterNet struct {
+	N   *netlist.Netlist
+	In  [32]netlist.GateID
+	Amt [5]netlist.GateID
+	Out [32]netlist.GateID // DFF endpoints
+}
+
+// Shifter builds the barrel shifter.
+func Shifter() *ShifterNet {
+	n := netlist.New("shifter", 1)
+	s := &ShifterNet{N: n}
+	b := &builder{n: n}
+	for i := 0; i < 32; i++ {
+		s.In[i] = b.add(cell.INPUT, fmt.Sprintf("in%d", i))
+	}
+	for i := 0; i < 5; i++ {
+		s.Amt[i] = b.add(cell.INPUT, fmt.Sprintf("amt%d", i))
+	}
+	zero := b.add(cell.CONST0, "zero")
+	cur := s.In[:]
+	for layer := 0; layer < 5; layer++ {
+		shift := 1 << uint(layer)
+		next := make([]netlist.GateID, 32)
+		for i := 0; i < 32; i++ {
+			from := zero
+			if i+shift < 32 {
+				from = cur[i+shift]
+			}
+			next[i] = b.add(cell.MUX2, fmt.Sprintf("m%d_%d", layer, i), cur[i], from, s.Amt[layer])
+		}
+		cur = next
+	}
+	for i := 0; i < 32; i++ {
+		ff := b.add(cell.DFF, fmt.Sprintf("out%d", i), cur[i])
+		n.MarkData(ff)
+		s.Out[i] = ff
+	}
+	Place(n)
+	return s
+}
+
+// LogicNet is a 32-bit logic unit computing AND/OR/XOR selected by 2 bits.
+type LogicNet struct {
+	N    *netlist.Netlist
+	A, B [32]netlist.GateID
+	Sel  [2]netlist.GateID // 00=and 01=or 1x=xor
+	Out  [32]netlist.GateID
+}
+
+// Logic builds the logic unit.
+func Logic() *LogicNet {
+	n := netlist.New("logic", 1)
+	l := &LogicNet{N: n}
+	b := &builder{n: n}
+	for i := 0; i < 32; i++ {
+		l.A[i] = b.add(cell.INPUT, fmt.Sprintf("a%d", i))
+		l.B[i] = b.add(cell.INPUT, fmt.Sprintf("b%d", i))
+	}
+	l.Sel[0] = b.add(cell.INPUT, "sel0")
+	l.Sel[1] = b.add(cell.INPUT, "sel1")
+	for i := 0; i < 32; i++ {
+		and := b.add(cell.AND2, fmt.Sprintf("and%d", i), l.A[i], l.B[i])
+		or := b.add(cell.OR2, fmt.Sprintf("or%d", i), l.A[i], l.B[i])
+		xor := b.add(cell.XOR2, fmt.Sprintf("xor%d", i), l.A[i], l.B[i])
+		m0 := b.add(cell.MUX2, fmt.Sprintf("m0_%d", i), and, or, l.Sel[0])
+		m1 := b.add(cell.MUX2, fmt.Sprintf("m1_%d", i), m0, xor, l.Sel[1])
+		ff := b.add(cell.DFF, fmt.Sprintf("out%d", i), m1)
+		n.MarkData(ff)
+		l.Out[i] = ff
+	}
+	Place(n)
+	return l
+}
+
+// Place assigns die coordinates: gates are laid out in per-stage columns
+// with a deterministic pseudo-random vertical spread, so the spatial
+// variation model sees realistic proximity (same-stage gates correlate more).
+func Place(n *netlist.Netlist) {
+	stages := n.Stages
+	if stages < 1 {
+		stages = 1
+	}
+	for i := range n.Gates() {
+		g := &n.Gates()[i]
+		h := hashName(g.Name)
+		colW := 1.0 / float64(stages)
+		x := (float64(g.Stage) + 0.15 + 0.7*float64(h&0xFFFF)/65536.0) * colW
+		y := float64((h>>16)&0xFFFF) / 65536.0
+		n.SetPlacement(netlist.GateID(i), x, y)
+	}
+}
+
+func hashName(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// CalibrateScale returns the delay scale that places the given percentile of
+// the design's statistical maximum delay at targetPeriodPs. Because delays
+// are linear in the scale, a single measurement at scale 1 suffices.
+func CalibrateScale(nets []*netlist.Netlist, model *variation.Model, sigmaRel, targetPeriodPs, percentile float64, kPaths int) (float64, error) {
+	worst := 0.0
+	for _, n := range nets {
+		e, err := sta.NewEngine(n, model, targetPeriodPs, sigmaRel, 1)
+		if err != nil {
+			return 0, err
+		}
+		if d := e.MaxDelayPercentile(percentile, kPaths); d > worst {
+			worst = d
+		}
+	}
+	if worst <= 0 {
+		return 0, fmt.Errorf("gen: calibration found no paths")
+	}
+	return targetPeriodPs / worst, nil
+}

@@ -1,0 +1,290 @@
+package gen
+
+import (
+	"testing"
+
+	"tsperr/internal/activity"
+	"tsperr/internal/cell"
+	"tsperr/internal/cpu"
+	"tsperr/internal/isa"
+	"tsperr/internal/netlist"
+	"tsperr/internal/sta"
+	"tsperr/internal/variation"
+)
+
+func TestControlValidatesAndHasEndpoints(t *testing.T) {
+	c := Control()
+	if err := c.N.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := 0; s < cpu.NumStages; s++ {
+		eps := c.N.Endpoints(s)
+		if len(eps) == 0 {
+			t.Errorf("stage %d has no endpoints", s)
+		}
+		total += len(eps)
+		for _, ep := range eps {
+			if c.N.Gate(ep).Data {
+				t.Errorf("control network endpoint %q marked as data", c.N.Gate(ep).Name)
+			}
+		}
+	}
+	if total < 60 {
+		t.Errorf("control network suspiciously small: %d endpoints", total)
+	}
+	if c.N.NumGates() < 400 {
+		t.Errorf("control network has only %d gates", c.N.NumGates())
+	}
+}
+
+// setWord drives 32 input gates with the bits of w.
+func setWord(in map[netlist.GateID]bool, gates [32]netlist.GateID, w uint32) {
+	for i := 0; i < 32; i++ {
+		in[gates[i]] = (w>>uint(i))&1 == 1
+	}
+}
+
+func findGate(n *netlist.Netlist, name string) netlist.GateID {
+	for i := range n.Gates() {
+		if n.Gates()[i].Name == name {
+			return netlist.GateID(i)
+		}
+	}
+	panic("gate not found: " + name)
+}
+
+func TestControlDecodeLogic(t *testing.T) {
+	c := Control()
+	sim, err := activity.NewSimulator(c.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addWord := isa.Inst{Op: isa.OpAdd, Rd: 3, Rs1: 1, Rs2: 2}.Encode()
+	lwWord := isa.Inst{Op: isa.OpLw, Rd: 4, Rs1: 3, Imm: 8}.Encode()
+
+	in := map[netlist.GateID]bool{}
+	setWord(in, c.Instr, addWord)
+	sim.Cycle(in) // cycle 1: add enters IR inputs
+	sim.Cycle(in) // cycle 2: IR holds add, decode settles
+
+	isRFF := findGate(c.N, "dec_isR_ff")
+	isLdFF := findGate(c.N, "dec_isLd_ff")
+	// The decoded value is at the FF's D pin now; after one more edge it is
+	// captured. Check the combinational decode directly via the FF's fanin.
+	dR := c.N.Gate(isRFF).Fanin[0]
+	dLd := c.N.Gate(isLdFF).Fanin[0]
+	if !sim.Value(dR) {
+		t.Error("add should decode as R-type")
+	}
+	if sim.Value(dLd) {
+		t.Error("add should not decode as load")
+	}
+
+	setWord(in, c.Instr, lwWord)
+	sim.Cycle(in)
+	sim.Cycle(in)
+	if sim.Value(dR) {
+		t.Error("lw should not decode as R-type")
+	}
+	if !sim.Value(dLd) {
+		t.Error("lw should decode as load")
+	}
+}
+
+func TestControlActivityDependsOnInstructionSequence(t *testing.T) {
+	c := Control()
+	sim, _ := activity.NewSimulator(c.N)
+	in := map[netlist.GateID]bool{}
+	// Alternate two very different instructions: lots of decode activity.
+	w1 := isa.Inst{Op: isa.OpAdd, Rd: 3, Rs1: 1, Rs2: 2}.Encode()
+	w2 := isa.Inst{Op: isa.OpBeq, Rs1: 7, Rs2: 9, Imm: -4}.Encode()
+	busy := 0
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			setWord(in, c.Instr, w1)
+		} else {
+			setWord(in, c.Instr, w2)
+		}
+		busy += sim.Cycle(in).Count()
+	}
+	sim.Reset()
+	// Repeat one instruction: after warmup little should toggle.
+	quiet := 0
+	setWord(in, c.Instr, w1)
+	for i := 0; i < 10; i++ {
+		s := sim.Cycle(in)
+		if i >= 3 {
+			quiet += s.Count()
+		}
+	}
+	if quiet*3 >= busy {
+		t.Errorf("steady instruction stream should activate far fewer gates: busy=%d quiet=%d", busy, quiet)
+	}
+}
+
+func TestAdderFunctional(t *testing.T) {
+	ad := Adder()
+	if err := ad.N.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := activity.NewSimulator(ad.N)
+	cases := []struct{ a, b uint32 }{
+		{0, 0}, {1, 1}, {0xFFFFFFFF, 1}, {12345, 67890}, {0x80000000, 0x80000000},
+	}
+	for _, tc := range cases {
+		in := map[netlist.GateID]bool{}
+		setWord(in, ad.A, tc.a)
+		setWord(in, ad.B, tc.b)
+		sim.Cycle(in)
+		var got uint32
+		for i := 0; i < 32; i++ {
+			if sim.Value(ad.N.Gate(ad.Sum[i]).Fanin[0]) {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != tc.a+tc.b {
+			t.Errorf("adder(%x,%x) = %x, want %x", tc.a, tc.b, got, tc.a+tc.b)
+		}
+	}
+}
+
+func TestAdderActivationTracksCarryChain(t *testing.T) {
+	ad := Adder()
+	sim, _ := activity.NewSimulator(ad.N)
+	in := map[netlist.GateID]bool{}
+	setWord(in, ad.A, 0)
+	setWord(in, ad.B, 0)
+	sim.Cycle(in)
+	sim.Cycle(in)
+	// Short carry: 1+1 toggles only the low bits.
+	setWord(in, ad.A, 1)
+	setWord(in, ad.B, 1)
+	short := sim.Cycle(in).Count()
+	// Reset to zero, settle, then a full-length carry chain.
+	setWord(in, ad.A, 0)
+	setWord(in, ad.B, 0)
+	sim.Cycle(in)
+	setWord(in, ad.A, 0xFFFFFFFF)
+	setWord(in, ad.B, 1)
+	long := sim.Cycle(in).Count()
+	if long <= short {
+		t.Errorf("long carry chain should activate more gates: short=%d long=%d", short, long)
+	}
+}
+
+func TestShifterFunctional(t *testing.T) {
+	sh := Shifter()
+	if err := sh.N.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := activity.NewSimulator(sh.N)
+	cases := []struct {
+		v   uint32
+		amt uint32
+	}{
+		{0xDEADBEEF, 0}, {0xDEADBEEF, 1}, {0xDEADBEEF, 13}, {0xDEADBEEF, 31},
+	}
+	for _, tc := range cases {
+		in := map[netlist.GateID]bool{}
+		setWord(in, sh.In, tc.v)
+		for i := 0; i < 5; i++ {
+			in[sh.Amt[i]] = (tc.amt>>uint(i))&1 == 1
+		}
+		sim.Cycle(in)
+		var got uint32
+		for i := 0; i < 32; i++ {
+			if sim.Value(sh.N.Gate(sh.Out[i]).Fanin[0]) {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != tc.v>>tc.amt {
+			t.Errorf("shift(%x,%d) = %x, want %x", tc.v, tc.amt, got, tc.v>>tc.amt)
+		}
+	}
+}
+
+func TestLogicFunctional(t *testing.T) {
+	l := Logic()
+	sim, _ := activity.NewSimulator(l.N)
+	a, b := uint32(0xF0F0A5A5), uint32(0x0FF0FFFF)
+	for sel, want := range map[uint32]uint32{0: a & b, 1: a | b, 2: a ^ b, 3: a ^ b} {
+		in := map[netlist.GateID]bool{}
+		setWord(in, l.A, a)
+		setWord(in, l.B, b)
+		in[l.Sel[0]] = sel&1 == 1
+		in[l.Sel[1]] = sel&2 == 2
+		sim.Cycle(in)
+		var got uint32
+		for i := 0; i < 32; i++ {
+			if sim.Value(l.N.Gate(l.Out[i]).Fanin[0]) {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != want {
+			t.Errorf("logic sel=%d = %x, want %x", sel, got, want)
+		}
+	}
+}
+
+func TestDataEndpointsMarked(t *testing.T) {
+	ad := Adder()
+	data := ad.N.DataEndpoints(0)
+	if len(data) != 33 { // 32 sum + carry out
+		t.Errorf("adder data endpoints = %d, want 33", len(data))
+	}
+	if len(ad.N.ControlEndpoints(0)) != 0 {
+		t.Error("adder should have no control endpoints")
+	}
+}
+
+func TestPlacementWithinDie(t *testing.T) {
+	c := Control()
+	for i := range c.N.Gates() {
+		g := &c.N.Gates()[i]
+		if g.X < 0 || g.X >= 1 || g.Y < 0 || g.Y >= 1 {
+			t.Fatalf("gate %q placed at (%v,%v) outside the die", g.Name, g.X, g.Y)
+		}
+	}
+	// Same-stage gates should occupy the same column band.
+	g0 := c.N.Gates()[0]
+	for i := range c.N.Gates() {
+		g := &c.N.Gates()[i]
+		if g.Stage == g0.Stage {
+			continue
+		}
+	}
+}
+
+func TestCalibrateScale(t *testing.T) {
+	model, err := variation.NewModel(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := Adder()
+	target := 1392.8 // period of 718 MHz in ps
+	scale, err := CalibrateScale([]*netlist.Netlist{ad.N}, model, cell.SigmaRel, target, 0.99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale <= 0 {
+		t.Fatalf("scale = %v", scale)
+	}
+	e, err := sta.NewEngine(ad.N, model, target, cell.SigmaRel, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.MaxDelayPercentile(0.99, 4)
+	if got < target*0.98 || got > target*1.02 {
+		t.Errorf("calibrated p99 max delay = %v, want ~%v", got, target)
+	}
+}
+
+func TestCalibrateScaleEmpty(t *testing.T) {
+	model, _ := variation.NewModel(1, 0.5)
+	n := netlist.New("empty", 1)
+	n.Add(cell.INPUT, "a", 0)
+	if _, err := CalibrateScale([]*netlist.Netlist{n}, model, 0.05, 1000, 0.99, 4); err == nil {
+		t.Error("expected error for netlist without paths")
+	}
+}

@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"fmt"
+
+	"tsperr/internal/cell"
+	"tsperr/internal/netlist"
+)
+
+// MultiplierNet is a 16x16 array multiplier producing the low 16 product
+// bits (the paper's integer unit truncates the multiplier's critical
+// low-half array in the EX stage; the high half completes a stage later and
+// is not timing-critical here). Partial products are ANDed and reduced with
+// ripple carry-save rows of full adders, so the activated depth grows with
+// the magnitude of the smaller operand — exactly the feature the simulator
+// extracts for mul instructions.
+type MultiplierNet struct {
+	N    *netlist.Netlist
+	A, B [16]netlist.GateID
+	P    [16]netlist.GateID // DFF endpoints, low product bits
+}
+
+// fullAdder builds sum and carry for (a, b, cin).
+func fullAdder(b *builder, name string, a, bb, cin netlist.GateID) (sum, carry netlist.GateID) {
+	p := b.add(cell.XOR2, name+"_p", a, bb)
+	sum = b.add(cell.XOR2, name+"_s", p, cin)
+	g1 := b.add(cell.AND2, name+"_g1", a, bb)
+	g2 := b.add(cell.AND2, name+"_g2", p, cin)
+	carry = b.add(cell.OR2, name+"_c", g1, g2)
+	return sum, carry
+}
+
+// Multiplier builds the array multiplier.
+func Multiplier() *MultiplierNet {
+	n := netlist.New("multiplier", 1)
+	m := &MultiplierNet{N: n}
+	b := &builder{n: n}
+	for i := 0; i < 16; i++ {
+		m.A[i] = b.add(cell.INPUT, fmt.Sprintf("a%d", i))
+		m.B[i] = b.add(cell.INPUT, fmt.Sprintf("b%d", i))
+	}
+	zero := b.add(cell.CONST0, "zero")
+
+	// Row 0: partial product of b0.
+	acc := make([]netlist.GateID, 16)
+	for i := 0; i < 16; i++ {
+		acc[i] = b.add(cell.AND2, fmt.Sprintf("pp0_%d", i), m.A[i], m.B[0])
+	}
+	// Rows 1..15: shift-add with ripple carry within each row (only bits
+	// below 16 matter for the low product).
+	for r := 1; r < 16; r++ {
+		carry := zero
+		next := make([]netlist.GateID, 16)
+		copy(next, acc[:r]) // bits below the row's shift are finalized
+		for i := r; i < 16; i++ {
+			pp := b.add(cell.AND2, fmt.Sprintf("pp%d_%d", r, i), m.A[i-r], m.B[r])
+			s, c := fullAdder(b, fmt.Sprintf("fa%d_%d", r, i), acc[i], pp, carry)
+			next[i] = s
+			carry = c
+		}
+		acc = next
+	}
+	for i := 0; i < 16; i++ {
+		ff := b.add(cell.DFF, fmt.Sprintf("p%d", i), acc[i])
+		n.MarkData(ff)
+		m.P[i] = ff
+	}
+	Place(n)
+	return m
+}

@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tsperr/internal/activity"
+	"tsperr/internal/netlist"
+)
+
+func mulOut(t *testing.T, sim *activity.Simulator, m *MultiplierNet, a, b uint32) uint32 {
+	t.Helper()
+	in := map[netlist.GateID]bool{}
+	for i := 0; i < 16; i++ {
+		in[m.A[i]] = (a>>uint(i))&1 == 1
+		in[m.B[i]] = (b>>uint(i))&1 == 1
+	}
+	sim.Cycle(in)
+	var got uint32
+	for i := 0; i < 16; i++ {
+		if sim.Value(m.N.Gate(m.P[i]).Fanin[0]) {
+			got |= 1 << uint(i)
+		}
+	}
+	return got
+}
+
+func TestMultiplierFunctional(t *testing.T) {
+	m := Multiplier()
+	if err := m.N.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := activity.NewSimulator(m.N)
+	cases := [][2]uint32{
+		{0, 0}, {1, 1}, {3, 5}, {255, 255}, {0xFFFF, 0xFFFF},
+		{12345, 2}, {0x8000, 2}, {100, 100},
+	}
+	for _, c := range cases {
+		want := (c[0] * c[1]) & 0xFFFF
+		if got := mulOut(t, sim, m, c[0], c[1]); got != want {
+			t.Errorf("mul(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestMultiplierProperty(t *testing.T) {
+	m := Multiplier()
+	sim, _ := activity.NewSimulator(m.N)
+	f := func(a, b uint16) bool {
+		return mulOut(t, sim, m, uint32(a), uint32(b)) == uint32(a)*uint32(b)&0xFFFF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplierActivationGrowsWithMagnitude(t *testing.T) {
+	m := Multiplier()
+	sim, _ := activity.NewSimulator(m.N)
+	quiet := func() {
+		in := map[netlist.GateID]bool{}
+		sim.Cycle(in)
+		sim.Cycle(in)
+	}
+	quiet()
+	in := map[netlist.GateID]bool{}
+	for i := 0; i < 16; i++ {
+		in[m.A[i]] = (uint32(3)>>uint(i))&1 == 1
+		in[m.B[i]] = i == 0
+	}
+	small := sim.Cycle(in).Count()
+	quiet()
+	for i := 0; i < 16; i++ {
+		in[m.A[i]] = true
+		in[m.B[i]] = true
+	}
+	large := sim.Cycle(in).Count()
+	if large <= small*2 {
+		t.Errorf("large operands should activate far more of the array: %d vs %d", large, small)
+	}
+}

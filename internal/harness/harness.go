@@ -1,0 +1,125 @@
+// Package harness wires the framework to the Table 2 benchmarks and formats
+// the paper's tables and figures. The commands under cmd/ and the repository
+// benchmarks are thin wrappers over this package.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"tsperr/internal/core"
+	"tsperr/internal/cpu"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/mibench"
+)
+
+// DefaultScenarios is the number of input datasets per benchmark; their
+// spread is the data-variation axis of Figure 3.
+const DefaultScenarios = 8
+
+var (
+	fwOnce sync.Once
+	fw     *core.Framework
+	fwErr  error
+)
+
+// SharedFramework builds (once) the calibrated machine and trained datapath
+// model shared by all benchmarks — the machine-dependent "training" the
+// paper performs once per design.
+func SharedFramework() (*core.Framework, error) {
+	fwOnce.Do(func() {
+		fw, fwErr = core.NewFramework(errormodel.DefaultOptions())
+	})
+	return fw, fwErr
+}
+
+// SpecFor converts a benchmark into an analyzable program spec.
+func SpecFor(b mibench.Benchmark, scenarios int) core.ProgramSpec {
+	if scenarios <= 0 {
+		scenarios = DefaultScenarios
+	}
+	return core.ProgramSpec{
+		Prog:         b.Prog,
+		Setup:        b.Setup,
+		Scenarios:    scenarios,
+		ScaleToInsts: b.ScaleTo,
+	}
+}
+
+// Analyze runs the full framework on one named benchmark.
+func Analyze(name string, scenarios int) (*core.Report, error) {
+	b, err := mibench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := SharedFramework()
+	if err != nil {
+		return nil, err
+	}
+	return f.Analyze(b.Name, SpecFor(b, scenarios))
+}
+
+// Table2Header returns the header of the Table 2 reproduction.
+func Table2Header() string {
+	return fmt.Sprintf("%-13s %15s %7s %10s %10s %8s %8s %8s %8s",
+		"Benchmark", "Instructions", "Blocks", "Train(s)", "Sim(s)",
+		"Mean(%)", "SD(%)", "dK(l)", "dK(R)")
+}
+
+// Table2Row formats one report as a Table 2 row.
+func Table2Row(rep *core.Report) string {
+	e := rep.Estimate
+	return fmt.Sprintf("%-13s %15d %7d %10.2f %10.2f %8.3f %8.3f %8.3f %8.3f",
+		rep.Name, rep.Instructions, rep.BasicBlocks,
+		rep.Training.Seconds(), rep.Simulation.Seconds(),
+		100*e.MeanErrorRate(), 100*e.StdErrorRate(),
+		e.DKLambda, e.DKCount)
+}
+
+// Figure3Point is one sample of a benchmark's error-rate CDF curve with its
+// Section 6.4 bounds and the performance-improvement top-axis label.
+type Figure3Point struct {
+	RatePct        float64
+	CDF, Lo, Hi    float64
+	ImprovementPct float64
+}
+
+// Figure3Series samples the CDF over [0, maxRatePct] with the given number
+// of points.
+func Figure3Series(rep *core.Report, pm cpu.PerfModel, maxRatePct float64, points int) []Figure3Point {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]Figure3Point, points)
+	for i := range out {
+		pct := maxRatePct * float64(i) / float64(points-1)
+		rate := pct / 100
+		c := rep.Estimate.ErrorRateCDF(rate)
+		lo, hi := rep.Estimate.ErrorRateCDFBounds(rate)
+		out[i] = Figure3Point{
+			RatePct:        pct,
+			CDF:            c,
+			Lo:             lo,
+			Hi:             hi,
+			ImprovementPct: pm.ImprovementPct(rate),
+		}
+	}
+	return out
+}
+
+// RenderFigure3 renders a benchmark's CDF curve as text (estimate with
+// bracketing bounds), the textual stand-in for one panel of Figure 3.
+func RenderFigure3(rep *core.Report, pm cpu.PerfModel, maxRatePct float64, points int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (mean %.3f%%, sd %.3f%%)\n", rep.Name,
+		100*rep.Estimate.MeanErrorRate(), 100*rep.Estimate.StdErrorRate())
+	fmt.Fprintf(&sb, "%10s %10s %8s %8s %8s  %s\n",
+		"rate(%)", "perf(%)", "lower", "cdf", "upper", "")
+	for _, p := range Figure3Series(rep, pm, maxRatePct, points) {
+		bar := strings.Repeat("#", int(p.CDF*40+0.5))
+		fmt.Fprintf(&sb, "%10.3f %10.2f %8.3f %8.3f %8.3f  |%s\n",
+			p.RatePct, p.ImprovementPct, p.Lo, p.CDF, p.Hi, bar)
+	}
+	return sb.String()
+}

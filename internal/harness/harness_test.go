@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"tsperr/internal/mibench"
+)
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full framework run")
+	}
+	rep, err := Analyze("patricia", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "patricia" {
+		t.Errorf("name = %q", rep.Name)
+	}
+	e := rep.Estimate
+	if e.MeanErrorRate() <= 0 || e.MeanErrorRate() > 0.05 {
+		t.Errorf("mean error rate implausible: %v", e.MeanErrorRate())
+	}
+	if e.LambdaMean <= 0 {
+		t.Error("lambda must be positive")
+	}
+	// The scaled instruction count should be near the paper's target.
+	b, _ := mibench.ByName("patricia")
+	if rep.Instructions < b.ScaleTo/2 || rep.Instructions > b.ScaleTo {
+		t.Errorf("instructions = %d, target %d", rep.Instructions, b.ScaleTo)
+	}
+}
+
+func TestAnalyzeUnknown(t *testing.T) {
+	if _, err := Analyze("nonesuch", 2); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestTable2Formatting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full framework run")
+	}
+	rep, err := Analyze("patricia", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := Table2Header()
+	row := Table2Row(rep)
+	for _, col := range []string{"Benchmark", "Instructions", "dK"} {
+		if !strings.Contains(head, col) {
+			t.Errorf("header missing %q", col)
+		}
+	}
+	if !strings.Contains(row, "patricia") {
+		t.Errorf("row missing name: %q", row)
+	}
+}
+
+func TestFigure3SeriesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full framework run")
+	}
+	f, err := SharedFramework()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze("patricia", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Figure3Series(rep, f.PerfModel(), 1.6, 17)
+	if len(pts) != 17 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].RatePct != 0 || pts[len(pts)-1].RatePct != 1.6 {
+		t.Error("axis endpoints wrong")
+	}
+	for i, p := range pts {
+		if p.Lo > p.CDF || p.CDF > p.Hi {
+			t.Fatalf("bounds do not bracket at %d", i)
+		}
+		if i > 0 {
+			if p.CDF < pts[i-1].CDF-1e-9 {
+				t.Fatal("CDF not monotone")
+			}
+			if p.ImprovementPct > pts[i-1].ImprovementPct {
+				t.Fatal("performance should fall as error rate rises")
+			}
+		}
+	}
+	text := RenderFigure3(rep, f.PerfModel(), 1.6, 5)
+	if !strings.Contains(text, "patricia") || !strings.Contains(text, "rate(%)") {
+		t.Errorf("render missing content:\n%s", text)
+	}
+}
+
+func TestSpecForDefaults(t *testing.T) {
+	b, err := mibench.ByName("bitcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SpecFor(b, 0)
+	if spec.Scenarios != DefaultScenarios {
+		t.Errorf("scenarios = %d", spec.Scenarios)
+	}
+	if spec.ScaleToInsts != b.ScaleTo || spec.Prog != b.Prog {
+		t.Error("spec fields wrong")
+	}
+}

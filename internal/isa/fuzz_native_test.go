@@ -1,0 +1,31 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble is a native fuzz target: the assembler must never panic, and
+// any program it accepts must disassemble without panicking either.
+// Run with: go test -fuzz FuzzAssemble ./internal/isa
+func FuzzAssemble(f *testing.F) {
+	f.Add("li r1, 5\nhalt\n")
+	f.Add("loop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n")
+	f.Add("lw r1, 8(r2)\nsw r1, (r3)\n")
+	f.Add("x: y: nop")
+	f.Add("jal r31, nowhere")
+	f.Add("add r1, r2")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "fuzz") {
+				t.Errorf("error does not carry the program name: %v", err)
+			}
+			return
+		}
+		for _, in := range p.Insts {
+			_ = in.String()
+			_ = in.Encode()
+		}
+	})
+}

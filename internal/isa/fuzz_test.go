@@ -1,0 +1,64 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tsperr/internal/numeric"
+)
+
+// TestAssembleNeverPanics feeds random garbage to the assembler: it must
+// return an error or a program, never panic.
+func TestAssembleNeverPanics(t *testing.T) {
+	rng := numeric.NewRNG(123)
+	alphabet := "abcdefghijklmnopqrstuvwxyz0123456789 ,()-#:;\tr\n"
+	f := func(seed uint32) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		n := int(seed%200) + 1
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		_, _ = Assemble("fuzz", sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAssembleMutatedValidSources mutates a valid program and checks the
+// assembler either accepts the result or reports a located error.
+func TestAssembleMutatedValidSources(t *testing.T) {
+	base := `
+	li r1, 10
+loop:
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+`
+	rng := numeric.NewRNG(7)
+	for i := 0; i < 300; i++ {
+		b := []byte(base)
+		pos := rng.Intn(len(b))
+		b[pos] = byte(33 + rng.Intn(90))
+		_, err := Assemble("mut", string(b))
+		if err != nil && !strings.Contains(err.Error(), "mut:") {
+			t.Fatalf("error without location: %v", err)
+		}
+	}
+}
+
+// TestEncodeTotal ensures Encode is total over all op/field combinations.
+func TestEncodeTotal(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		in := Inst{Op: op, Rd: 31, Rs1: 31, Rs2: 31, Imm: -1}
+		_ = in.Encode()
+		_ = in.String()
+	}
+}

@@ -1,0 +1,487 @@
+// Package isa defines TS-V8, the small SPARC-V8-flavoured in-order RISC
+// instruction set the benchmark kernels are written in: 32 general-purpose
+// registers (r0 hardwired to zero), 32-bit words, ALU/shift/compare
+// operations with register and immediate forms, loads/stores, conditional
+// branches, and jumps. It provides a two-pass assembler, a disassembler, and
+// the 32-bit binary encoding whose bits feed the decoder netlist.
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op enumerates the operations.
+type Op uint8
+
+// Operations. Keep OpNop first so the zero Inst is a nop.
+const (
+	OpNop Op = iota
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpMul
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLui
+	OpLw
+	OpSw
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpJal
+	OpJr
+	OpHalt
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"nop", "add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt",
+	"mul", "addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti",
+	"lui", "lw", "sw", "beq", "bne", "blt", "bge", "jal", "jr", "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Format classes.
+
+// IsRType reports register-register ALU form.
+func (o Op) IsRType() bool { return o >= OpAdd && o <= OpMul }
+
+// IsIType reports register-immediate ALU form (including lui).
+func (o Op) IsIType() bool { return o >= OpAddi && o <= OpLui }
+
+// IsLoad reports a memory load.
+func (o Op) IsLoad() bool { return o == OpLw }
+
+// IsStore reports a memory store.
+func (o Op) IsStore() bool { return o == OpSw }
+
+// IsMem reports any memory operation.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// IsBranch reports a conditional branch.
+func (o Op) IsBranch() bool { return o >= OpBeq && o <= OpBge }
+
+// IsJump reports an unconditional control transfer.
+func (o Op) IsJump() bool { return o == OpJal || o == OpJr }
+
+// IsControl reports any control-flow instruction.
+func (o Op) IsControl() bool { return o.IsBranch() || o.IsJump() || o == OpHalt }
+
+// Inst is one decoded instruction. Branch and jump targets are resolved to
+// absolute instruction indices by the assembler.
+type Inst struct {
+	Op           Op
+	Rd, Rs1, Rs2 uint8
+	Imm          int32
+	Target       int    // resolved control-flow target (instruction index)
+	Label        string // original label text, kept for disassembly
+}
+
+// ReadsRs2 reports whether the instruction consumes Rs2.
+func (in Inst) ReadsRs2() bool {
+	return in.Op.IsRType() || in.Op.IsBranch() || in.Op == OpSw
+}
+
+// ReadsRs1 reports whether the instruction consumes Rs1.
+func (in Inst) ReadsRs1() bool {
+	switch in.Op {
+	case OpNop, OpHalt, OpLui, OpJal:
+		return false
+	}
+	return true
+}
+
+// WritesRd reports whether the instruction produces a register result.
+func (in Inst) WritesRd() bool {
+	switch {
+	case in.Op.IsRType(), in.Op.IsIType(), in.Op == OpLw, in.Op == OpJal:
+		return in.Rd != 0
+	}
+	return false
+}
+
+// Encode packs the instruction into its 32-bit machine form:
+// opcode[31:26] rd[25:21] rs1[20:16] rs2[15:11] | imm16[15:0].
+// Branch/jump targets are encoded as their low 16 bits; the simulator uses
+// the resolved Target field, while the decoder netlist only cares about the
+// bit pattern.
+func (in Inst) Encode() uint32 {
+	w := uint32(in.Op) << 26
+	w |= uint32(in.Rd&31) << 21
+	w |= uint32(in.Rs1&31) << 16
+	if in.Op.IsRType() {
+		w |= uint32(in.Rs2&31) << 11
+	} else if in.Op.IsBranch() || in.Op == OpSw {
+		w |= uint32(in.Rs2&31) << 11
+		w |= uint32(uint16(in.Imm)) & 0x7FF // truncated displacement
+	} else {
+		w |= uint32(uint16(in.Imm))
+	}
+	return w
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch {
+	case in.Op == OpNop || in.Op == OpHalt:
+		return in.Op.String()
+	case in.Op.IsRType():
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case in.Op == OpLui:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case in.Op.IsIType():
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case in.Op == OpLw:
+		return fmt.Sprintf("lw r%d, %d(r%d)", in.Rd, in.Imm, in.Rs1)
+	case in.Op == OpSw:
+		return fmt.Sprintf("sw r%d, %d(r%d)", in.Rs2, in.Imm, in.Rs1)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s r%d, r%d, %s", in.Op, in.Rs1, in.Rs2, in.targetStr())
+	case in.Op == OpJal:
+		return fmt.Sprintf("jal r%d, %s", in.Rd, in.targetStr())
+	case in.Op == OpJr:
+		return fmt.Sprintf("jr r%d", in.Rs1)
+	}
+	return in.Op.String()
+}
+
+func (in Inst) targetStr() string {
+	if in.Label != "" {
+		return in.Label
+	}
+	return strconv.Itoa(in.Target)
+}
+
+// Program is an assembled program.
+type Program struct {
+	Name   string
+	Insts  []Inst
+	Labels map[string]int
+}
+
+// Assemble parses TS-V8 assembly source. Lines contain an optional
+// "label:" prefix, an instruction, and optional "#" or ";" comments.
+// "li rd, imm32" is accepted as a pseudo-instruction and expands to
+// lui+ori when the value does not fit in 16 signed bits.
+func Assemble(name, src string) (*Program, error) {
+	p := &Program{Name: name, Labels: map[string]int{}}
+	type pending struct {
+		inst  int
+		label string
+		line  int
+	}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t,()") {
+				return nil, fmt.Errorf("%s:%d: malformed label %q", name, lineNo+1, label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate label %q", name, lineNo+1, label)
+			}
+			p.Labels[label] = len(p.Insts)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		insts, fix, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", name, lineNo+1, err)
+		}
+		for _, in := range insts {
+			if fix != "" && in.Op.IsControl() && in.Op != OpJr && in.Op != OpHalt {
+				fixups = append(fixups, pending{inst: len(p.Insts), label: fix, line: lineNo + 1})
+			}
+			p.Insts = append(p.Insts, in)
+		}
+	}
+	for _, f := range fixups {
+		target, ok := p.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: undefined label %q", name, f.line, f.label)
+		}
+		p.Insts[f.inst].Target = target
+		p.Insts[f.inst].Label = f.label
+	}
+	if len(p.Insts) == 0 {
+		return nil, fmt.Errorf("%s: empty program", name)
+	}
+	return p, nil
+}
+
+// MustAssemble assembles or panics; intended for compiled-in kernels that are
+// covered by tests.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseReg(tok string) (uint8, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) < 2 || (tok[0] != 'r' && tok[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	v, err := strconv.Atoi(tok[1:])
+	if err != nil || v < 0 || v > 31 {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return uint8(v), nil
+}
+
+func parseImm(tok string) (int32, error) {
+	tok = strings.TrimSpace(tok)
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	if v < -(1<<31) || v > (1<<31)-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", tok)
+	}
+	return int32(v), nil
+}
+
+// parseInst returns the expanded instructions, plus a label fixup if the
+// instruction references one.
+func parseInst(line string) ([]Inst, string, error) {
+	fields := strings.SplitN(line, " ", 2)
+	mnemonic := strings.ToLower(strings.TrimSpace(fields[0]))
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	args := []string{}
+	if rest != "" {
+		for _, a := range strings.Split(rest, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	switch mnemonic {
+	case "nop":
+		return []Inst{{Op: OpNop}}, "", nil
+	case "halt":
+		return []Inst{{Op: OpHalt}}, "", nil
+	case "li": // pseudo
+		if err := need(2); err != nil {
+			return nil, "", err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return nil, "", err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return nil, "", err
+		}
+		if imm >= -32768 && imm <= 32767 {
+			return []Inst{{Op: OpAddi, Rd: rd, Rs1: 0, Imm: imm}}, "", nil
+		}
+		hi := imm >> 16
+		lo := imm & 0xFFFF
+		return []Inst{
+			{Op: OpLui, Rd: rd, Imm: hi},
+			{Op: OpOri, Rd: rd, Rs1: rd, Imm: lo},
+		}, "", nil
+	case "mv": // pseudo: mv rd, rs
+		if err := need(2); err != nil {
+			return nil, "", err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return nil, "", err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: OpAdd, Rd: rd, Rs1: rs, Rs2: 0}}, "", nil
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, "", err
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: OpJr, Rs1: rs}}, "", nil
+	case "jal":
+		if err := need(2); err != nil {
+			return nil, "", err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: OpJal, Rd: rd}}, args[1], nil
+	case "j": // pseudo: j label == jal r0, label
+		if err := need(1); err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: OpJal, Rd: 0}}, args[0], nil
+	case "lw":
+		if err := need(2); err != nil {
+			return nil, "", err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return nil, "", err
+		}
+		base, off, err := parseMemOperand(args[1])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: OpLw, Rd: rd, Rs1: base, Imm: off}}, "", nil
+	case "sw":
+		if err := need(2); err != nil {
+			return nil, "", err
+		}
+		rs2, err := parseReg(args[0])
+		if err != nil {
+			return nil, "", err
+		}
+		base, off, err := parseMemOperand(args[1])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: OpSw, Rs2: rs2, Rs1: base, Imm: off}}, "", nil
+	case "lui":
+		if err := need(2); err != nil {
+			return nil, "", err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return nil, "", err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: OpLui, Rd: rd, Imm: imm}}, "", nil
+	}
+
+	// Branches: op rs1, rs2, label.
+	for op := OpBeq; op <= OpBge; op++ {
+		if mnemonic == op.String() {
+			if err := need(3); err != nil {
+				return nil, "", err
+			}
+			rs1, err := parseReg(args[0])
+			if err != nil {
+				return nil, "", err
+			}
+			rs2, err := parseReg(args[1])
+			if err != nil {
+				return nil, "", err
+			}
+			return []Inst{{Op: op, Rs1: rs1, Rs2: rs2}}, args[2], nil
+		}
+	}
+	// R-type: op rd, rs1, rs2.
+	for op := OpAdd; op <= OpMul; op++ {
+		if mnemonic == op.String() {
+			if err := need(3); err != nil {
+				return nil, "", err
+			}
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return nil, "", err
+			}
+			rs1, err := parseReg(args[1])
+			if err != nil {
+				return nil, "", err
+			}
+			rs2, err := parseReg(args[2])
+			if err != nil {
+				return nil, "", err
+			}
+			return []Inst{{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}}, "", nil
+		}
+	}
+	// I-type: op rd, rs1, imm.
+	for op := OpAddi; op <= OpSlti; op++ {
+		if mnemonic == op.String() {
+			if err := need(3); err != nil {
+				return nil, "", err
+			}
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return nil, "", err
+			}
+			rs1, err := parseReg(args[1])
+			if err != nil {
+				return nil, "", err
+			}
+			imm, err := parseImm(args[2])
+			if err != nil {
+				return nil, "", err
+			}
+			return []Inst{{Op: op, Rd: rd, Rs1: rs1, Imm: imm}}, "", nil
+		}
+	}
+	return nil, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+// parseMemOperand parses "off(rBase)".
+func parseMemOperand(s string) (base uint8, off int32, err error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err = parseImm(offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err = parseReg(s[open+1 : close])
+	return base, off, err
+}

@@ -1,0 +1,202 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+		# count down from 5
+		li   r1, 5
+		li   r2, 0
+	loop:
+		add  r2, r2, r1
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`
+	p, err := Assemble("countdown", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 6 {
+		t.Fatalf("expected 6 instructions, got %d", len(p.Insts))
+	}
+	if p.Labels["loop"] != 2 {
+		t.Errorf("loop label at %d", p.Labels["loop"])
+	}
+	br := p.Insts[4]
+	if br.Op != OpBne || br.Target != 2 || br.Label != "loop" {
+		t.Errorf("branch not resolved: %+v", br)
+	}
+}
+
+func TestAssembleLiExpansion(t *testing.T) {
+	p, err := Assemble("li", "li r3, 0x12345678\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 3 {
+		t.Fatalf("wide li should expand to 2 instructions, got %d", len(p.Insts)-1)
+	}
+	if p.Insts[0].Op != OpLui || p.Insts[1].Op != OpOri {
+		t.Errorf("expansion = %v %v", p.Insts[0].Op, p.Insts[1].Op)
+	}
+	if p.Insts[0].Imm != 0x1234 || p.Insts[1].Imm != 0x5678 {
+		t.Errorf("imm split wrong: %x %x", p.Insts[0].Imm, p.Insts[1].Imm)
+	}
+	p2, _ := Assemble("li2", "li r3, -7\nhalt\n")
+	if p2.Insts[0].Op != OpAddi || p2.Insts[0].Imm != -7 {
+		t.Error("narrow li should be a single addi")
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	p, err := Assemble("mem", "lw r1, 8(r2)\nsw r1, (r3)\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := p.Insts[0]
+	if lw.Op != OpLw || lw.Rd != 1 || lw.Rs1 != 2 || lw.Imm != 8 {
+		t.Errorf("lw parsed wrong: %+v", lw)
+	}
+	sw := p.Insts[1]
+	if sw.Op != OpSw || sw.Rs2 != 1 || sw.Rs1 != 3 || sw.Imm != 0 {
+		t.Errorf("sw parsed wrong: %+v", sw)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"add r1, r2",             // wrong arity
+		"add r1, r2, r99",        // bad register
+		"beq r1, r2, none\nhalt", // undefined label
+		"x: x: nop",              // malformed double label on one line
+		"lw r1, r2",              // bad mem operand
+		"",                       // empty program
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	_, err := Assemble("dup", "a:\nnop\na:\nnop\n")
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("expected duplicate label error, got %v", err)
+	}
+}
+
+func TestReadWriteSets(t *testing.T) {
+	cases := []struct {
+		in             Inst
+		rs1, rs2, wrRd bool
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, true, true, true},
+		{Inst{Op: OpAdd, Rd: 0, Rs1: 2, Rs2: 3}, true, true, false}, // r0 sink
+		{Inst{Op: OpAddi, Rd: 1, Rs1: 2}, true, false, true},
+		{Inst{Op: OpLw, Rd: 1, Rs1: 2}, true, false, true},
+		{Inst{Op: OpSw, Rs1: 2, Rs2: 3}, true, true, false},
+		{Inst{Op: OpBeq, Rs1: 1, Rs2: 2}, true, true, false},
+		{Inst{Op: OpJal, Rd: 31}, false, false, true},
+		{Inst{Op: OpJr, Rs1: 31}, true, false, false},
+		{Inst{Op: OpNop}, false, false, false},
+		{Inst{Op: OpHalt}, false, false, false},
+		{Inst{Op: OpLui, Rd: 5}, false, false, true},
+	}
+	for _, c := range cases {
+		if c.in.ReadsRs1() != c.rs1 {
+			t.Errorf("%v ReadsRs1 = %v", c.in, c.in.ReadsRs1())
+		}
+		if c.in.ReadsRs2() != c.rs2 {
+			t.Errorf("%v ReadsRs2 = %v", c.in, c.in.ReadsRs2())
+		}
+		if c.in.WritesRd() != c.wrRd {
+			t.Errorf("%v WritesRd = %v", c.in, c.in.WritesRd())
+		}
+	}
+}
+
+func TestEncodeDistinguishesOps(t *testing.T) {
+	a := Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}.Encode()
+	b := Inst{Op: OpSub, Rd: 1, Rs1: 2, Rs2: 3}.Encode()
+	if a == b {
+		t.Error("different ops must encode differently")
+	}
+	if a>>26 != uint32(OpAdd) {
+		t.Errorf("opcode field wrong: %x", a)
+	}
+}
+
+func TestEncodeFieldsProperty(t *testing.T) {
+	f := func(rd, rs1, rs2 uint8, imm int16) bool {
+		in := Inst{Op: OpAddi, Rd: rd % 32, Rs1: rs1 % 32, Imm: int32(imm)}
+		w := in.Encode()
+		return w>>26 == uint32(OpAddi) &&
+			(w>>21)&31 == uint32(in.Rd) &&
+			(w>>16)&31 == uint32(in.Rs1) &&
+			uint16(w) == uint16(imm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassemblyRoundTripish(t *testing.T) {
+	src := `
+	start:
+		addi r1, r0, 10
+		lw   r2, 4(r1)
+		sw   r2, 8(r1)
+		beq  r1, r2, start
+		jal  r31, start
+		jr   r31
+		sll  r3, r1, r2
+		lui  r4, 18
+		halt
+	`
+	p, err := Assemble("dis", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range p.Insts {
+		s := in.String()
+		if s == "" {
+			t.Errorf("empty disassembly for %+v", in)
+		}
+	}
+	// Spot checks.
+	if got := p.Insts[1].String(); got != "lw r2, 4(r1)" {
+		t.Errorf("lw disassembly = %q", got)
+	}
+	if got := p.Insts[3].String(); got != "beq r1, r2, start" {
+		t.Errorf("beq disassembly = %q", got)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p, err := Assemble("pseudo", "mv r5, r6\nj end\nend: halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != OpAdd || p.Insts[0].Rs2 != 0 || p.Insts[0].Rd != 5 {
+		t.Error("mv should expand to add rd, rs, r0")
+	}
+	if p.Insts[1].Op != OpJal || p.Insts[1].Rd != 0 || p.Insts[1].Target != 2 {
+		t.Error("j should expand to jal r0")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "florble r1")
+}

@@ -1,0 +1,64 @@
+// Package linsys provides the dense linear-algebra kernel used to solve the
+// per-SCC systems of Section 4.2, where edge activation probabilities form
+// the coefficient matrix and instruction error probabilities are the
+// unknowns.
+package linsys
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular reports a (numerically) singular coefficient matrix.
+var ErrSingular = errors.New("linsys: singular matrix")
+
+// Solve returns x such that A x = b using Gaussian elimination with partial
+// pivoting. A and b are not modified. A must be square and len(b) == len(A).
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("linsys: empty system")
+	}
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, errors.New("linsys: non-square matrix")
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := 1 / m[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,91 @@
+package mibench
+
+// Shared assembly library routines. TS-V8, like early SPARC V8
+// implementations, has no divide instruction, so programs link a software
+// divide; the shift-subtract loop's compare chain is a classic source of
+// deep carry activations. Routines use a leaf calling convention: jal r31,
+// <routine>; arguments and results in low registers as documented; r1..r6
+// are caller-saved.
+//
+// Labels are file-scope per program, so each routine may be appended to any
+// kernel exactly once.
+
+// libDivu: unsigned restoring division, r1 / r2 -> quotient r1, remainder
+// r2. Preconditions: 0 < r2 < 2^30 and r1 < 2^31 (signed compares are then
+// equivalent to unsigned).
+const libDivu = `
+divu:                       # r1/r2 -> q in r1, rem in r2
+	li   r3, 0              # remainder accumulator
+	li   r4, 0              # quotient
+	li   r5, 32             # bit counter
+divu_loop:
+	beq  r5, r0, divu_done
+	slli r3, r3, 1
+	srli r6, r1, 31
+	or   r3, r3, r6
+	slli r1, r1, 1
+	slli r4, r4, 1
+	blt  r3, r2, divu_skip
+	sub  r3, r3, r2
+	ori  r4, r4, 1
+divu_skip:
+	addi r5, r5, -1
+	j    divu_loop
+divu_done:
+	mv   r1, r4
+	mv   r2, r3
+	jr   r31
+`
+
+// libSort: insertion sort of words, base address r1, length r2. Clobbers
+// r3..r8. Signed comparison order.
+const libSort = `
+sort:                       # insertion sort mem[r1 .. r1+r2)
+	li   r3, 1              # i
+sort_outer:
+	bge  r3, r2, sort_done
+	add  r4, r1, r3
+	lw   r5, 0(r4)          # key
+	mv   r6, r3             # j
+sort_inner:
+	beq  r6, r0, sort_place
+	addi r7, r6, -1
+	add  r4, r1, r7
+	lw   r8, 0(r4)
+	bge  r5, r8, sort_place # while key < mem[j-1]
+	add  r4, r1, r6
+	sw   r8, 0(r4)
+	mv   r6, r7
+	j    sort_inner
+sort_place:
+	add  r4, r1, r6
+	sw   r5, 0(r4)
+	addi r3, r3, 1
+	j    sort_outer
+sort_done:
+	jr   r31
+`
+
+// libAbs: r1 = |r1| (two's complement). Clobbers nothing else.
+const libAbs = `
+absv:
+	bge  r1, r0, absv_done
+	sub  r1, r0, r1
+absv_done:
+	jr   r31
+`
+
+// withLib appends library routines to a kernel source. The kernel must halt
+// on every path so control never falls into the library code.
+func withLib(src string, libs ...string) string {
+	out := src
+	for _, l := range libs {
+		out += "\n" + l
+	}
+	return out
+}
+
+// goDivu mirrors libDivu for the Check functions.
+func goDivu(a, b uint32) (q, r uint32) {
+	return a / b, a % b
+}

@@ -1,0 +1,166 @@
+package mibench
+
+import (
+	"testing"
+
+	"tsperr/internal/cfg"
+	"tsperr/internal/cpu"
+)
+
+func TestAllBenchmarksRunAndCheck(t *testing.T) {
+	bs := All()
+	if len(bs) != 12 {
+		t.Fatalf("expected 12 benchmarks, got %d", len(bs))
+	}
+	for _, b := range bs {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for scenario := 0; scenario < 3; scenario++ {
+				c, err := cpu.New(b.Prog, cpu.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Setup(c, scenario); err != nil {
+					t.Fatal(err)
+				}
+				st, err := c.Run(nil)
+				if err != nil {
+					t.Fatalf("scenario %d: %v", scenario, err)
+				}
+				if !st.Halted {
+					t.Fatalf("scenario %d: did not halt", scenario)
+				}
+				if st.Instructions < 500 {
+					t.Errorf("scenario %d: suspiciously short run (%d insts)",
+						scenario, st.Instructions)
+				}
+				if st.Instructions > 5_000_000 {
+					t.Errorf("scenario %d: run too long for testing (%d insts)",
+						scenario, st.Instructions)
+				}
+				if err := b.Check(c, scenario); err != nil {
+					t.Errorf("scenario %d: %v", scenario, err)
+				}
+			}
+		})
+	}
+}
+
+func TestScenariosDiffer(t *testing.T) {
+	// Different scenarios must present different inputs (data variation).
+	for _, b := range All() {
+		c0, _ := cpu.New(b.Prog, cpu.DefaultConfig())
+		c1, _ := cpu.New(b.Prog, cpu.DefaultConfig())
+		if err := b.Setup(c0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Setup(c1, 1); err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for a := uint32(1024); a < 3000; a++ {
+			if c0.Mem(a) != c1.Mem(a) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: scenarios 0 and 1 have identical inputs", b.Name)
+		}
+	}
+}
+
+func TestBenchmarkCFGsAreInteresting(t *testing.T) {
+	for _, b := range All() {
+		g, err := cfg.Build(b.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(g.Blocks) < 5 {
+			t.Errorf("%s: only %d basic blocks", b.Name, len(g.Blocks))
+		}
+		// Every benchmark loops: its CFG must contain a nontrivial SCC or a
+		// self loop.
+		scc := cfg.ComputeSCC(g, nil)
+		hasCycle := false
+		for _, comp := range scc.Comps {
+			if len(comp) > 1 {
+				hasCycle = true
+			}
+		}
+		if !hasCycle {
+			for bi := range g.Blocks {
+				for _, s := range g.Blocks[bi].Succs {
+					if s == bi {
+						hasCycle = true
+					}
+				}
+			}
+		}
+		if !hasCycle {
+			t.Errorf("%s: CFG has no cycle — not a real kernel", b.Name)
+		}
+	}
+}
+
+func TestBlockCountRegression(t *testing.T) {
+	// Guard the kernels' CFG sizes: refactors should not silently collapse
+	// the multi-phase structure (Table 2's Blocks column depends on it).
+	want := map[string]int{
+		"basicmath": 30, "bitcount": 14, "dijkstra": 35, "patricia": 15,
+		"pgp.encode": 18, "pgp.decode": 17, "tiff2bw": 28, "typeset": 18,
+		"ghostscript": 40, "stringsearch": 18, "gsm.encode": 30, "gsm.decode": 30,
+	}
+	for _, b := range All() {
+		g, err := cfg.Build(b.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Blocks) < want[b.Name] {
+			t.Errorf("%s: %d blocks, expected at least %d", b.Name, len(g.Blocks), want[b.Name])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("dijkstra")
+	if err != nil || b.Name != "dijkstra" {
+		t.Fatalf("ByName failed: %v", err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestCategoriesCoverMiBench(t *testing.T) {
+	counts := map[string]int{}
+	for _, b := range All() {
+		counts[b.Category]++
+	}
+	for _, cat := range []string{"automotive", "network", "security", "consumer", "office", "telecomm"} {
+		if counts[cat] != 2 {
+			t.Errorf("category %s has %d benchmarks, want 2", cat, counts[cat])
+		}
+	}
+}
+
+func TestScaleTargetsMatchPaper(t *testing.T) {
+	want := map[string]int64{
+		"basicmath": 1_487_629_739, "bitcount": 589_809_283,
+		"dijkstra": 254_491_123, "patricia": 1_167_201,
+		"pgp.encode": 782_002_182, "pgp.decode": 212_201_598,
+		"tiff2bw": 670_620_091, "typeset": 66_490_215,
+		"ghostscript": 743_108_760, "stringsearch": 27_984_283,
+		"gsm.encode": 473_017_210, "gsm.decode": 497_219_812,
+	}
+	var total int64
+	for _, b := range All() {
+		if b.ScaleTo != want[b.Name] {
+			t.Errorf("%s ScaleTo = %d, want %d", b.Name, b.ScaleTo, want[b.Name])
+		}
+		total += b.ScaleTo
+	}
+	if total != 5_805_741_497 {
+		t.Errorf("total = %d, want the paper's 5,805,741,497", total)
+	}
+}

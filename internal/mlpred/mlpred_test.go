@@ -1,0 +1,162 @@
+package mlpred
+
+import (
+	"math"
+	"testing"
+
+	"tsperr/internal/numeric"
+)
+
+// thresholdData: label = feature[0] > 10, with a nuisance feature.
+func thresholdData(n int, rng *numeric.RNG) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		x := rng.Float64() * 20
+		out[i] = Sample{
+			Features: []float64{x, rng.Float64()},
+			Label:    x > 10,
+		}
+	}
+	return out
+}
+
+func TestTreeLearnsThreshold(t *testing.T) {
+	rng := numeric.NewRNG(1)
+	train := thresholdData(400, rng)
+	test := thresholdData(200, rng)
+	tree, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(tree.Predict, test); acc < 0.97 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	if d := tree.Depth(); d < 1 || d > 4 {
+		t.Errorf("depth = %d", d)
+	}
+}
+
+func TestTreeLearnsInteraction(t *testing.T) {
+	// XOR-like: needs depth 2.
+	rng := numeric.NewRNG(3)
+	gen := func(n int) []Sample {
+		out := make([]Sample, n)
+		for i := range out {
+			a, b := rng.Float64(), rng.Float64()
+			out[i] = Sample{Features: []float64{a, b}, Label: (a > 0.5) != (b > 0.5)}
+		}
+		return out
+	}
+	tree, err := Train(gen(800), Config{MaxDepth: 3, MinLeaf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(tree.Predict, gen(300)); acc < 0.9 {
+		t.Errorf("XOR accuracy = %v", acc)
+	}
+}
+
+func TestTreePureLeafShortCircuit(t *testing.T) {
+	samples := []Sample{
+		{Features: []float64{1}, Label: true},
+		{Features: []float64{2}, Label: true},
+	}
+	tree, err := Train(samples, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.root.leaf || tree.root.prob != 1 {
+		t.Error("all-positive data should give a pure leaf")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, DefaultConfig()); err == nil {
+		t.Error("empty training set should fail")
+	}
+	bad := []Sample{{Features: []float64{1}}, {Features: []float64{1, 2}}}
+	if _, err := Train(bad, DefaultConfig()); err == nil {
+		t.Error("ragged features should fail")
+	}
+}
+
+func TestForestAtLeastAsGoodAsStump(t *testing.T) {
+	rng := numeric.NewRNG(9)
+	train := thresholdData(500, rng)
+	test := thresholdData(300, rng)
+	stump, err := Train(train, Config{MaxDepth: 1, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := TrainForest(train, 15, Config{MaxDepth: 4, MinLeaf: 4}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAcc := Accuracy(stump.Predict, test)
+	fAcc := Accuracy(forest.Predict, test)
+	if fAcc < sAcc-0.02 {
+		t.Errorf("forest %v should not be worse than a stump %v", fAcc, sAcc)
+	}
+}
+
+func TestProbCalibrationOnDeterministicData(t *testing.T) {
+	rng := numeric.NewRNG(5)
+	train := thresholdData(600, rng)
+	tree, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic labels: Brier score should be near zero.
+	if bs := BrierScore(tree.PredictProb, train); bs > 0.03 {
+		t.Errorf("Brier score on separable data = %v", bs)
+	}
+}
+
+func TestClassifierCannotExpressProbabilisticErrors(t *testing.T) {
+	// The paper's criticism: near the critical operating point an
+	// instruction errs with some mid-range probability (process variation);
+	// a classifier trained on error outcomes of ONE chip sample predicts
+	// hard 0/1 and is mis-calibrated for the population. Construct
+	// observations where identical features carry probabilistic labels.
+	rng := numeric.NewRNG(11)
+	const p = 0.3 // true error probability at this feature point
+	var samples []Sample
+	for i := 0; i < 2000; i++ {
+		samples = append(samples, Sample{
+			Features: []float64{32, 5}, // a full carry chain, some toggles
+			Label:    rng.Float64() < p,
+		})
+	}
+	tree, err := Train(samples, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tree can only output the leaf mean — fine here — but the *hard
+	// classifier* view (what the compiler-scheduling baselines consume)
+	// collapses it to "no error", under-predicting the error count by 100%.
+	if tree.Predict([]float64{32, 5}) {
+		t.Error("hard classifier should say 'no error' at p=0.3")
+	}
+	// The analytic model's Brier score at the true probability is
+	// p(1-p); the hard 0/1 prediction's is p. The analytic model wins.
+	analytic := p * (1 - p)
+	hard := BrierScore(func([]float64) float64 { return 0 }, samples)
+	if !(analytic < hard) {
+		t.Errorf("probabilistic model should beat the hard classifier: %v vs %v", analytic, hard)
+	}
+	if math.Abs(tree.PredictProb([]float64{32, 5})-p) > 0.05 {
+		t.Errorf("leaf probability should approximate p: %v", tree.PredictProb([]float64{32, 5}))
+	}
+}
+
+func TestPermCoversAllIndices(t *testing.T) {
+	rng := numeric.NewRNG(13)
+	p := rng.Perm(10)
+	seen := map[int]bool{}
+	for _, v := range p {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("perm = %v", p)
+	}
+}

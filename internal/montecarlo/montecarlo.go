@@ -1,0 +1,111 @@
+// Package montecarlo implements the baseline the paper compares its
+// statistical estimator against conceptually: direct Monte Carlo simulation
+// of the program's timing-error process. Each trial re-executes the program
+// and flips one Bernoulli per retired instruction, with success probability
+// p^e or p^c depending on whether the previous instruction erred — the exact
+// Markov dependence structure the error-correction mechanism induces (Section
+// 4.1). The paper notes this baseline is too slow for large datasets; here it
+// validates the Poisson/Normal approximations on small programs, inside the
+// Chen-Stein and Stein bounds.
+package montecarlo
+
+import (
+	"fmt"
+	"sort"
+
+	"tsperr/internal/cpu"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/isa"
+	"tsperr/internal/numeric"
+)
+
+// Spec describes one Monte Carlo experiment.
+type Spec struct {
+	Prog *isa.Program
+	// Setup seeds machine state for a scenario (input dataset).
+	Setup func(c *cpu.CPU, scenario int) error
+	// Cond holds the per-scenario conditional probabilities; its length is
+	// the number of scenarios.
+	Cond []*errormodel.Conditionals
+	// Trials is the number of simulated executions (spread round-robin over
+	// scenarios).
+	Trials int
+	// Seed makes the experiment reproducible.
+	Seed uint64
+	// CPUConfig overrides the machine configuration (zero = default).
+	CPUConfig cpu.Config
+}
+
+// Result holds the sampled error counts.
+type Result struct {
+	Counts []float64
+	// Instructions is the per-run dynamic instruction count (last run).
+	Instructions int64
+}
+
+// Run executes the experiment.
+func Run(spec Spec) (*Result, error) {
+	if spec.Trials <= 0 {
+		return nil, fmt.Errorf("montecarlo: non-positive trials")
+	}
+	if len(spec.Cond) == 0 {
+		return nil, fmt.Errorf("montecarlo: no scenarios")
+	}
+	cfgCPU := spec.CPUConfig
+	if cfgCPU.MemWords == 0 {
+		cfgCPU = cpu.DefaultConfig()
+	}
+	rng := numeric.NewRNG(spec.Seed)
+	res := &Result{Counts: make([]float64, spec.Trials)}
+	for t := 0; t < spec.Trials; t++ {
+		s := t % len(spec.Cond)
+		cond := spec.Cond[s]
+		machine, err := cpu.New(spec.Prog, cfgCPU)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Setup != nil {
+			if err := spec.Setup(machine, s); err != nil {
+				return nil, err
+			}
+		}
+		errors := 0.0
+		errState := true // the processor starts flushed: p^in = 1
+		st, err := machine.Run(func(d *cpu.DynInst) {
+			p := cond.PC[d.Index]
+			if errState {
+				p = cond.PE[d.Index]
+			}
+			if rng.Float64() < p {
+				errors++
+				errState = true
+			} else {
+				errState = false
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Counts[t] = errors
+		res.Instructions = st.Instructions
+	}
+	return res, nil
+}
+
+// CDF returns the empirical CDF of the sampled counts.
+func (r *Result) CDF() func(float64) float64 {
+	s := make([]float64, len(r.Counts))
+	copy(s, r.Counts)
+	sort.Float64s(s)
+	n := float64(len(s))
+	return func(x float64) float64 {
+		i := sort.SearchFloat64s(s, x+0.5) // counts are integers
+		return float64(i) / n
+	}
+}
+
+// Mean returns the sample mean error count.
+func (r *Result) Mean() float64 { return numeric.Mean(r.Counts) }
+
+// Std returns the sample standard deviation.
+func (r *Result) Std() float64 { return numeric.StdDev(r.Counts) }

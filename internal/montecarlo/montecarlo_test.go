@@ -1,0 +1,173 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"tsperr/internal/cfg"
+	"tsperr/internal/core"
+	"tsperr/internal/cpu"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/isa"
+)
+
+const loopSrc = `
+	li r1, 40
+	li r2, 0
+loop:
+	add  r2, r2, r1
+	addi r1, r1, -1
+	bne  r1, r0, loop
+	halt
+`
+
+// fixture builds the program, a profile, and synthetic conditionals.
+func fixture(t *testing.T, pcVal, peVal float64, scenarios int) (*isa.Program, *cfg.Graph, []core.Scenario, []*errormodel.Conditionals) {
+	t.Helper()
+	p, err := isa.Assemble("mcloop", loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scs []core.Scenario
+	var conds []*errormodel.Conditionals
+	for s := 0; s < scenarios; s++ {
+		pr := cfg.NewProfile(g)
+		c, _ := cpu.New(p, cpu.DefaultConfig())
+		obs := pr.Observer()
+		if _, err := c.Run(obs); err != nil {
+			t.Fatal(err)
+		}
+		n := len(p.Insts)
+		cond := &errormodel.Conditionals{PC: make([]float64, n), PE: make([]float64, n)}
+		// Scenario-dependent probabilities emulate data variation.
+		f := 1 + 0.2*float64(s)
+		for i := range cond.PC {
+			cond.PC[i] = pcVal * f
+			cond.PE[i] = peVal * f
+		}
+		conds = append(conds, cond)
+		scc := cfg.ComputeSCC(g, pr)
+		marg, err := errormodel.ComputeMarginals(g, pr, scc, cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scs = append(scs, core.Scenario{Profile: pr, Marginals: marg, Cond: cond})
+	}
+	return p, g, scs, conds
+}
+
+func TestMonteCarloMatchesMarginalMean(t *testing.T) {
+	p, g, scs, conds := fixture(t, 0.02, 0.05, 1)
+	est, err := core.NewEstimate(g, scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Spec{Prog: p, Cond: conds, Trials: 4000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytic lambda must match the simulated mean error count within
+	// Monte Carlo noise (a few standard errors).
+	se := res.Std() / math.Sqrt(float64(len(res.Counts)))
+	if diff := math.Abs(res.Mean() - est.LambdaMean); diff > 5*se+0.05 {
+		t.Errorf("MC mean %v vs analytic lambda %v (diff %v, se %v)",
+			res.Mean(), est.LambdaMean, diff, se)
+	}
+}
+
+func TestPoissonApproximationWithinBound(t *testing.T) {
+	p, g, scs, conds := fixture(t, 0.01, 0.03, 1)
+	est, err := core.NewEstimate(g, scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Spec{Prog: p, Cond: conds, Trials: 6000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecdf := res.CDF()
+	// Kolmogorov distance between the empirical law and the Poisson-mixture
+	// estimate must respect the Chen-Stein bound (plus sampling slack).
+	worst := 0.0
+	for k := 0.0; k < est.LambdaMean*4+10; k++ {
+		d := math.Abs(ecdf(k) - est.ErrorCountCDF(k))
+		if d > worst {
+			worst = d
+		}
+	}
+	slack := 2.5 / math.Sqrt(float64(len(res.Counts))) // DKW-style noise term
+	if worst > est.DKCount+est.DKLambda+slack {
+		t.Errorf("empirical distance %v exceeds bound %v (+%v slack)",
+			worst, est.DKCount+est.DKLambda, slack)
+	}
+}
+
+func TestDependenceRaisesVariance(t *testing.T) {
+	// With p^e >> p^c, errors cluster: the count's variance exceeds the
+	// Poisson variance (= mean). This is exactly the effect the Chen-Stein
+	// b2 term charges for.
+	p, _, _, condsDep := fixture(t, 0.01, 0.5, 1)
+	_, _, _, condsInd := fixture(t, 0.01, 0.01, 1)
+	dep, err := Run(Spec{Prog: p, Cond: condsDep, Trials: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := Run(Spec{Prog: p, Cond: condsInd, Trials: 4000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmrDep := dep.Std() * dep.Std() / dep.Mean()
+	vmrInd := ind.Std() * ind.Std() / ind.Mean()
+	if vmrDep <= vmrInd {
+		t.Errorf("clustered errors should be over-dispersed: VMR %v vs %v", vmrDep, vmrInd)
+	}
+	if math.Abs(vmrInd-1) > 0.25 {
+		t.Errorf("independent-ish errors should be nearly Poisson, VMR = %v", vmrInd)
+	}
+}
+
+func TestDataVariationWidensSpread(t *testing.T) {
+	p, g, scsMulti, condsMulti := fixture(t, 0.02, 0.04, 4)
+	_, _, scsOne, condsOne := fixture(t, 0.02, 0.04, 1)
+	estMulti, _ := core.NewEstimate(g, scsMulti)
+	estOne, _ := core.NewEstimate(g, scsOne)
+	if estMulti.LambdaStd <= estOne.LambdaStd {
+		t.Errorf("data variation should widen lambda: %v vs %v",
+			estMulti.LambdaStd, estOne.LambdaStd)
+	}
+	mMulti, err := Run(Spec{Prog: p, Cond: condsMulti, Trials: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOne, err := Run(Spec{Prog: p, Cond: condsOne, Trials: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mMulti.Std() <= mOne.Std() {
+		t.Errorf("simulated spread should widen with data variation: %v vs %v",
+			mMulti.Std(), mOne.Std())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p, _ := isa.Assemble("h", "halt\n")
+	if _, err := Run(Spec{Prog: p, Trials: 0, Cond: []*errormodel.Conditionals{{}}}); err == nil {
+		t.Error("zero trials should fail")
+	}
+	if _, err := Run(Spec{Prog: p, Trials: 1}); err == nil {
+		t.Error("no scenarios should fail")
+	}
+}
+
+func TestEmpiricalCDFBehaviour(t *testing.T) {
+	r := &Result{Counts: []float64{0, 1, 1, 3}}
+	cdf := r.CDF()
+	if cdf(-1) != 0 || cdf(0) != 0.25 || cdf(1) != 0.75 || cdf(2) != 0.75 || cdf(3) != 1 {
+		t.Errorf("empirical CDF wrong: %v %v %v %v %v",
+			cdf(-1), cdf(0), cdf(1), cdf(2), cdf(3))
+	}
+}

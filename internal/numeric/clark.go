@@ -1,0 +1,47 @@
+package numeric
+
+import "math"
+
+// ClarkResult holds the moment-matched Gaussian approximation of the max (or
+// min) of two correlated Gaussians, plus the tightness probability of the
+// first argument, i.e. P(A > B) for max and P(A < B) for min.
+type ClarkResult struct {
+	Mean      float64
+	Std       float64
+	Tightness float64
+}
+
+// ClarkMax approximates max(A, B) of two jointly Gaussian variables with
+// correlation rho by a Gaussian, using Clark's classical first- and
+// second-moment matching (C. E. Clark, 1961). This is the primitive used by
+// block-based SSTA engines; the paper's statistical-minimum step [21] chains
+// the dual operator ClarkMin in a greedy order.
+func ClarkMax(a, b Gaussian, rho float64) ClarkResult {
+	va, vb := a.Var(), b.Var()
+	theta2 := va + vb - 2*rho*a.Std*b.Std
+	if theta2 <= 1e-300 {
+		// Perfectly correlated with equal spread: max is just the larger mean.
+		if a.Mean >= b.Mean {
+			return ClarkResult{Mean: a.Mean, Std: a.Std, Tightness: 1}
+		}
+		return ClarkResult{Mean: b.Mean, Std: b.Std, Tightness: 0}
+	}
+	theta := math.Sqrt(theta2)
+	alpha := (a.Mean - b.Mean) / theta
+	phi := NormalPDF(alpha)
+	cdf := NormalCDF(alpha)
+	mean := a.Mean*cdf + b.Mean*(1-cdf) + theta*phi
+	second := (va+a.Mean*a.Mean)*cdf + (vb+b.Mean*b.Mean)*(1-cdf) + (a.Mean+b.Mean)*theta*phi
+	variance := second - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return ClarkResult{Mean: mean, Std: math.Sqrt(variance), Tightness: cdf}
+}
+
+// ClarkMin approximates min(A, B) as -max(-A, -B). The returned tightness is
+// P(A < B), the probability that A is the minimum.
+func ClarkMin(a, b Gaussian, rho float64) ClarkResult {
+	r := ClarkMax(Gaussian{-a.Mean, a.Std}, Gaussian{-b.Mean, b.Std}, rho)
+	return ClarkResult{Mean: -r.Mean, Std: r.Std, Tightness: r.Tightness}
+}

@@ -1,0 +1,135 @@
+// Package numeric provides the low-level numerical routines shared by the
+// statistical timing and error-rate estimation packages: Gaussian
+// distribution functions, Clark's moment-matching max/min operators,
+// quadrature, Cholesky factorization, and numerically stable summation.
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// InvSqrt2Pi is 1/sqrt(2*pi), the normalization constant of the standard
+// normal density.
+const InvSqrt2Pi = 0.3989422804014327
+
+// NormalPDF returns the density of the standard normal distribution at x.
+func NormalPDF(x float64) float64 {
+	return InvSqrt2Pi * math.Exp(-0.5*x*x)
+}
+
+// NormalCDF returns P(Z <= x) for a standard normal variable Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalCDFMeanStd returns P(X <= x) for X ~ N(mean, std^2). A zero or
+// negative std degenerates to a step function at mean.
+func NormalCDFMeanStd(x, mean, std float64) float64 {
+	if std <= 0 {
+		if x < mean {
+			return 0
+		}
+		return 1
+	}
+	return NormalCDF((x - mean) / std)
+}
+
+// NormalQuantile returns the x such that NormalCDF(x) = p, using the
+// Beasley-Springer-Moro / Acklam rational approximation refined with one
+// Halley step. It panics for p outside (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		if p == 1 {
+			return math.Inf(1)
+		}
+		panic("numeric: NormalQuantile requires 0 < p < 1")
+	}
+	// Acklam's approximation.
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-2.400758277161838e+00)*q-2.549732539343734e+00)*q+4.374664141464968e+00)*q + 2.938163982698783e+00) /
+			((((7.784695709041462e-03*q+3.224671290700398e-01)*q+2.445134137142996e+00)*q+3.754408661907416e+00)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((-3.969683028665376e+01*r+2.209460984245205e+02)*r-2.759285104469687e+02)*r+1.383577518672690e+02)*r-3.066479806614716e+01)*r + 2.506628277459239e+00) * q /
+			(((((-5.447609879822406e+01*r+1.615858368580409e+02)*r-1.556989798598866e+02)*r+6.680131188771972e+01)*r-1.328068155288572e+01)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-2.400758277161838e+00)*q-2.549732539343734e+00)*q+4.374664141464968e+00)*q + 2.938163982698783e+00) /
+			((((7.784695709041462e-03*q+3.224671290700398e-01)*q+2.445134137142996e+00)*q+3.754408661907416e+00)*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// Gaussian is a one-dimensional Gaussian distribution.
+type Gaussian struct {
+	Mean float64
+	Std  float64
+}
+
+// CDF returns P(X <= x).
+func (g Gaussian) CDF(x float64) float64 { return NormalCDFMeanStd(x, g.Mean, g.Std) }
+
+// PDF returns the density at x.
+func (g Gaussian) PDF(x float64) float64 {
+	if g.Std <= 0 {
+		return 0
+	}
+	z := (x - g.Mean) / g.Std
+	return NormalPDF(z) / g.Std
+}
+
+// Quantile returns the p-th quantile.
+func (g Gaussian) Quantile(p float64) float64 {
+	return g.Mean + g.Std*NormalQuantile(p)
+}
+
+// Var returns the variance.
+func (g Gaussian) Var() float64 { return g.Std * g.Std }
+
+// ErrNotPosDef reports that a matrix handed to Cholesky was not (numerically)
+// symmetric positive definite.
+var ErrNotPosDef = errors.New("numeric: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L of a symmetric positive
+// definite matrix a (row-major n x n) such that L L^T = a. The input is not
+// modified.
+func Cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotPosDef
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}

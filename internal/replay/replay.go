@@ -1,0 +1,130 @@
+// Package replay simulates a timing-speculative processor's recovery
+// machinery cycle by cycle: instructions issue in order at the speculative
+// frequency, each may suffer a timing error (per the error model's
+// probabilities), and the configured correction scheme charges its recovery
+// — for the paper's conservative scheme, halving the frequency, flushing the
+// pipeline, and reissuing the errant instruction (24 cycles for the 6-stage
+// pipeline). It reproduces the closed-form performance model
+// speedup = ratio / (1 + penalty * errorRate) from first principles, and
+// exposes the cycle budget breakdown the formula hides.
+package replay
+
+import (
+	"fmt"
+
+	"tsperr/internal/cpu"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/isa"
+	"tsperr/internal/numeric"
+)
+
+// Config describes the speculative machine.
+type Config struct {
+	// FreqRatio is speculative over baseline frequency (1.15 in the paper).
+	FreqRatio float64
+	// Scheme is the correction mechanism.
+	Scheme cpu.Correction
+	// CPUConfig configures the functional simulator (zero = default).
+	CPUConfig cpu.Config
+}
+
+// Breakdown reports where the speculative cycles went.
+type Breakdown struct {
+	Instructions int64
+	Errors       int64
+	// BaseCycles is the baseline machine's cycle count for the same run.
+	BaseCycles int64
+	// SpecCycles is the speculative machine's total including recovery.
+	SpecCycles float64
+	// RecoveryCycles is the part spent in error recovery.
+	RecoveryCycles float64
+}
+
+// ErrorRate returns the measured fraction of instructions that erred.
+func (b Breakdown) ErrorRate() float64 {
+	if b.Instructions == 0 {
+		return 0
+	}
+	return float64(b.Errors) / float64(b.Instructions)
+}
+
+// Speedup returns measured wall-clock speedup over the baseline: cycles are
+// divided by frequency, so speculative time = SpecCycles / (f_base * ratio).
+func (b Breakdown) Speedup(ratio float64) float64 {
+	if b.SpecCycles == 0 {
+		return 0
+	}
+	return float64(b.BaseCycles) / (b.SpecCycles / ratio)
+}
+
+// Run executes the program once on the speculative machine, drawing timing
+// errors from the per-instruction conditional probabilities (the Markov
+// error process of Section 4.1) and charging the scheme's recovery cost per
+// error.
+func Run(prog *isa.Program, setup func(*cpu.CPU, int) error, scenario int,
+	cond *errormodel.Conditionals, cfg Config, rng *numeric.RNG) (Breakdown, error) {
+	if cfg.FreqRatio <= 0 {
+		return Breakdown{}, fmt.Errorf("replay: non-positive frequency ratio")
+	}
+	cpuCfg := cfg.CPUConfig
+	if cpuCfg.MemWords == 0 {
+		cpuCfg = cpu.DefaultConfig()
+	}
+	machine, err := cpu.New(prog, cpuCfg)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	if setup != nil {
+		if err := setup(machine, scenario); err != nil {
+			return Breakdown{}, err
+		}
+	}
+	var b Breakdown
+	errState := true // flushed at program start
+	st, err := machine.Run(func(d *cpu.DynInst) {
+		p := cond.PC[d.Index]
+		if errState {
+			p = cond.PE[d.Index]
+		}
+		if rng.Float64() < p {
+			b.Errors++
+			b.RecoveryCycles += cfg.Scheme.PenaltyCycles
+			errState = true
+		} else {
+			errState = false
+		}
+	})
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b.Instructions = st.Instructions
+	b.BaseCycles = st.Cycles
+	b.SpecCycles = float64(st.Cycles) + b.RecoveryCycles
+	return b, nil
+}
+
+// Average runs trials executions and averages the breakdowns.
+func Average(prog *isa.Program, setup func(*cpu.CPU, int) error,
+	conds []*errormodel.Conditionals, cfg Config, trials int, seed uint64) (Breakdown, error) {
+	if trials <= 0 {
+		return Breakdown{}, fmt.Errorf("replay: non-positive trials")
+	}
+	if len(conds) == 0 {
+		return Breakdown{}, fmt.Errorf("replay: no scenarios")
+	}
+	rng := numeric.NewRNG(seed)
+	var acc Breakdown
+	for t := 0; t < trials; t++ {
+		s := t % len(conds)
+		b, err := Run(prog, setup, s, conds[s], cfg, rng)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		acc.Instructions += b.Instructions
+		acc.Errors += b.Errors
+		acc.BaseCycles += b.BaseCycles
+		acc.SpecCycles += b.SpecCycles
+		acc.RecoveryCycles += b.RecoveryCycles
+	}
+	return acc, nil
+}

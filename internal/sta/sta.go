@@ -1,0 +1,375 @@
+// Package sta implements static and statistical static timing analysis over
+// a netlist. It computes canonical-form gate delays under the process
+// variation model, enumerates the k most critical paths per endpoint (under
+// worst-case, nominal, and best-case per-gate delays, mirroring the two-pass
+// criticality ordering of Algorithm 1), computes path slacks, and reduces
+// sets of slack forms with the greedy pairwise statistical minimum of Sinha,
+// Zhou, and Shenoy [21].
+package sta
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"tsperr/internal/cell"
+	"tsperr/internal/netlist"
+	"tsperr/internal/variation"
+)
+
+// Engine couples a netlist with a variation model and a clock period.
+type Engine struct {
+	N     *netlist.Netlist
+	Model *variation.Model
+	// ClockPeriod is the speculative clock period in picoseconds.
+	ClockPeriod float64
+	// SigmaRel is the per-gate relative delay sigma.
+	SigmaRel float64
+	// DelayScale multiplies every nominal gate delay; the calibration step
+	// uses it to place the design's maximum frequency at a chosen value.
+	DelayScale float64
+
+	delays []variation.Canon
+	topo   []netlist.GateID
+}
+
+// NewEngine prepares an engine. The netlist must validate.
+func NewEngine(n *netlist.Netlist, model *variation.Model, clockPeriod, sigmaRel, delayScale float64) (*Engine, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if delayScale <= 0 {
+		return nil, fmt.Errorf("sta: non-positive delay scale %v", delayScale)
+	}
+	e := &Engine{
+		N: n, Model: model, ClockPeriod: clockPeriod,
+		SigmaRel: sigmaRel, DelayScale: delayScale, topo: topo,
+	}
+	e.delays = make([]variation.Canon, n.NumGates())
+	for i := range n.Gates() {
+		g := &n.Gates()[i]
+		e.delays[i] = model.Canonical(g.X, g.Y, g.Kind.Delay()*delayScale, sigmaRel)
+	}
+	return e, nil
+}
+
+// GateDelay returns the canonical delay form of a gate.
+func (e *Engine) GateDelay(id netlist.GateID) variation.Canon { return e.delays[id] }
+
+// nominalMetric selects which per-gate scalar delay drives path ranking.
+type nominalMetric int
+
+const (
+	metricNominal nominalMetric = iota
+	metricWorst                 // 99th percentile gate delays
+	metricBest                  // 1st percentile gate delays
+)
+
+func (e *Engine) scalarDelay(id netlist.GateID, m nominalMetric) float64 {
+	d := e.delays[id]
+	switch m {
+	case metricWorst:
+		return d.Mean + 2.3263478740408408*d.Std()
+	case metricBest:
+		return d.Mean - 2.3263478740408408*d.Std()
+	default:
+		return d.Mean
+	}
+}
+
+// maxArrival computes, for the chosen metric, the longest source-to-gate
+// (inclusive) combinational arrival for every gate.
+func (e *Engine) maxArrival(m nominalMetric) []float64 {
+	arr := make([]float64, e.N.NumGates())
+	gates := e.N.Gates()
+	for _, id := range e.topo {
+		g := &gates[id]
+		if g.Kind.IsSource() {
+			arr[id] = e.scalarDelay(id, m) // clock-to-Q or 0
+			continue
+		}
+		best := math.Inf(-1)
+		for _, f := range g.Fanin {
+			if arr[f] > best {
+				best = arr[f]
+			}
+		}
+		if math.IsInf(best, -1) {
+			best = 0
+		}
+		arr[id] = best + e.scalarDelay(id, m)
+	}
+	return arr
+}
+
+// searchState is a partial path suffix [gate ... endpointDriver] in the
+// best-first k-critical-path search.
+type searchState struct {
+	gate     netlist.GateID
+	suffix   []netlist.GateID
+	sufDelay float64
+	priority float64
+}
+
+type stateHeap []*searchState
+
+func (h stateHeap) Len() int            { return len(h) }
+func (h stateHeap) Less(i, j int) bool  { return h[i].priority > h[j].priority }
+func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(*searchState)) }
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// kCriticalTo enumerates up to k complete paths ending at endpoint ep in
+// exactly decreasing order of total delay under the chosen metric, using
+// best-first (A*) search with the max-arrival upper bound as heuristic.
+func (e *Engine) kCriticalTo(ep netlist.GateID, k int, m nominalMetric, arr []float64) []netlist.Path {
+	g := e.N.Gate(ep)
+	if g.Kind != cell.DFF {
+		return nil
+	}
+	driver := g.Fanin[0]
+	h := &stateHeap{}
+	start := &searchState{
+		gate:     driver,
+		suffix:   []netlist.GateID{driver},
+		sufDelay: e.scalarDelay(driver, m),
+	}
+	start.priority = e.prefixBound(driver, arr) + start.sufDelay
+	heap.Push(h, start)
+	var out []netlist.Path
+	for h.Len() > 0 && len(out) < k {
+		s := heap.Pop(h).(*searchState)
+		sg := e.N.Gate(s.gate)
+		if sg.Kind.IsSource() {
+			gates := make([]netlist.GateID, len(s.suffix))
+			copy(gates, s.suffix)
+			out = append(out, netlist.Path{
+				Gates:        gates,
+				Endpoint:     ep,
+				NominalDelay: s.sufDelay + cell.Setup,
+			})
+			continue
+		}
+		for _, f := range sg.Fanin {
+			suffix := make([]netlist.GateID, 0, len(s.suffix)+1)
+			suffix = append(suffix, f)
+			suffix = append(suffix, s.suffix...)
+			ns := &searchState{
+				gate:     f,
+				suffix:   suffix,
+				sufDelay: s.sufDelay + e.scalarDelay(f, m),
+			}
+			ns.priority = e.prefixBound(f, arr) + ns.sufDelay
+			heap.Push(h, ns)
+		}
+	}
+	return out
+}
+
+// prefixBound returns the best possible delay of any source-to-g-exclusive
+// prefix, used as the A* heuristic. Sources have no prefix.
+func (e *Engine) prefixBound(g netlist.GateID, arr []float64) float64 {
+	gate := e.N.Gate(g)
+	if gate.Kind.IsSource() {
+		return 0
+	}
+	best := math.Inf(-1)
+	for _, f := range gate.Fanin {
+		if arr[f] > best {
+			best = arr[f]
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}
+
+// CriticalPaths returns up to k paths per ranking metric for endpoint ep,
+// deduplicated and sorted by nominal delay (most critical first). Running
+// the enumeration under worst-case and best-case gate delays in addition to
+// nominal mirrors the paper's double execution of the while-loop in
+// Algorithm 1 under SSTA: it guarantees the set contains every path that
+// could become the true critical path over process variation.
+func (e *Engine) CriticalPaths(ep netlist.GateID, k int) []netlist.Path {
+	seen := map[string]bool{}
+	var out []netlist.Path
+	for _, m := range []nominalMetric{metricNominal, metricWorst, metricBest} {
+		arr := e.maxArrival(m)
+		for _, p := range e.kCriticalTo(ep, k, m, arr) {
+			key := pathKey(p)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			// Re-express the cached delay under the nominal metric so
+			// ordering is consistent across metrics.
+			p.NominalDelay = e.nominalPathDelay(p)
+			out = append(out, p)
+		}
+	}
+	netlist.SortPathsByDelay(out)
+	return out
+}
+
+func pathKey(p netlist.Path) string {
+	b := make([]byte, 0, 4*len(p.Gates)+4)
+	for _, g := range p.Gates {
+		b = append(b, byte(g), byte(g>>8), byte(g>>16), byte(g>>24))
+	}
+	return string(b)
+}
+
+func (e *Engine) nominalPathDelay(p netlist.Path) float64 {
+	d := cell.Setup
+	for _, g := range p.Gates {
+		d += e.delays[g].Mean
+	}
+	return d
+}
+
+// PathDelay returns the canonical delay form of a path: the exact sum of its
+// gate delay forms plus the endpoint setup time.
+func (e *Engine) PathDelay(p netlist.Path) variation.Canon {
+	sum := e.Model.Const(cell.Setup)
+	for _, g := range p.Gates {
+		sum = sum.Add(e.delays[g])
+	}
+	return sum
+}
+
+// PathSlack returns the canonical slack form SL(p) = T_clk - delay(p): the
+// maximum reduction in clock period that would not violate the endpoint's
+// setup constraint.
+func (e *Engine) PathSlack(p netlist.Path) variation.Canon {
+	d := e.PathDelay(p)
+	return d.Neg().AddConst(e.ClockPeriod)
+}
+
+// statMinGreedyLimit bounds the O(n^3) greedy pairing; beyond it StatMin
+// falls back to a sorted fold, which loses little accuracy when reducing
+// thousands of forms (the greedy order matters most among the few
+// near-critical ones, which the sorted fold visits first).
+const statMinGreedyLimit = 96
+
+// StatMin reduces a set of canonical slack forms to the canonical form of
+// their minimum using a greedy sequence of pairwise Clark minimums in the
+// order that minimizes approximation error [21]: at each step the pair with
+// the highest correlation is merged first, because Clark's approximation is
+// exact in the limit of perfectly correlated operands. Very large sets are
+// pre-reduced with a sorted fold.
+func StatMin(forms []variation.Canon) variation.Canon {
+	if len(forms) == 0 {
+		panic("sta: StatMin of empty set")
+	}
+	work := make([]variation.Canon, len(forms))
+	copy(work, forms)
+	if len(work) > statMinGreedyLimit {
+		// Fold smallest means first so the result converges quickly, then
+		// finish greedily on the survivors.
+		sort.Slice(work, func(i, j int) bool { return work[i].Mean < work[j].Mean })
+		acc := work[statMinGreedyLimit-1]
+		for _, f := range work[statMinGreedyLimit:] {
+			acc = acc.Min(f)
+		}
+		work = work[:statMinGreedyLimit]
+		work[statMinGreedyLimit-1] = acc
+	}
+	for len(work) > 1 {
+		bi, bj := 0, 1
+		best := math.Inf(-1)
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				if r := work[i].Corr(work[j]); r > best {
+					best, bi, bj = r, i, j
+				}
+			}
+		}
+		merged := work[bi].Min(work[bj])
+		work[bj] = work[len(work)-1]
+		work = work[:len(work)-1]
+		work[bi] = merged
+	}
+	return work[0]
+}
+
+// WorstSlackNominal returns the most negative nominal endpoint slack in a
+// stage (the classic STA number), used to calibrate operating points.
+func (e *Engine) WorstSlackNominal(stage int) float64 {
+	arr := e.maxArrival(metricNominal)
+	worst := math.Inf(1)
+	for _, ep := range e.N.Endpoints(stage) {
+		driver := e.N.Gate(ep).Fanin[0]
+		slack := e.ClockPeriod - cell.Setup - arr[driver]
+		if slack < worst {
+			worst = slack
+		}
+	}
+	return worst
+}
+
+// MaxDelayNominal returns the longest nominal path delay (including setup)
+// across all stages: the minimum clock period of the design under STA.
+func (e *Engine) MaxDelayNominal() float64 {
+	arr := e.maxArrival(metricNominal)
+	worst := 0.0
+	for s := 0; s < e.N.Stages; s++ {
+		for _, ep := range e.N.Endpoints(s) {
+			driver := e.N.Gate(ep).Fanin[0]
+			if d := arr[driver] + cell.Setup; d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// MaxDelayPercentile returns the p-th percentile of the statistical maximum
+// path delay of the design, approximated by the statistical maximum over the
+// k most critical paths of every endpoint. SSTA sign-off (the paper's
+// 718 MHz with guardband) corresponds to a high percentile of this value.
+func (e *Engine) MaxDelayPercentile(p float64, k int) float64 {
+	var forms []variation.Canon
+	for s := 0; s < e.N.Stages; s++ {
+		for _, ep := range e.N.Endpoints(s) {
+			for _, path := range e.CriticalPaths(ep, k) {
+				forms = append(forms, e.PathDelay(path))
+			}
+		}
+	}
+	if len(forms) == 0 {
+		return 0
+	}
+	// Statistical maximum via the dual of StatMin.
+	neg := make([]variation.Canon, len(forms))
+	for i, f := range forms {
+		neg[i] = f.Neg()
+	}
+	mx := StatMin(neg).Neg()
+	return mx.Percentile(p)
+}
+
+// EndpointSlackForms returns the slack canonical forms of the k most
+// critical paths for each endpoint of a stage, keyed by endpoint.
+func (e *Engine) EndpointSlackForms(stage int, k int) map[netlist.GateID][]variation.Canon {
+	out := map[netlist.GateID][]variation.Canon{}
+	eps := e.N.Endpoints(stage)
+	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	for _, ep := range eps {
+		for _, p := range e.CriticalPaths(ep, k) {
+			out[ep] = append(out[ep], e.PathSlack(p))
+		}
+	}
+	return out
+}
