@@ -1,0 +1,27 @@
+# tsperr build/verify targets.
+#
+# `make check` is the tier-2 verification gate: vet plus the full test
+# suite under the race detector (the resilience tests exercise the
+# scenario worker pool concurrently).
+
+GO ?= go
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

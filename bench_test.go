@@ -8,6 +8,7 @@
 package tsperr
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -39,7 +40,7 @@ func benchTable2(b *testing.B, name string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = harness.Analyze(name, 4)
+		rep, err = harness.Analyze(context.Background(), name, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func benchFigure3(b *testing.B, name string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rep, err := harness.Analyze(name, 4)
+	rep, err := harness.Analyze(context.Background(), name, 4)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func BenchmarkApproxValidation(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Unscaled analysis so Monte Carlo trials are cheap.
-	rep, err := f.Analyze(bm.Name, core.ProgramSpec{
+	rep, err := f.Analyze(context.Background(), bm.Name, core.ProgramSpec{
 		Prog: bm.Prog, Setup: bm.Setup, Scenarios: 4,
 	})
 	if err != nil {
@@ -241,11 +242,11 @@ func BenchmarkAblationScenarios(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		rep2, err := harness.Analyze("stringsearch", 2)
+		rep2, err := harness.Analyze(context.Background(), "stringsearch", 2)
 		if err != nil {
 			b.Fatal(err)
 		}
-		rep8, err := harness.Analyze("stringsearch", 8)
+		rep8, err := harness.Analyze(context.Background(), "stringsearch", 8)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -305,7 +306,7 @@ func BenchmarkPoissonMixtureCDF(b *testing.B) {
 	if _, err := harness.SharedFramework(); err != nil {
 		b.Fatal(err)
 	}
-	rep, err := harness.Analyze("patricia", 3)
+	rep, err := harness.Analyze(context.Background(), "patricia", 3)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -467,4 +468,32 @@ func BenchmarkAblationMLBaseline(b *testing.B) {
 	b.ReportMetric(mlpred.BrierScore(tree.PredictProb, samples), "treeBrier")
 	b.ReportMetric(mlpred.BrierScore(forest.PredictProb, samples), "forestBrier")
 	b.ReportMetric(analyticBrier.Value()/float64(len(samples)), "analyticBrier")
+}
+
+// BenchmarkAnalyzeScenarioPool guards the resilient run layer's throughput:
+// it drives Analyze through the bounded worker pool with a scenario count
+// well above GOMAXPROCS and reports scenarios per second, so a regression
+// versus the seed's unbounded per-scenario fan-out shows up as a drop in
+// this metric rather than slipping in unnoticed.
+func BenchmarkAnalyzeScenarioPool(b *testing.B) {
+	if _, err := harness.SharedFramework(); err != nil {
+		b.Fatal(err)
+	}
+	const scenarios = 16
+	var rep *core.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = harness.Analyze(context.Background(), "stringsearch", scenarios)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(rep.Scenarios) != scenarios {
+		b.Fatalf("scenarios = %d", len(rep.Scenarios))
+	}
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(scenarios*b.N)/elapsed, "scenarios/s")
+	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dtadump [-unit adder|control] [-cycles N] [-vcd file]
+//	dtadump [-unit adder|control] [-cycles N] [-vcd file] [-timeout D]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"tsperr/internal/activity"
+	"tsperr/internal/cliutil"
 	"tsperr/internal/dta"
 	"tsperr/internal/errormodel"
 	"tsperr/internal/isa"
@@ -34,7 +35,10 @@ func main() {
 	unit := flag.String("unit", "adder", "netlist to analyze: adder or control")
 	cycles := flag.Int("cycles", 12, "stimulus length")
 	vcdPath := flag.String("vcd", "", "also write the activity trace as VCD to this file")
+	timeout := flag.Duration("timeout", 0, "abort the dump after this duration (0 = none)")
 	flag.Parse()
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
 
 	m, err := errormodel.NewMachine(errormodel.DefaultOptions())
 	if err != nil {
@@ -57,6 +61,9 @@ func main() {
 		}
 		tr = &activity.Trace{NumGates: n.NumGates()}
 		for t := 0; t < *cycles; t++ {
+			if err := ctx.Err(); err != nil {
+				log.Fatalf("aborted at cycle %d: %v", t, err)
+			}
 			in := map[netlist.GateID]bool{}
 			a := uint32(rng.Uint64())
 			b := uint32(rng.Uint64())
@@ -82,6 +89,9 @@ func main() {
 			{Op: isa.OpXor, Rd: 5, Rs1: 4, Rs2: 1},
 		}
 		for t := 0; t < *cycles; t++ {
+			if err := ctx.Err(); err != nil {
+				log.Fatalf("aborted at cycle %d: %v", t, err)
+			}
 			in := map[netlist.GateID]bool{}
 			setWord(in, m.Ctrl.Instr, ops[t%len(ops)].Encode())
 			setWord(in, m.Ctrl.ExResult, uint32(rng.Uint64()))
@@ -109,6 +119,9 @@ func main() {
 		*unit, n.NumGates(), m.WorkingPeriodPs, m.WorkingFreqMHz())
 	fmt.Printf("%6s %12s %12s %12s %14s\n", "cycle", "activated", "DTS mean", "DTS sigma", "P(error)")
 	for t := 0; t < tr.Cycles(); t++ {
+		if err := ctx.Err(); err != nil {
+			log.Fatalf("aborted at cycle %d: %v", t, err)
+		}
 		var eps []netlist.GateID
 		for s := 0; s < n.Stages; s++ {
 			eps = append(eps, n.Endpoints(s)...)

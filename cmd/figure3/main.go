@@ -5,14 +5,16 @@
 //
 // Usage:
 //
-//	figure3 [-scenarios N] [-bench name] [-points N] [-max maxRatePct] [-csv]
+//	figure3 [-scenarios N] [-bench name] [-points N] [-max maxRatePct] [-csv] [-timeout D]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"tsperr/internal/cliutil"
 	"tsperr/internal/harness"
 	"tsperr/internal/mibench"
 )
@@ -25,7 +27,10 @@ func main() {
 	points := flag.Int("points", 25, "CDF sample points")
 	maxRate := flag.Float64("max", 1.6, "largest error rate (percent) on the axis")
 	csv := flag.Bool("csv", false, "emit CSV series instead of text panels")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
 
 	f, err := harness.SharedFramework()
 	if err != nil {
@@ -45,9 +50,10 @@ func main() {
 		fmt.Println("benchmark,rate_pct,perf_improvement_pct,cdf_lower,cdf,cdf_upper")
 	}
 	for _, name := range names {
-		rep, err := harness.Analyze(name, *scenarios)
+		rep, err := harness.Analyze(ctx, name, *scenarios)
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			fmt.Fprintf(os.Stderr, "figure3: %s: analysis failed:\n%s\n", name, harness.FailureDetail(err))
+			os.Exit(cliutil.ExitFailure)
 		}
 		if *csv {
 			for _, p := range harness.Figure3Series(rep, pm, *maxRate, *points) {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	oppoint [-scenarios N] [-ratios 1.05,1.10,...] <benchmark>
+//	oppoint [-scenarios N] [-ratios 1.05,1.10,...] [-timeout D] <benchmark>
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tsperr/internal/cliutil"
 	"tsperr/internal/core"
 	"tsperr/internal/errormodel"
 	"tsperr/internal/harness"
@@ -30,11 +31,14 @@ func main() {
 	scenarios := flag.Int("scenarios", 4, "input datasets per evaluation")
 	ratioList := flag.String("ratios", "1.05,1.10,1.13,1.15,1.18,1.21",
 		"comma-separated frequency ratios to evaluate")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: oppoint [-scenarios N] [-ratios ...] <benchmark>")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: oppoint [-scenarios N] [-ratios ...] [-timeout D] <benchmark>")
+		os.Exit(cliutil.ExitUsage)
 	}
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
 	var ratios []float64
 	for _, tok := range strings.Split(*ratioList, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
@@ -52,9 +56,10 @@ func main() {
 		log.Fatal(err)
 	}
 	spec := harness.SpecFor(b, *scenarios)
-	points, best, err := fw.SelectOperatingPoint(b.Name, spec, ratios)
+	points, best, err := fw.SelectOperatingPoint(ctx, b.Name, spec, ratios)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "oppoint: %s: sweep failed:\n%s\n", b.Name, harness.FailureDetail(err))
+		os.Exit(cliutil.ExitFailure)
 	}
 	fmt.Printf("%s: operating point sweep (base %.0f MHz)\n\n",
 		b.Name, fw.Machine.Opts.BaseFreqMHz)

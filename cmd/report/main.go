@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	report [-scenarios N] [-o file.md]
+//	report [-scenarios N] [-o file.md] [-timeout D] [-retries N] [-min-scenarios N]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"tsperr/internal/cliutil"
 	"tsperr/internal/core"
 	"tsperr/internal/errormodel"
 	"tsperr/internal/harness"
@@ -28,7 +29,14 @@ func main() {
 	log.SetPrefix("report: ")
 	scenarios := flag.Int("scenarios", harness.DefaultScenarios, "input datasets per benchmark")
 	out := flag.String("o", "", "output file (default stdout)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	retries := flag.Int("retries", 0, "per-scenario retries for transient failures")
+	minScenarios := flag.Int("min-scenarios", 0,
+		"proceed degraded if at least this many scenarios survive per benchmark (0 = all must succeed)")
 	flag.Parse()
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+	opts := core.AnalyzeOpts{Retries: *retries, MinScenarios: *minScenarios}
 
 	var sb strings.Builder
 	f, err := harness.SharedFramework()
@@ -48,19 +56,34 @@ func main() {
 	fmt.Fprintf(&sb, "| Benchmark | Instructions | Blocks | Mean(%%) | SD(%%) | dK(λ) | dK(R) | P95 rate(%%) | Perf(%%) |\n")
 	fmt.Fprintf(&sb, "|---|---|---|---|---|---|---|---|---|\n")
 	reports := map[string]*core.Report{}
+	var degraded []*core.Report
 	for _, b := range mibench.All() {
-		rep, err := harness.Analyze(b.Name, *scenarios)
+		rep, err := harness.AnalyzeWithOpts(ctx, b.Name, *scenarios, opts)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(os.Stderr, "report: %s: analysis failed:\n%s\n", b.Name, harness.FailureDetail(err))
+			os.Exit(cliutil.ExitFailure)
 		}
 		reports[b.Name] = rep
+		if rep.Degraded {
+			degraded = append(degraded, rep)
+		}
 		e := rep.Estimate
-		fmt.Fprintf(&sb, "| %s | %d | %d | %.3f | %.3f | %.3f | %.3f | %.3f | %+.2f |\n",
-			rep.Name, rep.Instructions, rep.BasicBlocks,
+		mark := ""
+		if rep.Degraded {
+			mark = " †"
+		}
+		fmt.Fprintf(&sb, "| %s%s | %d | %d | %.3f | %.3f | %.3f | %.3f | %.3f | %+.2f |\n",
+			rep.Name, mark, rep.Instructions, rep.BasicBlocks,
 			100*e.MeanErrorRate(), 100*e.StdErrorRate(),
 			e.DKLambda, e.DKCount,
 			100*e.ErrorRateQuantile(0.95),
 			pm.ImprovementPct(e.MeanErrorRate()))
+	}
+	for _, rep := range degraded {
+		fmt.Fprintf(&sb, "\n† %s: degraded run, %d scenario(s) dropped:\n\n", rep.Name, rep.FailedScenarios)
+		for _, line := range strings.Split(harness.FailureDetail(rep.Failures), "\n") {
+			fmt.Fprintf(&sb, "  - %s\n", line)
+		}
 	}
 	fmt.Fprintf(&sb, "\nBreak-even error rate at this operating point: %.3f%%.\n\n",
 		100*pm.BreakEvenErrorRate())
@@ -81,7 +104,7 @@ func main() {
 	// ---- Monte Carlo validation on the smallest benchmark. ----
 	fmt.Fprintf(&sb, "## Monte Carlo validation\n\n")
 	bm, _ := mibench.ByName("typeset")
-	unscaled, err := f.Analyze(bm.Name, core.ProgramSpec{
+	unscaled, err := f.Analyze(ctx, bm.Name, core.ProgramSpec{
 		Prog: bm.Prog, Setup: bm.Setup, Scenarios: *scenarios,
 	})
 	if err != nil {

@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	table2 [-scenarios N] [-bench name]
+//	table2 [-scenarios N] [-bench name] [-timeout D] [-retries N] [-min-scenarios N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"tsperr/internal/cliutil"
+	"tsperr/internal/core"
 	"tsperr/internal/harness"
 	"tsperr/internal/mibench"
 )
@@ -22,7 +25,14 @@ func main() {
 	scenarios := flag.Int("scenarios", harness.DefaultScenarios,
 		"input datasets per benchmark (data variation)")
 	bench := flag.String("bench", "", "run a single benchmark instead of all twelve")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	retries := flag.Int("retries", 0, "per-scenario retries for transient failures")
+	minScenarios := flag.Int("min-scenarios", 0,
+		"proceed degraded if at least this many scenarios survive (0 = all must succeed)")
 	flag.Parse()
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+	opts := core.AnalyzeOpts{Retries: *retries, MinScenarios: *minScenarios}
 
 	names := []string{}
 	if *bench != "" {
@@ -38,9 +48,10 @@ func main() {
 	var totalInsts, totalBlocks int64
 	var totalTrain, totalSim float64
 	for _, name := range names {
-		rep, err := harness.Analyze(name, *scenarios)
+		rep, err := harness.AnalyzeWithOpts(ctx, name, *scenarios, opts)
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			fmt.Fprintf(os.Stderr, "table2: %s: analysis failed:\n%s\n", name, harness.FailureDetail(err))
+			os.Exit(cliutil.ExitFailure)
 		}
 		fmt.Println(harness.Table2Row(rep))
 		totalInsts += rep.Instructions

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	tsperr [-scenarios N] [-explain] <benchmark>
+//	tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N] [-explain] <benchmark>
 //
-// Run with no arguments to list the available benchmarks.
+// Run with no arguments to list the available benchmarks. Exit status is 2
+// for usage errors and 1 for analysis failures; on failure every failing
+// scenario is reported with its pipeline phase, not just the first.
 package main
 
 import (
@@ -14,10 +16,18 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"tsperr/internal/cliutil"
+	"tsperr/internal/core"
 	"tsperr/internal/harness"
 	"tsperr/internal/mibench"
 )
+
+// splitLines breaks a FailureDetail block into lines for indentation.
+func splitLines(s string) []string {
+	return strings.Split(strings.TrimRight(s, "\n"), "\n")
+}
 
 const explainText = `The framework follows the flow of Figures 1 and 2 of the paper:
 
@@ -46,6 +56,10 @@ func main() {
 	log.SetPrefix("tsperr: ")
 	scenarios := flag.Int("scenarios", harness.DefaultScenarios, "input datasets")
 	explain := flag.Bool("explain", false, "print the estimation-flow walkthrough and exit")
+	timeout := flag.Duration("timeout", 0, "abort the analysis after this duration (0 = none)")
+	retries := flag.Int("retries", 0, "per-scenario retries for transient failures")
+	minScenarios := flag.Int("min-scenarios", 0,
+		"proceed degraded if at least this many scenarios survive (0 = all must succeed)")
 	flag.Parse()
 
 	if *explain {
@@ -53,17 +67,32 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tsperr [-scenarios N] [-explain] <benchmark>")
+		fmt.Fprintln(os.Stderr, "usage: tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N] [-explain] <benchmark>")
 		fmt.Fprintln(os.Stderr, "available benchmarks:")
 		for _, b := range mibench.All() {
 			fmt.Fprintf(os.Stderr, "  %-13s (%s)\n", b.Name, b.Category)
 		}
-		os.Exit(2)
+		os.Exit(cliutil.ExitUsage)
 	}
 	name := flag.Arg(0)
-	rep, err := harness.Analyze(name, *scenarios)
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+	rep, err := harness.AnalyzeWithOpts(ctx, name, *scenarios, core.AnalyzeOpts{
+		Retries:      *retries,
+		MinScenarios: *minScenarios,
+	})
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "tsperr: %s: analysis failed:\n", name)
+		for _, line := range splitLines(harness.FailureDetail(err)) {
+			fmt.Fprintf(os.Stderr, "  %s\n", line)
+		}
+		os.Exit(cliutil.ExitFailure)
+	}
+	if rep.Degraded {
+		fmt.Fprintf(os.Stderr, "tsperr: warning: degraded run, %d scenario(s) dropped:\n", rep.FailedScenarios)
+		for _, line := range splitLines(harness.FailureDetail(rep.Failures)) {
+			fmt.Fprintf(os.Stderr, "  %s\n", line)
+		}
 	}
 	f, _ := harness.SharedFramework()
 	pm := f.PerfModel()

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -61,6 +62,7 @@ done:
 `
 
 func main() {
+	ctx := context.Background()
 	log.SetFlags(0)
 
 	// 1. Assemble.
@@ -90,7 +92,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := fw.Analyze("fir", core.ProgramSpec{
+	rep, err := fw.Analyze(ctx, "fir", core.ProgramSpec{
 		Prog: prog, Setup: setup, Scenarios: 6,
 	})
 	if err != nil {

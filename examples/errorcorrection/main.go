@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	log.SetFlags(0)
 	fw, err := core.NewFramework(errormodel.DefaultOptions())
 	if err != nil {
@@ -31,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := fw.Analyze(b.Name, core.ProgramSpec{
+	rep, err := fw.Analyze(ctx, b.Name, core.ProgramSpec{
 		Prog: b.Prog, Setup: b.Setup, Scenarios: 4, ScaleToInsts: b.ScaleTo,
 	})
 	if err != nil {

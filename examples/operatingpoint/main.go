@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	log.SetFlags(0)
 	opts := errormodel.DefaultOptions()
 	fw, err := core.NewFramework(opts)
@@ -46,7 +48,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fw.Datapath = dp
-		rep, err := fw.Analyze(b.Name, core.ProgramSpec{
+		rep, err := fw.Analyze(ctx, b.Name, core.ProgramSpec{
 			Prog: b.Prog, Setup: b.Setup, Scenarios: 4, ScaleToInsts: b.ScaleTo,
 		})
 		if err != nil {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func analyze(opts errormodel.Options, label string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := fw.Analyze(b.Name, core.ProgramSpec{
+	rep, err := fw.Analyze(context.Background(), b.Name, core.ProgramSpec{
 		Prog: b.Prog, Setup: b.Setup, Scenarios: 4, ScaleToInsts: b.ScaleTo,
 	})
 	if err != nil {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	log.SetFlags(0)
 
 	// 1. Build the framework: generates the gate-level netlists, calibrates
@@ -34,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := fw.Analyze(b.Name, core.ProgramSpec{
+	rep, err := fw.Analyze(ctx, b.Name, core.ProgramSpec{
 		Prog:         b.Prog,
 		Setup:        b.Setup,
 		Scenarios:    8,

@@ -1,0 +1,37 @@
+// Package cliutil holds the run-layer plumbing shared by the cmd/ tools:
+// a root context wired to the -timeout flag and to SIGINT/SIGTERM, and the
+// distinguished exit codes of the estimation CLIs.
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Exit codes shared by the cmd/ tools: usage errors are distinguishable
+// from analysis failures in scripts and CI.
+const (
+	// ExitFailure is an analysis (pipeline) failure.
+	ExitFailure = 1
+	// ExitUsage is a command-line usage error.
+	ExitUsage = 2
+)
+
+// Context returns the root context of a CLI invocation: cancelled on
+// SIGINT/SIGTERM so a Ctrl-C aborts in-flight scenario simulations cleanly,
+// and bounded by timeout when positive (the -timeout flag). The returned
+// cancel must be deferred.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Phase names the pipeline stage where a failure occurred. The values match
+// the hook points of internal/faultinject so injected and organic failures
+// carry the same tags.
+type Phase string
+
+const (
+	// PhaseBuild is CFG construction, before any scenario runs.
+	PhaseBuild Phase = "build"
+	// PhaseSetup is per-scenario machine seeding (ProgramSpec.Setup).
+	PhaseSetup Phase = "setup"
+	// PhaseSimulation is the instrumented per-scenario program run.
+	PhaseSimulation Phase = "simulation"
+	// PhaseControl is the once-per-program control-network characterization.
+	PhaseControl Phase = "control"
+	// PhaseMarginals is the per-scenario marginal-probability solve.
+	PhaseMarginals Phase = "marginals"
+	// PhaseEstimate is the final Section 5 statistics.
+	PhaseEstimate Phase = "estimate"
+)
+
+// ScenarioError tags a failure with the benchmark, the scenario index, and
+// the pipeline phase where it happened. Scenario is -1 for failures that are
+// not specific to one scenario (phase boundaries, control characterization).
+// A failed run joins every scenario's ScenarioError with errors.Join instead
+// of reporting only the first, so the diagnostics name all failing inputs.
+type ScenarioError struct {
+	Benchmark string
+	Scenario  int
+	Phase     Phase
+	// Attempts is how many times the scenario was tried (> 1 after retries).
+	Attempts int
+	Err      error
+}
+
+func (e *ScenarioError) Error() string {
+	where := fmt.Sprintf("%s [%s]", e.Benchmark, e.Phase)
+	if e.Scenario >= 0 {
+		where = fmt.Sprintf("%s scenario %d [%s]", e.Benchmark, e.Scenario, e.Phase)
+	}
+	if e.Attempts > 1 {
+		return fmt.Sprintf("core: %s: %v (after %d attempts)", where, e.Err, e.Attempts)
+	}
+	return fmt.Sprintf("core: %s: %v", where, e.Err)
+}
+
+func (e *ScenarioError) Unwrap() error { return e.Err }
+
+// PanicError is a recovered scenario panic converted into an error by the
+// worker pool, so one panicking scenario no longer kills the whole process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// ScenarioErrors flattens an error returned by Analyze (possibly an
+// errors.Join tree of ScenarioErrors) into the individual per-scenario
+// failures, in scenario order as joined. Non-scenario errors in the tree are
+// skipped; a nil err yields nil.
+func ScenarioErrors(err error) []*ScenarioError {
+	var out []*ScenarioError
+	var walk func(error)
+	walk = func(err error) {
+		if err == nil {
+			return
+		}
+		if joined, ok := err.(interface{ Unwrap() []error }); ok {
+			for _, sub := range joined.Unwrap() {
+				walk(sub)
+			}
+			return
+		}
+		var se *ScenarioError
+		if errors.As(err, &se) {
+			out = append(out, se)
+		}
+	}
+	walk(err)
+	return out
+}

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -55,6 +59,44 @@ type ProgramSpec struct {
 	CPUConfig cpu.Config
 }
 
+// InjectFn is a fault-injection hook evaluated at instrumented pipeline
+// points (see internal/faultinject); a non-nil return is treated as that
+// phase failing for that scenario, and a panic exercises worker recovery.
+// Production runs leave it nil.
+type InjectFn func(ctx context.Context, phase Phase, scenario int) error
+
+// AnalyzeOpts tunes the resilience of one Analyze run. The zero value is
+// strict: every scenario must succeed, transient failures are retried never,
+// and the pool is sized to GOMAXPROCS.
+type AnalyzeOpts struct {
+	// Workers bounds the number of concurrently simulated scenarios;
+	// 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Retries is how many times a failed scenario is re-attempted (on top
+	// of the first try) before it counts as failed. Context cancellations
+	// are never retried.
+	Retries int
+	// RetryBackoff is the base delay before the first retry, doubling per
+	// attempt and capped at retryBackoffCap. Zero selects a small default;
+	// negative disables backoff entirely (tests).
+	RetryBackoff time.Duration
+	// MinScenarios, when positive, lets a run proceed in degraded mode if
+	// at least this many scenarios survive: the Report is computed from the
+	// survivors, carries Degraded == true, and joins every scenario failure
+	// in Failures. Zero keeps the strict all-must-succeed behavior.
+	MinScenarios int
+	// FailFast cancels in-flight and pending scenarios as soon as one
+	// fails, trading diagnostics breadth for latency.
+	FailFast bool
+	// Inject is the fault-injection hook (nil in production).
+	Inject InjectFn
+}
+
+const (
+	defaultRetryBackoff = 2 * time.Millisecond
+	retryBackoffCap     = 250 * time.Millisecond
+)
+
 // Report is one row of Table 2 plus everything needed to draw the program's
 // Figure 3 curve.
 type Report struct {
@@ -65,11 +107,39 @@ type Report struct {
 	Simulation   time.Duration
 	Estimate     *Estimate
 	Graph        *cfg.Graph
-	Scenarios    []Scenario
+	// Scenarios holds the scenarios that survived; in a degraded run this
+	// is fewer than the ProgramSpec requested.
+	Scenarios []Scenario
+	// Degraded reports that some scenarios failed but AnalyzeOpts
+	// permitted the run to proceed on the survivors.
+	Degraded bool
+	// FailedScenarios is how many scenarios were dropped from the estimate.
+	FailedScenarios int
+	// Failures joins the ScenarioError of every dropped scenario (nil for
+	// a clean run).
+	Failures error
 }
 
-// Analyze runs the full flow on one program.
-func (f *Framework) Analyze(name string, spec ProgramSpec) (*Report, error) {
+// scenarioRaw is the output of one scenario's instrumented simulation.
+type scenarioRaw struct {
+	profile *cfg.Profile
+	feats   *errormodel.ScenarioFeatures
+}
+
+// Analyze runs the full flow on one program with strict failure semantics
+// (any scenario failure aborts). It honors ctx cancellation and deadlines
+// between pipeline phases and inside the scenario simulations.
+func (f *Framework) Analyze(ctx context.Context, name string, spec ProgramSpec) (*Report, error) {
+	return f.AnalyzeWithOpts(ctx, name, spec, AnalyzeOpts{})
+}
+
+// AnalyzeWithOpts is Analyze with explicit resilience options: bounded
+// worker-pool concurrency, per-scenario retries with backoff, panic
+// recovery, fail-fast, and graceful degradation onto surviving scenarios.
+func (f *Framework) AnalyzeWithOpts(ctx context.Context, name string, spec ProgramSpec, opts AnalyzeOpts) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if spec.Scenarios <= 0 {
 		return nil, fmt.Errorf("core: %s: need at least one scenario", name)
 	}
@@ -77,95 +147,323 @@ func (f *Framework) Analyze(name string, spec ProgramSpec) (*Report, error) {
 	if cfgCPU.MemWords == 0 {
 		cfgCPU = cpu.DefaultConfig()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseBuild, Err: err}
+	}
 	g, err := cfg.Build(spec.Prog)
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", name, err)
+		return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseBuild, Err: err}
 	}
 
 	rep := &Report{Name: name, Graph: g, BasicBlocks: len(g.Blocks)}
 
 	// ---- Simulation phase: instrumented runs over the input scenarios.
 	// Scenarios are independent (each gets its own machine, profile, and
-	// feature collector), so they run concurrently; results are
+	// feature collector), so they run on a bounded worker pool; results are
 	// deterministic because each scenario's seeding depends only on its
-	// index. ----
+	// index. Workers recover panics into typed errors and retry transient
+	// failures, and every scenario's failure is collected rather than only
+	// the first. ----
 	simStart := time.Now()
-	type scenarioRaw struct {
-		profile *cfg.Profile
-		feats   *errormodel.ScenarioFeatures
-	}
-	raws := make([]scenarioRaw, spec.Scenarios)
+	raws := make([]*scenarioRaw, spec.Scenarios)
 	errs := make([]error, spec.Scenarios)
-	var wg sync.WaitGroup
-	for s := 0; s < spec.Scenarios; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			machine, err := cpu.New(spec.Prog, cfgCPU)
-			if err != nil {
-				errs[s] = err
-				return
+	f.runPool(ctx, spec.Scenarios, opts, errs, func(poolCtx context.Context, s int) error {
+		return f.withRetry(poolCtx, opts, func(attempt int) *ScenarioError {
+			raw, serr := f.simScenario(poolCtx, name, spec, cfgCPU, g, s, opts.Inject)
+			if serr != nil {
+				serr.Attempts = attempt
+				return serr
 			}
-			if spec.Setup != nil {
-				if err := spec.Setup(machine, s); err != nil {
-					errs[s] = fmt.Errorf("core: %s scenario %d setup: %w", name, s, err)
-					return
-				}
-			}
-			pr := cfg.NewProfile(g)
-			feats, fobs := errormodel.NewFeatureCollector(len(spec.Prog.Insts), f.Datapath)
-			pobs := pr.Observer()
-			if _, err := machine.Run(func(d *cpu.DynInst) { pobs(d); fobs(d) }); err != nil {
-				errs[s] = fmt.Errorf("core: %s scenario %d: %w", name, s, err)
-				return
-			}
-			if spec.ScaleToInsts > 0 && pr.InstCount > 0 {
-				if k := spec.ScaleToInsts / pr.InstCount; k > 1 {
-					pr.Scale(k)
-				}
-			}
-			raws[s] = scenarioRaw{profile: pr, feats: feats}
-		}(s)
+			raws[s] = raw
+			return nil
+		})
+	})
+	rep.Simulation = time.Since(simStart)
+	if err := f.gate(ctx, name, spec.Scenarios, errs, opts); err != nil {
+		return nil, err
 	}
-	wg.Wait()
+
+	first := -1
 	var totalInsts int64
+	survivors := 0
 	for s := range raws {
-		if errs[s] != nil {
-			return nil, errs[s]
+		if errs[s] != nil || raws[s] == nil {
+			continue
 		}
+		if first < 0 {
+			first = s
+		}
+		survivors++
 		totalInsts += raws[s].profile.InstCount
 	}
-	rep.Simulation = time.Since(simStart)
-	rep.Instructions = totalInsts / int64(spec.Scenarios)
+	rep.Instructions = totalInsts / int64(survivors)
 
 	// ---- Training phase: control-network DTS characterization (gate level,
 	// once per basic block, as the paper emphasizes). ----
+	if err := ctx.Err(); err != nil {
+		return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseControl, Err: err}
+	}
 	trainStart := time.Now()
-	cc, err := f.Machine.CharacterizeControl(g, raws[0].profile, raws[0].feats.Results)
+	cc, err := protect(func() (*errormodel.ControlChar, error) {
+		return f.Machine.CharacterizeControl(g, raws[first].profile, raws[first].feats.Results)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: control characterization: %w", name, err)
+		return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseControl, Err: err}
 	}
 	rep.Training = time.Since(trainStart)
 
-	// ---- Error model: conditionals and marginals per scenario. ----
-	scenarios := make([]Scenario, spec.Scenarios)
-	for s, raw := range raws {
-		cond := errormodel.BuildConditionals(g, cc, raw.feats)
-		scc := cfg.ComputeSCC(g, raw.profile)
-		marg, err := errormodel.ComputeMarginals(g, raw.profile, scc, cond)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s scenario %d: %w", name, s, err)
+	// ---- Error model: conditionals and marginals per surviving scenario,
+	// again on the bounded pool (the per-SCC linear solves dominate). ----
+	scenarios := make([]*Scenario, spec.Scenarios)
+	f.runPool(ctx, spec.Scenarios, opts, errs, func(poolCtx context.Context, s int) error {
+		if errs[s] != nil || raws[s] == nil {
+			return nil // already failed in simulation; keep the original error
 		}
-		scenarios[s] = Scenario{Profile: raw.profile, Marginals: marg, Cond: cond, Features: raw.feats}
-	}
-	rep.Scenarios = scenarios
-
-	est, err := NewEstimate(g, scenarios)
-	if err != nil {
+		return f.withRetry(poolCtx, opts, func(attempt int) *ScenarioError {
+			sc, serr := f.marginalScenario(poolCtx, name, g, cc, raws[s], s, opts.Inject)
+			if serr != nil {
+				serr.Attempts = attempt
+				return serr
+			}
+			scenarios[s] = sc
+			return nil
+		})
+	})
+	if err := f.gate(ctx, name, spec.Scenarios, errs, opts); err != nil {
 		return nil, err
+	}
+
+	surviving := make([]Scenario, 0, spec.Scenarios)
+	var failures []error
+	for s := range scenarios {
+		if errs[s] != nil {
+			failures = append(failures, errs[s])
+			continue
+		}
+		surviving = append(surviving, *scenarios[s])
+	}
+	rep.Scenarios = surviving
+	if len(failures) > 0 {
+		rep.Degraded = true
+		rep.FailedScenarios = len(failures)
+		rep.Failures = errors.Join(failures...)
+		// Recompute the per-scenario instruction average over survivors only.
+		totalInsts = 0
+		for _, sc := range surviving {
+			totalInsts += sc.Profile.InstCount
+		}
+		rep.Instructions = totalInsts / int64(len(surviving))
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseEstimate, Err: err}
+	}
+	est, err := NewEstimate(g, surviving)
+	if err != nil {
+		return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseEstimate, Err: err}
 	}
 	rep.Estimate = est
 	return rep, nil
+}
+
+// simScenario runs one scenario's instrumented simulation. All failures come
+// back as a phase-tagged ScenarioError; panics are recovered by the caller's
+// retry wrapper via protectScenario.
+func (f *Framework) simScenario(ctx context.Context, name string, spec ProgramSpec, cfgCPU cpu.Config, g *cfg.Graph, s int, inject InjectFn) (raw *scenarioRaw, serr *ScenarioError) {
+	phase := PhaseSetup
+	defer recoverScenario(name, s, &phase, &serr)
+	fail := func(err error) *ScenarioError {
+		return &ScenarioError{Benchmark: name, Scenario: s, Phase: phase, Err: err}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fail(err)
+	}
+	if inject != nil {
+		if err := inject(ctx, phase, s); err != nil {
+			return nil, fail(err)
+		}
+	}
+	machine, err := cpu.New(spec.Prog, cfgCPU)
+	if err != nil {
+		return nil, fail(err)
+	}
+	if spec.Setup != nil {
+		if err := spec.Setup(machine, s); err != nil {
+			return nil, fail(err)
+		}
+	}
+	phase = PhaseSimulation
+	if inject != nil {
+		if err := inject(ctx, phase, s); err != nil {
+			return nil, fail(err)
+		}
+	}
+	pr := cfg.NewProfile(g)
+	feats, fobs := errormodel.NewFeatureCollector(len(spec.Prog.Insts), f.Datapath)
+	pobs := pr.Observer()
+	if _, err := machine.RunContext(ctx, func(d *cpu.DynInst) { pobs(d); fobs(d) }); err != nil {
+		return nil, fail(err)
+	}
+	if spec.ScaleToInsts > 0 && pr.InstCount > 0 {
+		if k := spec.ScaleToInsts / pr.InstCount; k > 1 {
+			pr.Scale(k)
+		}
+	}
+	return &scenarioRaw{profile: pr, feats: feats}, nil
+}
+
+// marginalScenario solves one scenario's conditionals and marginals.
+func (f *Framework) marginalScenario(ctx context.Context, name string, g *cfg.Graph, cc *errormodel.ControlChar, raw *scenarioRaw, s int, inject InjectFn) (sc *Scenario, serr *ScenarioError) {
+	phase := PhaseMarginals
+	defer recoverScenario(name, s, &phase, &serr)
+	fail := func(err error) *ScenarioError {
+		return &ScenarioError{Benchmark: name, Scenario: s, Phase: phase, Err: err}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fail(err)
+	}
+	if inject != nil {
+		if err := inject(ctx, phase, s); err != nil {
+			return nil, fail(err)
+		}
+	}
+	cond := errormodel.BuildConditionals(g, cc, raw.feats)
+	scc := cfg.ComputeSCC(g, raw.profile)
+	marg, err := errormodel.ComputeMarginals(g, raw.profile, scc, cond)
+	if err != nil {
+		return nil, fail(err)
+	}
+	return &Scenario{Profile: raw.profile, Marginals: marg, Cond: cond, Features: raw.feats}, nil
+}
+
+// recoverScenario converts a scenario panic into a phase-tagged
+// ScenarioError carrying the stack, so one bad scenario cannot kill the
+// process.
+func recoverScenario(name string, s int, phase *Phase, serr **ScenarioError) {
+	if r := recover(); r != nil {
+		*serr = &ScenarioError{
+			Benchmark: name, Scenario: s, Phase: *phase,
+			Err: &PanicError{Value: r, Stack: debug.Stack()},
+		}
+	}
+}
+
+// protect runs a non-scenario pipeline step, converting a panic into an
+// error.
+func protect[T any](fn func() (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// runPool executes work(s) for every scenario index on a bounded pool of
+// min(opts.Workers, n) goroutines, recording failures into errs. With
+// FailFast set, the first failure cancels the pool context so in-flight
+// simulations abort at their next context poll and pending scenarios are
+// marked cancelled.
+func (f *Framework) runPool(ctx context.Context, n int, opts AnalyzeOpts, errs []error, work func(context.Context, int) error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range idx {
+				if err := work(poolCtx, s); err != nil {
+					errs[s] = err
+					if opts.FailFast {
+						cancel()
+					}
+				}
+			}
+		}()
+	}
+	for s := 0; s < n; s++ {
+		idx <- s
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// withRetry runs one scenario attempt, retrying transient failures up to
+// opts.Retries times with bounded exponential backoff. Context
+// cancellations and deadline expiries are terminal immediately.
+func (f *Framework) withRetry(ctx context.Context, opts AnalyzeOpts, attempt func(n int) *ScenarioError) error {
+	for n := 1; ; n++ {
+		serr := attempt(n)
+		if serr == nil {
+			return nil
+		}
+		if n > opts.Retries ||
+			errors.Is(serr, context.Canceled) || errors.Is(serr, context.DeadlineExceeded) {
+			return serr
+		}
+		if d := retryDelay(opts.RetryBackoff, n); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				serr.Err = errors.Join(serr.Err, ctx.Err())
+				return serr
+			}
+		}
+	}
+}
+
+// retryDelay returns the bounded exponential backoff before retry n (1-based).
+func retryDelay(base time.Duration, n int) time.Duration {
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = defaultRetryBackoff
+	}
+	d := base << uint(n-1)
+	if d > retryBackoffCap || d <= 0 {
+		d = retryBackoffCap
+	}
+	return d
+}
+
+// gate applies the failure policy between pipeline phases: a clean pass
+// proceeds, a cancelled context always aborts, and otherwise the run
+// continues only when the surviving-scenario count satisfies
+// opts.MinScenarios (strict mode, MinScenarios == 0, tolerates nothing).
+// On abort every collected scenario failure is joined, so the caller sees
+// all failing scenarios, not just the first.
+func (f *Framework) gate(ctx context.Context, name string, n int, errs []error, opts AnalyzeOpts) error {
+	var failures []error
+	for _, e := range errs {
+		if e != nil {
+			failures = append(failures, e)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		failures = append(failures,
+			&ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseSimulation, Err: err})
+		return errors.Join(failures...)
+	}
+	if len(failures) == 0 {
+		return nil
+	}
+	survivors := n - len(failures)
+	if opts.MinScenarios > 0 && survivors >= opts.MinScenarios {
+		return nil // degrade gracefully; the report will carry the failures
+	}
+	return errors.Join(failures...)
 }
 
 // PerfModel returns the paper's performance model at this machine's

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -49,7 +50,7 @@ func fwSetup(c *cpu.CPU, scenario int) error {
 func TestAnalyzeIntegration(t *testing.T) {
 	f := testFramework(t)
 	prog := isa.MustAssemble("sumloop", fwProg)
-	rep, err := f.Analyze("sumloop", ProgramSpec{
+	rep, err := f.Analyze(context.Background(), "sumloop", ProgramSpec{
 		Prog: prog, Setup: fwSetup, Scenarios: 4, ScaleToInsts: 1_000_000,
 	})
 	if err != nil {
@@ -104,7 +105,7 @@ func sqrtPos(x float64) float64 {
 func TestAnalyzeValidation(t *testing.T) {
 	f := testFramework(t)
 	prog := isa.MustAssemble("x", "halt\n")
-	if _, err := f.Analyze("x", ProgramSpec{Prog: prog, Scenarios: 0}); err == nil {
+	if _, err := f.Analyze(context.Background(), "x", ProgramSpec{Prog: prog, Scenarios: 0}); err == nil {
 		t.Error("zero scenarios should fail")
 	}
 }
@@ -115,7 +116,7 @@ func TestAnalyzeScenarioSetupError(t *testing.T) {
 	boom := func(c *cpu.CPU, scenario int) error {
 		return errFixed
 	}
-	if _, err := f.Analyze("x", ProgramSpec{Prog: prog, Setup: boom, Scenarios: 1}); err == nil {
+	if _, err := f.Analyze(context.Background(), "x", ProgramSpec{Prog: prog, Setup: boom, Scenarios: 1}); err == nil {
 		t.Error("setup failure should propagate")
 	}
 }
@@ -131,11 +132,11 @@ func TestScaleVsUnscaledSameRate(t *testing.T) {
 	// only the absolute error count.
 	f := testFramework(t)
 	prog := isa.MustAssemble("sumloop", fwProg)
-	small, err := f.Analyze("s", ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2})
+	small, err := f.Analyze(context.Background(), "s", ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := f.Analyze("b", ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2, ScaleToInsts: 10_000_000})
+	big, err := f.Analyze(context.Background(), "b", ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2, ScaleToInsts: 10_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"tsperr/internal/cpu"
@@ -27,7 +28,10 @@ type OperatingPoint struct {
 // The framework's machine is re-targeted and re-trained per point and left
 // at the last evaluated ratio; callers who need the original working point
 // should re-target afterwards.
-func (f *Framework) SelectOperatingPoint(name string, spec ProgramSpec, ratios []float64) ([]OperatingPoint, int, error) {
+func (f *Framework) SelectOperatingPoint(ctx context.Context, name string, spec ProgramSpec, ratios []float64) ([]OperatingPoint, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(ratios) == 0 {
 		return nil, 0, fmt.Errorf("core: no ratios to evaluate")
 	}
@@ -35,6 +39,9 @@ func (f *Framework) SelectOperatingPoint(name string, spec ProgramSpec, ratios [
 	points := make([]OperatingPoint, len(ratios))
 	best := 0
 	for i, ratio := range ratios {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("core: operating-point sweep aborted at ratio %v: %w", ratio, err)
+		}
 		if ratio <= 0 {
 			return nil, 0, fmt.Errorf("core: non-positive ratio %v", ratio)
 		}
@@ -44,7 +51,7 @@ func (f *Framework) SelectOperatingPoint(name string, spec ProgramSpec, ratios [
 			return nil, 0, err
 		}
 		f.Datapath = dp
-		rep, err := f.Analyze(name, spec)
+		rep, err := f.Analyze(ctx, name, spec)
 		if err != nil {
 			return nil, 0, err
 		}

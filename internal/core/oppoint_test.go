@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"tsperr/internal/isa"
@@ -21,7 +22,7 @@ func TestSelectOperatingPoint(t *testing.T) {
 	prog := isa.MustAssemble("sumloop", fwProg)
 	spec := ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2}
 	ratios := []float64{1.05, 1.13, 1.22}
-	points, best, err := f.SelectOperatingPoint("sumloop", spec, ratios)
+	points, best, err := f.SelectOperatingPoint(context.Background(), "sumloop", spec, ratios)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,10 +56,10 @@ func TestSelectOperatingPoint(t *testing.T) {
 func TestSelectOperatingPointValidation(t *testing.T) {
 	f := testFramework(t)
 	prog := isa.MustAssemble("h", "halt\n")
-	if _, _, err := f.SelectOperatingPoint("h", ProgramSpec{Prog: prog, Scenarios: 1}, nil); err == nil {
+	if _, _, err := f.SelectOperatingPoint(context.Background(), "h", ProgramSpec{Prog: prog, Scenarios: 1}, nil); err == nil {
 		t.Error("no ratios should fail")
 	}
-	if _, _, err := f.SelectOperatingPoint("h", ProgramSpec{Prog: prog, Scenarios: 1}, []float64{-1}); err == nil {
+	if _, _, err := f.SelectOperatingPoint(context.Background(), "h", ProgramSpec{Prog: prog, Scenarios: 1}, []float64{-1}); err == nil {
 		t.Error("negative ratio should fail")
 	}
 }

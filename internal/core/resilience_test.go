@@ -1,0 +1,308 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tsperr/internal/cpu"
+	"tsperr/internal/faultinject"
+	"tsperr/internal/isa"
+)
+
+// hook adapts a faultinject.Injector to the AnalyzeOpts hook signature.
+func hook(in *faultinject.Injector) InjectFn {
+	return func(ctx context.Context, ph Phase, s int) error {
+		return in.Fire(ctx, faultinject.Point(ph), s)
+	}
+}
+
+func resilienceSpec(t *testing.T, scenarios int) ProgramSpec {
+	t.Helper()
+	prog := isa.MustAssemble("sumloop", fwProg)
+	return ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: scenarios}
+}
+
+// A panicking scenario must be recovered into a typed error and, being
+// transient (panic-once), succeed on retry with no degradation.
+func TestAnalyzePanicRecoveredAndRetried(t *testing.T) {
+	f := testFramework(t)
+	inj := faultinject.New(1, faultinject.PanicOnce(faultinject.Simulation, 2))
+	rep, err := f.AnalyzeWithOpts(context.Background(), "sumloop", resilienceSpec(t, 4), AnalyzeOpts{
+		Retries:      1,
+		RetryBackoff: -1,
+		Inject:       hook(inj),
+	})
+	if err != nil {
+		t.Fatalf("panic should be recovered and retried, got %v", err)
+	}
+	if rep.Degraded || rep.FailedScenarios != 0 {
+		t.Errorf("retried run must not be degraded: %+v", rep)
+	}
+	if len(rep.Scenarios) != 4 {
+		t.Errorf("scenarios = %d", len(rep.Scenarios))
+	}
+	if got := inj.Fired(faultinject.Simulation); got != 1 {
+		t.Errorf("panic fired %d times", got)
+	}
+}
+
+// Without a retry budget the recovered panic must surface as a phase-tagged
+// ScenarioError carrying the PanicError cause — not kill the process.
+func TestAnalyzePanicBecomesTypedError(t *testing.T) {
+	f := testFramework(t)
+	inj := faultinject.New(1, faultinject.PanicOnce(faultinject.Marginals, 1))
+	_, err := f.AnalyzeWithOpts(context.Background(), "sumloop", resilienceSpec(t, 2), AnalyzeOpts{
+		Inject: hook(inj),
+	})
+	if err == nil {
+		t.Fatal("unretried panic must fail the run")
+	}
+	ses := ScenarioErrors(err)
+	if len(ses) != 1 {
+		t.Fatalf("want 1 scenario error, got %d (%v)", len(ses), err)
+	}
+	se := ses[0]
+	if se.Scenario != 1 || se.Phase != PhaseMarginals {
+		t.Errorf("wrong tag: scenario %d phase %s", se.Scenario, se.Phase)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("cause is not a PanicError: %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("recovered panic should carry a stack")
+	}
+}
+
+// A run with MinScenarios satisfied completes with Degraded == true and the
+// joined failures listing every failed scenario.
+func TestAnalyzeDegradedRun(t *testing.T) {
+	f := testFramework(t)
+	inj := faultinject.New(1,
+		faultinject.FailAlways(faultinject.Setup, 1),
+		faultinject.FailAlways(faultinject.Marginals, 3),
+	)
+	rep, err := f.AnalyzeWithOpts(context.Background(), "sumloop", resilienceSpec(t, 5), AnalyzeOpts{
+		MinScenarios: 2,
+		RetryBackoff: -1,
+		Inject:       hook(inj),
+	})
+	if err != nil {
+		t.Fatalf("degraded run should succeed: %v", err)
+	}
+	if !rep.Degraded || rep.FailedScenarios != 2 {
+		t.Fatalf("want degraded with 2 failures, got degraded=%v failed=%d", rep.Degraded, rep.FailedScenarios)
+	}
+	if len(rep.Scenarios) != 3 {
+		t.Errorf("survivors = %d", len(rep.Scenarios))
+	}
+	if rep.Estimate == nil || rep.Estimate.LambdaMean <= 0 {
+		t.Error("degraded run must still produce an estimate from survivors")
+	}
+	ses := ScenarioErrors(rep.Failures)
+	if len(ses) != 2 {
+		t.Fatalf("joined failures = %d, want 2: %v", len(ses), rep.Failures)
+	}
+	got := map[int]Phase{}
+	for _, se := range ses {
+		got[se.Scenario] = se.Phase
+	}
+	if got[1] != PhaseSetup || got[3] != PhaseMarginals {
+		t.Errorf("failure tags wrong: %v", got)
+	}
+	if !errors.Is(rep.Failures, faultinject.ErrInjected) {
+		t.Error("joined failures must preserve the injected cause")
+	}
+}
+
+// When too few scenarios survive, the run aborts and the error joins every
+// failing scenario, not just the first.
+func TestAnalyzeMinScenariosUnmetJoinsAll(t *testing.T) {
+	f := testFramework(t)
+	inj := faultinject.New(1,
+		faultinject.FailAlways(faultinject.Simulation, 0),
+		faultinject.FailAlways(faultinject.Simulation, 2),
+		faultinject.FailAlways(faultinject.Simulation, 3),
+	)
+	_, err := f.AnalyzeWithOpts(context.Background(), "sumloop", resilienceSpec(t, 4), AnalyzeOpts{
+		MinScenarios: 2,
+		RetryBackoff: -1,
+		Inject:       hook(inj),
+	})
+	if err == nil {
+		t.Fatal("1 survivor < MinScenarios 2 must abort")
+	}
+	ses := ScenarioErrors(err)
+	if len(ses) != 3 {
+		t.Fatalf("want all 3 failures joined, got %d: %v", len(ses), err)
+	}
+	want := map[int]bool{0: true, 2: true, 3: true}
+	for _, se := range ses {
+		if !want[se.Scenario] {
+			t.Errorf("unexpected failing scenario %d", se.Scenario)
+		}
+		delete(want, se.Scenario)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing failures for scenarios %v", want)
+	}
+}
+
+// A transient failure is retried within the budget and leaves no trace on
+// the report.
+func TestAnalyzeTransientRetried(t *testing.T) {
+	f := testFramework(t)
+	inj := faultinject.New(1, faultinject.FailOnce(faultinject.Setup, 0))
+	rep, err := f.AnalyzeWithOpts(context.Background(), "sumloop", resilienceSpec(t, 3), AnalyzeOpts{
+		Retries:      2,
+		RetryBackoff: -1,
+		Inject:       hook(inj),
+	})
+	if err != nil {
+		t.Fatalf("transient failure within retry budget: %v", err)
+	}
+	if rep.Degraded {
+		t.Error("retried transient must not degrade the run")
+	}
+	// Scenario 0's setup hook ran twice (fail + success), the others once.
+	if calls := inj.Calls(faultinject.Setup); calls != 4 {
+		t.Errorf("setup hook calls = %d, want 4", calls)
+	}
+}
+
+// A cancelled context aborts a multi-scenario run promptly with a
+// context-tagged error, even while scenarios are held in flight.
+func TestAnalyzeCancellationAbortsPromptly(t *testing.T) {
+	f := testFramework(t)
+	inj := faultinject.New(1, faultinject.DelayEach(faultinject.Simulation, -1, 30*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.AnalyzeWithOpts(ctx, "sumloop", resilienceSpec(t, 6), AnalyzeOpts{
+		Inject: hook(inj),
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled run must fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error not context-tagged: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, not prompt", elapsed)
+	}
+	var se *ScenarioError
+	if !errors.As(err, &se) {
+		t.Errorf("cancellation should carry a phase tag: %v", err)
+	}
+}
+
+// Cancellations are never retried, even with a generous retry budget.
+func TestAnalyzeCancellationNotRetried(t *testing.T) {
+	f := testFramework(t)
+	inj := faultinject.New(1, faultinject.DelayEach(faultinject.Simulation, -1, 30*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.AnalyzeWithOpts(ctx, "sumloop", resilienceSpec(t, 2), AnalyzeOpts{
+		Retries: 10,
+		Inject:  hook(inj),
+	})
+	if err == nil {
+		t.Fatal("cancelled run must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("retries kept a cancelled run alive for %v", elapsed)
+	}
+}
+
+// FailFast cancels the remaining scenarios as soon as one fails for real.
+func TestAnalyzeFailFast(t *testing.T) {
+	f := testFramework(t)
+	inj := faultinject.New(1, faultinject.FailAlways(faultinject.Setup, 0))
+	_, err := f.AnalyzeWithOpts(context.Background(), "sumloop", resilienceSpec(t, 8), AnalyzeOpts{
+		Workers:  1,
+		FailFast: true,
+		Inject:   hook(inj),
+	})
+	if err == nil {
+		t.Fatal("fail-fast run must fail")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("missing injected cause: %v", err)
+	}
+	// With one worker and fail-fast, scenario 0 fails first and the pool
+	// context is cancelled before later scenarios simulate.
+	if calls := inj.Calls(faultinject.Simulation); calls != 0 {
+		t.Errorf("later scenarios simulated %d times after fail-fast", calls)
+	}
+}
+
+// The cpu runaway guard must surface as a typed, phase-tagged error through
+// the full pipeline — and so must a context deadline hitting the same loop;
+// whichever fires first, the run ends promptly instead of hanging.
+func TestAnalyzeRunawayGuardVsCancellation(t *testing.T) {
+	f := testFramework(t)
+	runaway := isa.MustAssemble("runaway", `
+	loop:
+		addi r1, r1, 1
+		beq  r0, r0, loop
+	`)
+	spec := ProgramSpec{
+		Prog:      runaway,
+		Scenarios: 2,
+		CPUConfig: cpu.Config{MemWords: 1 << 10, MaxInsts: 20_000, LoadUseStall: 1, BranchPenalty: 2},
+	}
+
+	// Instruction limit fires first: typed ErrInstLimit, simulation phase.
+	_, err := f.Analyze(context.Background(), "runaway", spec)
+	if err == nil {
+		t.Fatal("runaway program must fail")
+	}
+	if !errors.Is(err, cpu.ErrInstLimit) {
+		t.Errorf("want ErrInstLimit cause, got %v", err)
+	}
+	for _, se := range ScenarioErrors(err) {
+		if se.Phase != PhaseSimulation {
+			t.Errorf("runaway tagged %s, want %s", se.Phase, PhaseSimulation)
+		}
+	}
+
+	// Context fires first: huge limit, tight deadline.
+	spec.CPUConfig.MaxInsts = 1 << 62
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = f.Analyze(ctx, "runaway", spec)
+	if err == nil {
+		t.Fatal("deadline must abort the unbounded loop")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("want deadline cause, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline abort took %v", elapsed)
+	}
+}
+
+// The bounded pool must produce results identical to sequential execution
+// (determinism does not depend on worker count).
+func TestAnalyzeWorkerCountInvariance(t *testing.T) {
+	f := testFramework(t)
+	seq, err := f.AnalyzeWithOpts(context.Background(), "sumloop", resilienceSpec(t, 4), AnalyzeOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := f.AnalyzeWithOpts(context.Background(), "sumloop", resilienceSpec(t, 4), AnalyzeOpts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Estimate.LambdaMean != par.Estimate.LambdaMean ||
+		seq.Estimate.LambdaStd != par.Estimate.LambdaStd {
+		t.Errorf("worker count changed the estimate: %v/%v vs %v/%v",
+			seq.Estimate.LambdaMean, seq.Estimate.LambdaStd,
+			par.Estimate.LambdaMean, par.Estimate.LambdaStd)
+	}
+}

@@ -7,11 +7,23 @@
 package cpu
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 
 	"tsperr/internal/isa"
 )
+
+// ErrInstLimit is the typed cause returned when a run retires MaxInsts
+// instructions without halting (a runaway program). Callers distinguish it
+// from a context cancellation with errors.Is.
+var ErrInstLimit = errors.New("cpu: instruction limit exceeded")
+
+// ctxCheckInterval is how many retired instructions pass between context
+// polls in RunContext: frequent enough that cancellation aborts a simulation
+// promptly, rare enough that the check cost vanishes in the decode loop.
+const ctxCheckInterval = 8192
 
 // Stages of the pipeline, matching the 6-stage integer unit assumed in the
 // paper's experimental setup.
@@ -222,6 +234,18 @@ func shallowDepth(op isa.Op, a, b uint32) int {
 // Run executes the program from entry until halt, the end of the program, or
 // the instruction limit, invoking obs (if non-nil) per retired instruction.
 func (c *CPU) Run(obs Observer) (Stats, error) {
+	return c.RunContext(context.Background(), obs)
+}
+
+// RunContext is Run under a context: the simulation polls ctx every
+// ctxCheckInterval retired instructions and aborts with the context's error,
+// so a deadline or cancellation stops even a runaway program promptly. The
+// instruction limit and the context race; whichever fires first determines
+// the returned error (ErrInstLimit vs. ctx.Err()), never a hang.
+func (c *CPU) RunContext(ctx context.Context, obs Observer) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var st Stats
 	pc := 0
 	var d DynInst
@@ -229,7 +253,12 @@ func (c *CPU) Run(obs Observer) (Stats, error) {
 	var lastRd uint8
 	for pc >= 0 && pc < len(c.prog.Insts) {
 		if st.Instructions >= c.cfg.MaxInsts {
-			return st, fmt.Errorf("cpu: instruction limit %d exceeded (runaway program?)", c.cfg.MaxInsts)
+			return st, fmt.Errorf("%w: limit %d (runaway program?)", ErrInstLimit, c.cfg.MaxInsts)
+		}
+		if st.Instructions%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return st, fmt.Errorf("cpu: run aborted after %d instructions: %w", st.Instructions, err)
+			}
 		}
 		in := &c.prog.Insts[pc]
 		a := c.regs[in.Rs1]

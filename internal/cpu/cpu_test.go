@@ -1,9 +1,12 @@
 package cpu
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"tsperr/internal/isa"
 )
@@ -318,5 +321,60 @@ func TestCorrectionSchemes(t *testing.T) {
 func TestStageNames(t *testing.T) {
 	if StageName(0) != "IF" || StageName(NumStages-1) != "WB" {
 		t.Error("stage naming")
+	}
+}
+
+func TestRunawayGuardTypedError(t *testing.T) {
+	p, _ := isa.Assemble("spin", "loop: j loop\n")
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 1000
+	c, _ := New(p, cfg)
+	st, err := c.Run(nil)
+	if !errors.Is(err, ErrInstLimit) {
+		t.Fatalf("want ErrInstLimit, got %v", err)
+	}
+	if st.Instructions < cfg.MaxInsts {
+		t.Errorf("guard fired early at %d instructions", st.Instructions)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	p, _ := isa.Assemble("spin", "loop: j loop\n")
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 1 << 62 // limit effectively off: only ctx can stop the loop
+	c, _ := New(p, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.RunContext(ctx, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation was not prompt")
+	}
+}
+
+// Whichever guard fires first yields a typed error, never a hang: with a
+// tiny instruction limit and an already-expired context, each run ends with
+// exactly one of the two causes.
+func TestRunawayGuardVsContextRace(t *testing.T) {
+	p, _ := isa.Assemble("spin", "loop: j loop\n")
+	cfg := DefaultConfig()
+	cfg.MaxInsts = ctxCheckInterval / 2 // limit trips before the first ctx poll
+	c, _ := New(p, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.RunContext(ctx, nil)
+	if !errors.Is(err, ErrInstLimit) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("untyped abort: %v", err)
+	}
+}
+
+func TestRunContextCompletesNormally(t *testing.T) {
+	p, _ := isa.Assemble("ok", "li r1, 3\nhalt\n")
+	c, _ := New(p, DefaultConfig())
+	if _, err := c.RunContext(context.Background(), nil); err != nil {
+		t.Fatalf("normal run under ctx: %v", err)
 	}
 }

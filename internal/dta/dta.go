@@ -114,7 +114,11 @@ func (a *Analyzer) StageDTS(eps []netlist.GateID, t int, tr *activity.Trace) (va
 	if len(ap) == 0 {
 		return variation.Canon{}, false
 	}
-	return sta.StatMin(ap), true
+	mn, err := sta.StatMin(ap)
+	if err != nil {
+		return variation.Canon{}, false
+	}
+	return mn, true
 }
 
 // StageDTSAll runs StageDTS over all endpoints of a pipeline stage.
@@ -142,7 +146,11 @@ func (a *Analyzer) InstDTS(t int, tr *activity.Trace, keep func(*netlist.Gate) b
 	if len(forms) == 0 {
 		return variation.Canon{}, false
 	}
-	return sta.StatMin(forms), true
+	mn, err := sta.StatMin(forms)
+	if err != nil {
+		return variation.Canon{}, false
+	}
+	return mn, true
 }
 
 // ErrorProbability converts an instruction DTS form into the probability of

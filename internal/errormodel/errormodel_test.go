@@ -53,6 +53,15 @@ func TestNewMachineRejectsBadOptions(t *testing.T) {
 	if _, err := NewMachine(o); err == nil {
 		t.Error("zero base frequency should fail")
 	}
+	// Regression: an out-of-domain calibration quantile used to panic deep
+	// inside the SSTA percentile; it must be rejected at the input boundary.
+	for _, p := range []float64{0, 1, 1.5, -0.1, math.NaN()} {
+		o := DefaultOptions()
+		o.CalibrationPercentile = p
+		if _, err := NewMachine(o); err == nil {
+			t.Errorf("CalibrationPercentile %v should fail", p)
+		}
+	}
 }
 
 func TestTrainDatapathMonotone(t *testing.T) {

@@ -99,6 +99,13 @@ func NewMachine(opts Options) (*Machine, error) {
 	if opts.BaseFreqMHz <= 0 || opts.WorkingRatio <= 0 || opts.PoFFRatio <= 0 {
 		return nil, fmt.Errorf("errormodel: non-positive frequency configuration")
 	}
+	// Reject the quantile here, at the input boundary: downstream it feeds
+	// NormalQuantile on the calibration path, which must never see an
+	// out-of-domain probability.
+	if !(opts.CalibrationPercentile > 0 && opts.CalibrationPercentile < 1) {
+		return nil, fmt.Errorf("errormodel: CalibrationPercentile %v outside (0, 1)",
+			opts.CalibrationPercentile)
+	}
 	model, err := variation.NewModel(opts.VariationLevels, opts.CorrShare)
 	if err != nil {
 		return nil, err

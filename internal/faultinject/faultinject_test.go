@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFailOnceDisarms(t *testing.T) {
+	in := New(1, FailOnce(Setup, 0))
+	if err := in.Fire(context.Background(), Setup, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first call: %v", err)
+	}
+	if err := in.Fire(context.Background(), Setup, 0); err != nil {
+		t.Fatalf("rule should disarm after one firing: %v", err)
+	}
+	if in.Calls(Setup) != 2 || in.Fired(Setup) != 1 {
+		t.Errorf("calls=%d fired=%d", in.Calls(Setup), in.Fired(Setup))
+	}
+}
+
+func TestRuleMatchesPointAndScenario(t *testing.T) {
+	in := New(1, FailAlways(Simulation, 2))
+	if err := in.Fire(context.Background(), Setup, 2); err != nil {
+		t.Errorf("wrong point fired: %v", err)
+	}
+	if err := in.Fire(context.Background(), Simulation, 1); err != nil {
+		t.Errorf("wrong scenario fired: %v", err)
+	}
+	if err := in.Fire(context.Background(), Simulation, 2); !errors.Is(err, ErrInjected) {
+		t.Errorf("matching call: %v", err)
+	}
+}
+
+func TestWildcardScenario(t *testing.T) {
+	in := New(1, FailAlways(Marginals, -1))
+	for s := 0; s < 3; s++ {
+		if err := in.Fire(context.Background(), Marginals, s); !errors.Is(err, ErrInjected) {
+			t.Errorf("scenario %d: %v", s, err)
+		}
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	custom := errors.New("disk on fire")
+	in := New(1, Rule{Point: Setup, Scenario: -1, Mode: Fail, Err: custom})
+	err := in.Fire(context.Background(), Setup, 0)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, custom) {
+		t.Errorf("custom cause lost: %v", err)
+	}
+}
+
+func TestPanicOnceCarriesValue(t *testing.T) {
+	in := New(1, PanicOnce(Simulation, 3))
+	func() {
+		defer func() {
+			v, ok := recover().(PanicValue)
+			if !ok || v.Point != Simulation || v.Scenario != 3 {
+				t.Errorf("panic value = %v", v)
+			}
+		}()
+		in.Fire(context.Background(), Simulation, 3)
+	}()
+	if err := in.Fire(context.Background(), Simulation, 3); err != nil {
+		t.Errorf("panic rule should disarm: %v", err)
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	in := New(1, DelayEach(Simulation, -1, 30*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Fire(ctx, Simulation, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cancelled delay: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("delay ignored cancellation")
+	}
+}
+
+func TestDelayElapses(t *testing.T) {
+	in := New(1, DelayEach(Setup, -1, time.Millisecond))
+	if err := in.Fire(context.Background(), Setup, 0); err != nil {
+		t.Errorf("elapsed delay should succeed: %v", err)
+	}
+}
+
+// Probabilistic rules replay identically for a fixed seed.
+func TestProbDeterministic(t *testing.T) {
+	schedule := func() []bool {
+		in := New(42, Rule{Point: Setup, Scenario: -1, Mode: Fail, Prob: 0.5})
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = in.Fire(context.Background(), Setup, 0) != nil
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at call %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Errorf("prob 0.5 fired %d/%d times", fires, len(a))
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	custom := errors.New("first")
+	in := New(1,
+		Rule{Point: Setup, Scenario: 0, Mode: Fail, Times: 1, Err: custom},
+		FailAlways(Setup, -1),
+	)
+	if err := in.Fire(context.Background(), Setup, 0); !errors.Is(err, custom) {
+		t.Errorf("first rule should win: %v", err)
+	}
+	// After the first disarms, the wildcard takes over.
+	if err := in.Fire(context.Background(), Setup, 0); errors.Is(err, custom) || !errors.Is(err, ErrInjected) {
+		t.Errorf("fallthrough to second rule: %v", err)
+	}
+}

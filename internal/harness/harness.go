@@ -4,6 +4,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -47,8 +48,15 @@ func SpecFor(b mibench.Benchmark, scenarios int) core.ProgramSpec {
 	}
 }
 
-// Analyze runs the full framework on one named benchmark.
-func Analyze(name string, scenarios int) (*core.Report, error) {
+// Analyze runs the full framework on one named benchmark with strict
+// failure semantics, honoring ctx cancellation and deadlines.
+func Analyze(ctx context.Context, name string, scenarios int) (*core.Report, error) {
+	return AnalyzeWithOpts(ctx, name, scenarios, core.AnalyzeOpts{})
+}
+
+// AnalyzeWithOpts is Analyze with explicit resilience options (worker
+// bound, retries, fail-fast, graceful degradation via MinScenarios).
+func AnalyzeWithOpts(ctx context.Context, name string, scenarios int, opts core.AnalyzeOpts) (*core.Report, error) {
 	b, err := mibench.ByName(name)
 	if err != nil {
 		return nil, err
@@ -57,7 +65,7 @@ func Analyze(name string, scenarios int) (*core.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.Analyze(b.Name, SpecFor(b, scenarios))
+	return f.AnalyzeWithOpts(ctx, b.Name, SpecFor(b, scenarios), opts)
 }
 
 // Table2Header returns the header of the Table 2 reproduction.
@@ -67,14 +75,49 @@ func Table2Header() string {
 		"Mean(%)", "SD(%)", "dK(l)", "dK(R)")
 }
 
-// Table2Row formats one report as a Table 2 row.
+// Table2Row formats one report as a Table 2 row. A degraded run (some
+// scenarios dropped, survivors above the MinScenarios floor) is flagged at
+// the end of the row so the condition is visible in every table output.
 func Table2Row(rep *core.Report) string {
 	e := rep.Estimate
-	return fmt.Sprintf("%-13s %15d %7d %10.2f %10.2f %8.3f %8.3f %8.3f %8.3f",
+	row := fmt.Sprintf("%-13s %15d %7d %10.2f %10.2f %8.3f %8.3f %8.3f %8.3f",
 		rep.Name, rep.Instructions, rep.BasicBlocks,
 		rep.Training.Seconds(), rep.Simulation.Seconds(),
 		100*e.MeanErrorRate(), 100*e.StdErrorRate(),
 		e.DKLambda, e.DKCount)
+	if rep.Degraded {
+		row += fmt.Sprintf("  DEGRADED(%d/%d scenarios failed)",
+			rep.FailedScenarios, rep.FailedScenarios+len(rep.Scenarios))
+	}
+	return row
+}
+
+// FailureDetail renders the per-scenario breakdown of an Analyze error or a
+// degraded report's Failures: one line per failing scenario with its phase
+// tag, ready for CLI stderr. It returns "" for nil.
+func FailureDetail(err error) string {
+	if err == nil {
+		return ""
+	}
+	ses := core.ScenarioErrors(err)
+	if len(ses) == 0 {
+		return err.Error()
+	}
+	var sb strings.Builder
+	for i, se := range ses {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		if se.Scenario >= 0 {
+			fmt.Fprintf(&sb, "scenario %d [%s]: %v", se.Scenario, se.Phase, se.Err)
+		} else {
+			fmt.Fprintf(&sb, "[%s]: %v", se.Phase, se.Err)
+		}
+		if se.Attempts > 1 {
+			fmt.Fprintf(&sb, " (after %d attempts)", se.Attempts)
+		}
+	}
+	return sb.String()
 }
 
 // Figure3Point is one sample of a benchmark's error-rate CDF curve with its

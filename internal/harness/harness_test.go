@@ -1,9 +1,13 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
+	"tsperr/internal/core"
+	"tsperr/internal/faultinject"
 	"tsperr/internal/mibench"
 )
 
@@ -11,7 +15,7 @@ func TestAnalyzeEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full framework run")
 	}
-	rep, err := Analyze("patricia", 3)
+	rep, err := Analyze(context.Background(), "patricia", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +37,7 @@ func TestAnalyzeEndToEnd(t *testing.T) {
 }
 
 func TestAnalyzeUnknown(t *testing.T) {
-	if _, err := Analyze("nonesuch", 2); err == nil {
+	if _, err := Analyze(context.Background(), "nonesuch", 2); err == nil {
 		t.Error("unknown benchmark should fail")
 	}
 }
@@ -42,7 +46,7 @@ func TestTable2Formatting(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full framework run")
 	}
-	rep, err := Analyze("patricia", 2)
+	rep, err := Analyze(context.Background(), "patricia", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +70,7 @@ func TestFigure3SeriesShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Analyze("patricia", 2)
+	rep, err := Analyze(context.Background(), "patricia", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,5 +111,41 @@ func TestSpecForDefaults(t *testing.T) {
 	}
 	if spec.ScaleToInsts != b.ScaleTo || spec.Prog != b.Prog {
 		t.Error("spec fields wrong")
+	}
+}
+
+// A degraded report must be visibly flagged in its Table 2 row, and the
+// failure detail must name every dropped scenario with its phase tag.
+func TestDegradedRowAndFailureDetail(t *testing.T) {
+	inj := faultinject.New(1, faultinject.FailAlways(faultinject.Setup, 1))
+	rep, err := AnalyzeWithOpts(context.Background(), "stringsearch", 3, core.AnalyzeOpts{
+		MinScenarios: 2,
+		RetryBackoff: -1,
+		Inject: func(ctx context.Context, ph core.Phase, s int) error {
+			return inj.Fire(ctx, faultinject.Point(ph), s)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatal("run should be degraded")
+	}
+	row := Table2Row(rep)
+	if !strings.Contains(row, "DEGRADED(1/3 scenarios failed)") {
+		t.Errorf("degraded flag missing from row: %q", row)
+	}
+	detail := FailureDetail(rep.Failures)
+	if !strings.Contains(detail, "scenario 1 [setup]") {
+		t.Errorf("detail missing scenario tag: %q", detail)
+	}
+}
+
+func TestFailureDetailNilAndPlain(t *testing.T) {
+	if FailureDetail(nil) != "" {
+		t.Error("nil error should render empty")
+	}
+	if got := FailureDetail(errors.New("boom")); got != "boom" {
+		t.Errorf("plain error should pass through, got %q", got)
 	}
 }

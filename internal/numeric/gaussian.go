@@ -6,6 +6,7 @@ package numeric
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -35,9 +36,30 @@ func NormalCDFMeanStd(x, mean, std float64) float64 {
 	return NormalCDF((x - mean) / std)
 }
 
+// ErrQuantileDomain reports a quantile probability outside (0, 1).
+var ErrQuantileDomain = errors.New("numeric: quantile probability outside (0, 1)")
+
+// NormalQuantileErr is NormalQuantile with the domain check surfaced as a
+// returned error instead of a panic: the form to use whenever p derives from
+// user input or configuration. p of exactly 0 or 1 yields the infinite
+// quantile without error.
+func NormalQuantileErr(p float64) (float64, error) {
+	switch {
+	case p == 0:
+		return math.Inf(-1), nil
+	case p == 1:
+		return math.Inf(1), nil
+	case p > 0 && p < 1:
+		return NormalQuantile(p), nil
+	}
+	return math.NaN(), fmt.Errorf("%w: p = %v", ErrQuantileDomain, p)
+}
+
 // NormalQuantile returns the x such that NormalCDF(x) = p, using the
 // Beasley-Springer-Moro / Acklam rational approximation refined with one
-// Halley step. It panics for p outside (0, 1).
+// Halley step. It panics for p outside (0, 1); interior hot paths with
+// compile-time-constant p may rely on that, while anything fed from input
+// should go through NormalQuantileErr.
 func NormalQuantile(p float64) float64 {
 	if p <= 0 || p >= 1 {
 		if p == 0 {
@@ -97,6 +119,15 @@ func (g Gaussian) PDF(x float64) float64 {
 // Quantile returns the p-th quantile.
 func (g Gaussian) Quantile(p float64) float64 {
 	return g.Mean + g.Std*NormalQuantile(p)
+}
+
+// QuantileErr is Quantile with the domain check surfaced as an error.
+func (g Gaussian) QuantileErr(p float64) (float64, error) {
+	q, err := NormalQuantileErr(p)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return g.Mean + g.Std*q, nil
 }
 
 // Var returns the variance.

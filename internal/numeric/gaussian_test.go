@@ -223,3 +223,33 @@ func TestClamp(t *testing.T) {
 		t.Error("clamp misbehaves")
 	}
 }
+
+// Regression: out-of-domain probabilities used to panic; the Err form must
+// return ErrQuantileDomain instead, while the endpoints stay infinite.
+func TestNormalQuantileErrDomain(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, err := NormalQuantileErr(p); err == nil {
+			t.Errorf("NormalQuantileErr(%v) should fail", p)
+		}
+	}
+	if x, err := NormalQuantileErr(0); err != nil || !math.IsInf(x, -1) {
+		t.Errorf("NormalQuantileErr(0) = %v, %v", x, err)
+	}
+	if x, err := NormalQuantileErr(1); err != nil || !math.IsInf(x, 1) {
+		t.Errorf("NormalQuantileErr(1) = %v, %v", x, err)
+	}
+	if x, err := NormalQuantileErr(0.975); err != nil || math.Abs(x-1.959964) > 1e-4 {
+		t.Errorf("NormalQuantileErr(0.975) = %v, %v", x, err)
+	}
+}
+
+func TestGaussianQuantileErr(t *testing.T) {
+	g := Gaussian{Mean: 10, Std: 2}
+	q, err := g.QuantileErr(0.5)
+	if err != nil || math.Abs(q-10) > 1e-9 {
+		t.Errorf("median = %v, %v", q, err)
+	}
+	if _, err := g.QuantileErr(2); err == nil {
+		t.Error("out-of-domain quantile should fail")
+	}
+}

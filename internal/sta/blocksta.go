@@ -113,7 +113,10 @@ func (e *Engine) CriticalityGap(k int) float64 {
 			for i, p := range paths {
 				forms[i] = e.PathSlack(p)
 			}
-			pathSlack := StatMin(forms)
+			pathSlack, err := StatMin(forms)
+			if err != nil {
+				continue
+			}
 			if gap := math.Abs(blockSlack.Mean - pathSlack.Mean); gap > worst {
 				worst = gap
 			}

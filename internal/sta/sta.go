@@ -9,6 +9,7 @@ package sta
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -263,15 +264,21 @@ func (e *Engine) PathSlack(p netlist.Path) variation.Canon {
 // near-critical ones, which the sorted fold visits first).
 const statMinGreedyLimit = 96
 
+// ErrEmptySet reports a statistical reduction over zero canonical forms,
+// which has no defined result.
+var ErrEmptySet = errors.New("sta: statistical min of empty set")
+
 // StatMin reduces a set of canonical slack forms to the canonical form of
 // their minimum using a greedy sequence of pairwise Clark minimums in the
 // order that minimizes approximation error [21]: at each step the pair with
 // the highest correlation is merged first, because Clark's approximation is
 // exact in the limit of perfectly correlated operands. Very large sets are
-// pre-reduced with a sorted fold.
-func StatMin(forms []variation.Canon) variation.Canon {
+// pre-reduced with a sorted fold. An empty set returns ErrEmptySet — the
+// condition is reachable from sparse inputs (e.g. a trace that never
+// activates a unit), so it must not panic.
+func StatMin(forms []variation.Canon) (variation.Canon, error) {
 	if len(forms) == 0 {
-		panic("sta: StatMin of empty set")
+		return variation.Canon{}, ErrEmptySet
 	}
 	work := make([]variation.Canon, len(forms))
 	copy(work, forms)
@@ -301,7 +308,7 @@ func StatMin(forms []variation.Canon) variation.Canon {
 		work = work[:len(work)-1]
 		work[bi] = merged
 	}
-	return work[0]
+	return work[0], nil
 }
 
 // WorstSlackNominal returns the most negative nominal endpoint slack in a
@@ -351,13 +358,17 @@ func (e *Engine) MaxDelayPercentile(p float64, k int) float64 {
 	if len(forms) == 0 {
 		return 0
 	}
-	// Statistical maximum via the dual of StatMin.
+	// Statistical maximum via the dual of StatMin; forms is non-empty here,
+	// so the reduction cannot fail.
 	neg := make([]variation.Canon, len(forms))
 	for i, f := range forms {
 		neg[i] = f.Neg()
 	}
-	mx := StatMin(neg).Neg()
-	return mx.Percentile(p)
+	mn, err := StatMin(neg)
+	if err != nil {
+		return 0
+	}
+	return mn.Neg().Percentile(p)
 }
 
 // EndpointSlackForms returns the slack canonical forms of the k most

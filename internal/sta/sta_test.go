@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -136,23 +137,34 @@ func TestStatMinProperties(t *testing.T) {
 	a := m.Canonical(0.1, 0.1, 100, 0.05)
 	b := m.Canonical(0.9, 0.9, 110, 0.05)
 	c := m.Canonical(0.5, 0.5, 120, 0.05)
-	mn := StatMin([]variation.Canon{a, b, c})
+	mn, err := StatMin([]variation.Canon{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mn.Mean > 100 {
 		t.Errorf("min mean %v should be below the smallest operand mean", mn.Mean)
 	}
 	if mn.Mean < 90 {
 		t.Errorf("min mean %v implausibly low", mn.Mean)
 	}
-	single := StatMin([]variation.Canon{a})
+	single, err := StatMin([]variation.Canon{a})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if single.Mean != a.Mean {
 		t.Error("StatMin of one element should be identity")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("StatMin of empty set should panic")
-		}
-	}()
-	StatMin(nil)
+}
+
+// Regression: an empty set used to panic; it must return ErrEmptySet so
+// sparse traces cannot crash the estimation pipeline.
+func TestStatMinEmptySetError(t *testing.T) {
+	if _, err := StatMin(nil); !errors.Is(err, ErrEmptySet) {
+		t.Errorf("StatMin(nil) = %v, want ErrEmptySet", err)
+	}
+	if _, err := StatMin([]variation.Canon{}); !errors.Is(err, ErrEmptySet) {
+		t.Errorf("StatMin(empty) = %v, want ErrEmptySet", err)
+	}
 }
 
 func TestStatMinOrderInsensitiveApprox(t *testing.T) {
@@ -164,8 +176,14 @@ func TestStatMinOrderInsensitiveApprox(t *testing.T) {
 		m.Canonical(0.8, 0.2, 108, 0.06),
 	}
 	rev := []variation.Canon{forms[3], forms[2], forms[1], forms[0]}
-	a := StatMin(forms)
-	b := StatMin(rev)
+	a, err := StatMin(forms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StatMin(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(a.Mean-b.Mean) > 0.5 || math.Abs(a.Std()-b.Std()) > 0.5 {
 		t.Errorf("greedy min should be nearly order-insensitive: %v/%v vs %v/%v",
 			a.Mean, a.Std(), b.Mean, b.Std())
