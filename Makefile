@@ -20,8 +20,13 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# `make bench` records the full benchmark suite as go-test JSON events in
+# BENCH_<date>.json (benchstat-friendly after extracting the output lines:
+#   jq -r 'select(.Action=="output").Output' BENCH_<date>.json | benchstat -).
+BENCH_OUT := BENCH_$(shell date +%Y-%m-%d).json
+
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -run '^$$' -bench . -benchmem -json . | tee $(BENCH_OUT)
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@ import (
 	"context"
 	"math"
 	"testing"
+	"time"
 
 	"tsperr/internal/activity"
 	"tsperr/internal/cell"
@@ -264,6 +265,59 @@ func BenchmarkFrameworkSetup(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFrameworkSetupWarm measures a warm start from the persistent
+// model cache: the first (untimed) build publishes the snapshot, then every
+// timed iteration restores the machine from cached delay scales and trained
+// tables, skipping SSTA calibration and datapath training entirely.
+func BenchmarkFrameworkSetupWarm(b *testing.B) {
+	dir := b.TempDir()
+	opts := errormodel.DefaultOptions()
+	if _, warm, err := core.NewFrameworkCached(opts, dir); err != nil {
+		b.Fatal(err)
+	} else if warm {
+		b.Fatal("first build cannot be warm")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, warm, err := core.NewFrameworkCached(opts, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !warm {
+			b.Fatal("primed cache should stay warm")
+		}
+	}
+}
+
+// BenchmarkCharacterizeControl measures the per-program control-network DTS
+// characterization (the gate-level block-parallel phase). The stimulus memo
+// is cleared each iteration so the number reflects a cold characterization;
+// a separate metric reports the warm (fully memoized) cost.
+func BenchmarkCharacterizeControl(b *testing.B) {
+	f, err := harness.SharedFramework()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := harness.Analyze(context.Background(), "stringsearch", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := rep.Scenarios[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Machine.ClearStimulusMemo()
+		if _, err := f.Machine.CharacterizeControl(rep.Graph, sc.Profile, sc.Features.Results); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	warmStart := time.Now()
+	if _, err := f.Machine.CharacterizeControl(rep.Graph, sc.Profile, sc.Features.Results); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(time.Since(warmStart).Seconds()*1e3, "warm_ms")
 }
 
 // BenchmarkSimulationThroughput measures instrumented-simulation speed in

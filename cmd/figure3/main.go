@@ -28,7 +28,9 @@ func main() {
 	maxRate := flag.Float64("max", 1.6, "largest error rate (percent) on the axis")
 	csv := flag.Bool("csv", false, "emit CSV series instead of text panels")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
+	harness.SetModelCache(modelCache())
 	ctx, cancel := cliutil.Context(*timeout)
 	defer cancel()
 

@@ -23,6 +23,7 @@ import (
 	"tsperr/internal/errormodel"
 	"tsperr/internal/harness"
 	"tsperr/internal/mibench"
+	"tsperr/internal/modelcache"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	ratioList := flag.String("ratios", "1.05,1.10,1.13,1.15,1.18,1.21",
 		"comma-separated frequency ratios to evaluate")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: oppoint [-scenarios N] [-ratios ...] [-timeout D] <benchmark>")
@@ -51,7 +53,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fw, err := core.NewFramework(errormodel.DefaultOptions())
+	// The sweep re-trains per ratio, but the base-point machine itself can
+	// come from the persistent model cache.
+	var fw *core.Framework
+	if enabled, dir := modelCache(); enabled {
+		if dir == "" {
+			dir, _ = modelcache.DefaultDir()
+		}
+		if dir != "" {
+			fw, _, err = core.NewFrameworkCached(errormodel.DefaultOptions(), dir)
+		}
+	}
+	if fw == nil && err == nil {
+		fw, err = core.NewFramework(errormodel.DefaultOptions())
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

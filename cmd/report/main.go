@@ -33,7 +33,9 @@ func main() {
 	retries := flag.Int("retries", 0, "per-scenario retries for transient failures")
 	minScenarios := flag.Int("min-scenarios", 0,
 		"proceed degraded if at least this many scenarios survive per benchmark (0 = all must succeed)")
+	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
+	harness.SetModelCache(modelCache())
 	ctx, cancel := cliutil.Context(*timeout)
 	defer cancel()
 	opts := core.AnalyzeOpts{Retries: *retries, MinScenarios: *minScenarios}

@@ -68,13 +68,14 @@ func (tr *Trace) Cycles() int { return len(tr.Sets) }
 
 // Simulator evaluates a netlist one clock cycle at a time.
 type Simulator struct {
-	n      *netlist.Netlist
-	topo   []netlist.GateID
-	values []bool // settled output values in the current cycle
-	prev   []bool // settled output values in the previous cycle
-	state  []bool // flip-flop captured states
-	inBuf  []bool // scratch for gate input gathering
-	first  bool
+	n       *netlist.Netlist
+	topo    []netlist.GateID
+	values  []bool // settled output values in the current cycle
+	prev    []bool // settled output values in the previous cycle
+	state   []bool // flip-flop captured states
+	inBuf   []bool // scratch for gate input gathering
+	inDense []bool // scratch for map-to-dense input conversion
+	first   bool
 }
 
 // NewSimulator builds a simulator; the netlist must validate.
@@ -88,13 +89,14 @@ func NewSimulator(n *netlist.Netlist) (*Simulator, error) {
 	}
 	m := n.NumGates()
 	return &Simulator{
-		n:      n,
-		topo:   topo,
-		values: make([]bool, m),
-		prev:   make([]bool, m),
-		state:  make([]bool, m),
-		inBuf:  make([]bool, 3),
-		first:  true,
+		n:       n,
+		topo:    topo,
+		values:  make([]bool, m),
+		prev:    make([]bool, m),
+		state:   make([]bool, m),
+		inBuf:   make([]bool, 3),
+		inDense: make([]bool, m),
+		first:   true,
 	}, nil
 }
 
@@ -121,8 +123,25 @@ func (s *Simulator) Value(id netlist.GateID) bool { return s.values[id] }
 // Cycle advances one clock cycle: flip-flops capture the D values settled in
 // the previous cycle, primary inputs take the supplied values, combinational
 // logic settles, and the set of activated gates is returned. The returned
-// BitSet is freshly allocated and safe to retain.
+// BitSet is freshly allocated and safe to retain. Inputs absent from the map
+// read as false.
 func (s *Simulator) Cycle(inputs map[netlist.GateID]bool) BitSet {
+	for i := range s.inDense {
+		s.inDense[i] = false
+	}
+	for id, v := range inputs {
+		if v && int(id) < len(s.inDense) {
+			s.inDense[id] = true
+		}
+	}
+	return s.CycleDense(s.inDense)
+}
+
+// CycleDense is Cycle with the primary-input values supplied as a dense
+// slice indexed by GateID (len >= NumGates); only INPUT gates are read. The
+// caller may mutate and reuse vals across cycles, which avoids the per-cycle
+// map hashing of Cycle on hot characterization paths.
+func (s *Simulator) CycleDense(vals []bool) BitSet {
 	gates := s.n.Gates()
 	// Clock edge: capture D pins from the previous cycle's settled values.
 	if !s.first {
@@ -139,7 +158,7 @@ func (s *Simulator) Cycle(inputs map[netlist.GateID]bool) BitSet {
 		g := &gates[id]
 		switch g.Kind {
 		case cell.INPUT:
-			s.values[id] = inputs[id]
+			s.values[id] = vals[id]
 		case cell.DFF:
 			s.values[id] = s.state[id]
 		case cell.CONST0:

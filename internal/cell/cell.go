@@ -4,7 +4,10 @@
 // worst-arc number per cell); the SSTA layer adds process variation on top.
 package cell
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Kind identifies a standard cell.
 type Kind uint8
@@ -144,4 +147,17 @@ func (k Kind) IsSource() bool {
 // inputs within the cycle.
 func (k Kind) IsCombinational() bool {
 	return !k.IsSource()
+}
+
+// Fingerprint returns a stable string capturing the library's timing
+// parameters: every cell's nominal delay plus the setup time and relative
+// sigma. The persistent model cache folds it into its key, so any edit to
+// the library invalidates previously cached trained models.
+func Fingerprint() string {
+	var b strings.Builder
+	for k := Kind(0); k < numKinds; k++ {
+		fmt.Fprintf(&b, "%s=%g;", k, k.Delay())
+	}
+	fmt.Fprintf(&b, "setup=%g;sigma=%g", Setup, SigmaRel)
+	return b.String()
 }

@@ -5,6 +5,7 @@ package cliutil
 
 import (
 	"context"
+	"flag"
 	"os"
 	"os/signal"
 	"syscall"
@@ -19,6 +20,19 @@ const (
 	// ExitUsage is a command-line usage error.
 	ExitUsage = 2
 )
+
+// ModelCacheFlags registers the shared -model-cache and -model-cache-dir
+// flags on the default flag set and returns a function to read them after
+// flag.Parse. The cache defaults to on for the CLI tools (the library keeps
+// it off), so repeated invocations skip the once-per-design calibration and
+// training; -model-cache=false forces a cold build.
+func ModelCacheFlags() func() (enabled bool, dir string) {
+	enabled := flag.Bool("model-cache", true,
+		"reuse calibrated+trained models from the on-disk cache")
+	dir := flag.String("model-cache-dir", "",
+		"model cache directory (default: the user cache dir)")
+	return func() (bool, string) { return *enabled, *dir }
+}
 
 // Context returns the root context of a CLI invocation: cancelled on
 // SIGINT/SIGTERM so a Ctrl-C aborts in-flight scenario simulations cleanly,

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"tsperr/internal/cell"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/modelcache"
+)
+
+// NewFrameworkCached is NewFramework backed by the persistent model cache in
+// dir. On a warm start (a valid snapshot exists for these options and the
+// current cell library) the expensive once-per-design work — SSTA calibration
+// of every unit and datapath training — is skipped: the machine rebuilds
+// from the cached delay scales and the trained tables restore directly. On a
+// miss the framework builds normally and its results are published to the
+// cache for the next run; a failed cache write is deliberately non-fatal
+// (the framework is still correct, the next run just stays cold).
+//
+// The returned warm flag reports whether the cache was hit.
+func NewFrameworkCached(opts errormodel.Options, dir string) (fw *Framework, warm bool, err error) {
+	key := modelcache.Key(opts, cell.Fingerprint())
+	if snap, ok := modelcache.Load(dir, key); ok {
+		m, merr := errormodel.NewMachineWithScales(opts, snap.Scales)
+		if merr == nil {
+			return &Framework{Machine: m, Datapath: snap.Datapath}, true, nil
+		}
+		// A snapshot that validates but cannot rebuild a machine (e.g. a unit
+		// was renamed without a schema bump) falls through to a full rebuild.
+	}
+	fw, err = NewFramework(opts)
+	if err != nil {
+		return nil, false, err
+	}
+	_ = modelcache.Save(dir, key, &modelcache.Snapshot{
+		Scales:   fw.Machine.Scales(),
+		Datapath: fw.Datapath,
+	})
+	return fw, false, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"tsperr/internal/cell"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/modelcache"
+)
+
+// TestNewFrameworkCachedWarm primes the cache from the shared fixture and
+// checks the warm path restores a framework with bit-identical trained
+// tables and calibrated scales, without retraining.
+func TestNewFrameworkCachedWarm(t *testing.T) {
+	f := testFramework(t)
+	dir := t.TempDir()
+	opts := errormodel.DefaultOptions()
+	key := modelcache.Key(opts, cell.Fingerprint())
+	if err := modelcache.Save(dir, key, &modelcache.Snapshot{
+		Scales:   f.Machine.Scales(),
+		Datapath: f.Datapath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fw, warm, err := NewFrameworkCached(opts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("primed cache should hit")
+	}
+	if !reflect.DeepEqual(fw.Datapath, f.Datapath) {
+		t.Error("restored datapath tables differ from the trained ones")
+	}
+	if !reflect.DeepEqual(fw.Machine.Scales(), f.Machine.Scales()) {
+		t.Errorf("restored scales %v != trained %v", fw.Machine.Scales(), f.Machine.Scales())
+	}
+	if fw.Machine.WorkingPeriodPs != f.Machine.WorkingPeriodPs {
+		t.Error("operating point differs after restore")
+	}
+}
+
+// TestNewFrameworkCachedColdPublishes exercises the full cold -> publish ->
+// warm cycle on an empty cache directory.
+func TestNewFrameworkCachedColdPublishes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full framework build in -short mode")
+	}
+	dir := t.TempDir()
+	opts := errormodel.DefaultOptions()
+	cold, warm, err := NewFrameworkCached(opts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Fatal("empty directory cannot be warm")
+	}
+	key := modelcache.Key(opts, cell.Fingerprint())
+	if _, err := os.Stat(modelcache.Path(dir, key)); err != nil {
+		t.Fatalf("cold build should publish a snapshot: %v", err)
+	}
+	hot, warm, err := NewFrameworkCached(opts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("second build should be warm")
+	}
+	if !reflect.DeepEqual(hot.Datapath, cold.Datapath) {
+		t.Error("warm datapath tables differ from the cold build")
+	}
+	if !reflect.DeepEqual(hot.Machine.Scales(), cold.Machine.Scales()) {
+		t.Error("warm scales differ from the cold build")
+	}
+}

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"tsperr/internal/cfg"
 	"tsperr/internal/dist"
@@ -48,6 +49,15 @@ type Estimate struct {
 	DKCount float64
 	// B1, B2 are the expected Chen-Stein terms (Eqs 7, 8) for diagnostics.
 	B1, B2 float64
+
+	// Equation (14) quadrature memo: the Simpson nodes and the Gaussian
+	// density weights depend only on the lambda distribution, not on the
+	// query point k, so they are computed once per estimate. Figure 3 and
+	// the quantile bisection evaluate the CDF hundreds of times.
+	mixOnce  sync.Once
+	mixNodes []float64
+	mixW     []float64
+	mixTrunc float64
 }
 
 // NewEstimate runs the Section 5 estimation over the scenarios.
@@ -198,25 +208,54 @@ func steinBound(g *cfg.Graph, scenarios []Scenario, weighted [][]float64) float6
 	return numeric.Clamp(math.Pow(2/math.Pi, 0.25)*(b1+b2), 0, 1)
 }
 
+// mixtureIntervals is the Simpson interval count of the Equation (14)
+// quadrature, matching the pre-memoized implementation.
+const mixtureIntervals = 600
+
+// initMixture precomputes the k-independent part of the Equation (14)
+// quadrature: node positions and composite-Simpson coefficients folded with
+// the Gaussian density of lambda.
+func (e *Estimate) initMixture() {
+	g := numeric.Gaussian{Mean: e.LambdaMean, Std: e.LambdaStd}
+	lo := math.Max(0, e.LambdaMean-8*e.LambdaStd)
+	hi := e.LambdaMean + 8*e.LambdaStd
+	h := (hi - lo) / mixtureIntervals
+	e.mixNodes = make([]float64, mixtureIntervals+1)
+	e.mixW = make([]float64, mixtureIntervals+1)
+	for i := 0; i <= mixtureIntervals; i++ {
+		x := lo + float64(i)*h
+		c := 1.0
+		if i > 0 && i < mixtureIntervals {
+			if i%2 == 1 {
+				c = 4
+			} else {
+				c = 2
+			}
+		}
+		e.mixNodes[i] = x
+		e.mixW[i] = c * g.PDF(x) * h / 3
+	}
+	// Mass truncated below zero behaves as lambda == 0 (CDF = 1 for k >= 0).
+	if lo == 0 {
+		e.mixTrunc = g.CDF(0)
+	}
+}
+
 // poissonMixtureCDF evaluates Equation (14): the probability of at most k
 // errors, integrating the Poisson CDF against the Gaussian density of
-// lambda, clamped to lambda > 0.
+// lambda, clamped to lambda > 0. Only the Poisson CDF factor depends on k;
+// the quadrature nodes and Gaussian weights come from the per-estimate memo.
 func (e *Estimate) poissonMixtureCDF(k float64) float64 {
 	if e.LambdaStd <= 0 {
 		return dist.Poisson{Lambda: math.Max(0, e.LambdaMean)}.CDF(k)
 	}
-	g := numeric.Gaussian{Mean: e.LambdaMean, Std: e.LambdaStd}
-	lo := math.Max(0, e.LambdaMean-8*e.LambdaStd)
-	hi := e.LambdaMean + 8*e.LambdaStd
-	integral := numeric.Simpson(func(x float64) float64 {
-		return dist.Poisson{Lambda: x}.CDF(k) * g.PDF(x)
-	}, lo, hi, 600)
-	// Mass truncated below zero behaves as lambda == 0 (CDF = 1 for k >= 0).
-	if lo == 0 {
-		truncated := g.CDF(0)
-		if k >= 0 {
-			integral += truncated
-		}
+	e.mixOnce.Do(e.initMixture)
+	var integral float64
+	for i, x := range e.mixNodes {
+		integral += e.mixW[i] * dist.Poisson{Lambda: x}.CDF(k)
+	}
+	if k >= 0 {
+		integral += e.mixTrunc
 	}
 	return numeric.Clamp(integral, 0, 1)
 }

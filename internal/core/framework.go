@@ -4,15 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"runtime/debug"
-	"sync"
 	"time"
 
 	"tsperr/internal/cfg"
 	"tsperr/internal/cpu"
 	"tsperr/internal/errormodel"
 	"tsperr/internal/isa"
+	"tsperr/internal/pool"
 )
 
 // Framework ties the whole flow of Figures 1 and 2 together: netlist
@@ -359,42 +358,15 @@ func protect[T any](fn func() (T, error)) (out T, err error) {
 	return fn()
 }
 
-// runPool executes work(s) for every scenario index on a bounded pool of
-// min(opts.Workers, n) goroutines, recording failures into errs. With
-// FailFast set, the first failure cancels the pool context so in-flight
-// simulations abort at their next context poll and pending scenarios are
-// marked cancelled.
+// runPool executes work(s) for every scenario index on the shared bounded
+// worker pool (internal/pool), recording failures into errs. With FailFast
+// set, the first failure cancels the pool context so in-flight simulations
+// abort at their next context poll and pending scenarios are marked
+// cancelled. Scenario panics are already converted to errors by the per-phase
+// recover wrappers, so the pool's own panic recovery is a second line of
+// defense only.
 func (f *Framework) runPool(ctx context.Context, n int, opts AnalyzeOpts, errs []error, work func(context.Context, int) error) {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	poolCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range idx {
-				if err := work(poolCtx, s); err != nil {
-					errs[s] = err
-					if opts.FailFast {
-						cancel()
-					}
-				}
-			}
-		}()
-	}
-	for s := 0; s < n; s++ {
-		idx <- s
-	}
-	close(idx)
-	wg.Wait()
+	pool.Run(ctx, n, opts.Workers, opts.FailFast, errs, work)
 }
 
 // withRetry runs one scenario attempt, retrying transient failures up to

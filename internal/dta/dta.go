@@ -6,10 +6,19 @@
 // most-critical-path scan runs twice (1st- and 99th-percentile orderings)
 // and the result is the statistical minimum over the collected activated
 // paths, exactly as Section 3 describes.
+//
+// The analyzer is safe for concurrent use and memoizes two layers of
+// repeated work: the per-endpoint critical-path enumeration (computed once
+// per endpoint, shared by every cycle), and full StageDTS results keyed by
+// the endpoint set plus the activation signature of its candidate paths —
+// two cycles that activate the same subset of candidate paths have, by
+// construction, the same DTS form, so the expensive statistical-minimum
+// reduction runs once per distinct signature.
 package dta
 
 import (
 	"sort"
+	"sync"
 
 	"tsperr/internal/activity"
 	"tsperr/internal/netlist"
@@ -25,14 +34,38 @@ type pathSlack struct {
 	p99   float64 // 99th percentile of slack (best case)
 }
 
-// Analyzer caches per-endpoint critical-path sets for a netlist and engine.
+// epPaths is the lazily computed candidate-path set of one endpoint. The
+// once guard lets concurrent callers share a single enumeration without
+// holding the analyzer lock during the (expensive) path search.
+type epPaths struct {
+	once sync.Once
+	ps   []pathSlack
+}
+
+// stageResult is one memoized StageDTS outcome.
+type stageResult struct {
+	form variation.Canon
+	ok   bool
+}
+
+// stageMemoLimit bounds the StageDTS memo; a characterization run over a
+// large program can see many distinct activation signatures, and dropping
+// the memo wholesale on overflow keeps memory bounded without affecting
+// results (entries are pure functions of their key).
+const stageMemoLimit = 1 << 16
+
+// Analyzer caches per-endpoint critical-path sets for a netlist and engine,
+// plus memoized stage DTS reductions. All methods are safe for concurrent
+// use by multiple goroutines.
 type Analyzer struct {
 	Engine *sta.Engine
 	// K is the number of most-critical paths enumerated per endpoint per
 	// ranking metric.
 	K int
 
-	cache map[netlist.GateID][]pathSlack
+	mu    sync.Mutex
+	cache map[netlist.GateID]*epPaths
+	stage map[string]stageResult
 }
 
 // New builds an analyzer. k must be positive.
@@ -40,26 +73,36 @@ func New(e *sta.Engine, k int) *Analyzer {
 	if k <= 0 {
 		k = 8
 	}
-	return &Analyzer{Engine: e, K: k, cache: map[netlist.GateID][]pathSlack{}}
+	return &Analyzer{
+		Engine: e, K: k,
+		cache: map[netlist.GateID]*epPaths{},
+		stage: map[string]stageResult{},
+	}
 }
 
-// endpointPaths returns the cached candidate paths of an endpoint.
+// endpointPaths returns the cached candidate paths of an endpoint,
+// enumerating them on first use. Concurrent callers for the same endpoint
+// block on the entry's once instead of duplicating the search.
 func (a *Analyzer) endpointPaths(ep netlist.GateID) []pathSlack {
-	if ps, ok := a.cache[ep]; ok {
-		return ps
+	a.mu.Lock()
+	e, ok := a.cache[ep]
+	if !ok {
+		e = &epPaths{}
+		a.cache[ep] = e
 	}
-	var out []pathSlack
-	for _, p := range a.Engine.CriticalPaths(ep, a.K) {
-		s := a.Engine.PathSlack(p)
-		out = append(out, pathSlack{
-			path:  p,
-			slack: s,
-			p01:   s.Percentile(0.01),
-			p99:   s.Percentile(0.99),
-		})
-	}
-	a.cache[ep] = out
-	return out
+	a.mu.Unlock()
+	e.once.Do(func() {
+		for _, p := range a.Engine.CriticalPaths(ep, a.K) {
+			s := a.Engine.PathSlack(p)
+			e.ps = append(e.ps, pathSlack{
+				path:  p,
+				slack: s,
+				p01:   s.Percentile(0.01),
+				p99:   s.Percentile(0.99),
+			})
+		}
+	})
+	return e.ps
 }
 
 // activated reports whether every gate of the path is in VCD(t)
@@ -76,10 +119,49 @@ func activated(p netlist.Path, tr *activity.Trace, t int) bool {
 // StageDTS is Algorithm 1 restricted to an endpoint set: it returns the
 // canonical DTS form of the given endpoints at cycle t, and false when no
 // path is activated (the stage imposes no timing constraint that cycle).
+// Results are memoized on the activation signature of the candidate paths,
+// so repeated cycles with identical activation patterns cost one map probe.
 func (a *Analyzer) StageDTS(eps []netlist.GateID, t int, tr *activity.Trace) (variation.Canon, bool) {
-	var ap []variation.Canon
+	// Gather candidate paths and their activation bits; together with the
+	// endpoint identities (and order, which fixes the reduction order) they
+	// fully determine the result.
+	type epAct struct {
+		ps  []pathSlack
+		act []bool
+	}
+	all := make([]epAct, 0, len(eps))
+	key := make([]byte, 0, 8*len(eps))
 	for _, ep := range eps {
 		ps := a.endpointPaths(ep)
+		act := make([]bool, len(ps))
+		var bits byte
+		key = append(key, byte(ep), byte(ep>>8), byte(ep>>16), byte(ep>>24))
+		for i := range ps {
+			if activated(ps[i].path, tr, t) {
+				act[i] = true
+				bits |= 1 << (uint(i) & 7)
+			}
+			if i&7 == 7 {
+				key = append(key, bits)
+				bits = 0
+			}
+		}
+		if len(ps)&7 != 0 {
+			key = append(key, bits)
+		}
+		all = append(all, epAct{ps: ps, act: act})
+	}
+	k := string(key)
+	a.mu.Lock()
+	if r, ok := a.stage[k]; ok {
+		a.mu.Unlock()
+		return r.form, r.ok
+	}
+	a.mu.Unlock()
+
+	var ap []variation.Canon
+	for _, ea := range all {
+		ps, act := ea.ps, ea.act
 		if len(ps) == 0 {
 			continue
 		}
@@ -99,7 +181,7 @@ func (a *Analyzer) StageDTS(eps []netlist.GateID, t int, tr *activity.Trace) (va
 				sort.SliceStable(idx, func(x, y int) bool { return ps[idx[x]].p99 < ps[idx[y]].p99 })
 			}
 			for _, i := range idx {
-				if activated(ps[i].path, tr, t) {
+				if act[i] {
 					found[i] = true
 					break
 				}
@@ -111,14 +193,19 @@ func (a *Analyzer) StageDTS(eps []netlist.GateID, t int, tr *activity.Trace) (va
 			}
 		}
 	}
-	if len(ap) == 0 {
-		return variation.Canon{}, false
+	var res stageResult
+	if len(ap) > 0 {
+		if mn, err := sta.StatMin(ap); err == nil {
+			res = stageResult{form: mn, ok: true}
+		}
 	}
-	mn, err := sta.StatMin(ap)
-	if err != nil {
-		return variation.Canon{}, false
+	a.mu.Lock()
+	if len(a.stage) >= stageMemoLimit {
+		a.stage = map[string]stageResult{}
 	}
-	return mn, true
+	a.stage[k] = res
+	a.mu.Unlock()
+	return res.form, res.ok
 }
 
 // StageDTSAll runs StageDTS over all endpoints of a pipeline stage.

@@ -2,6 +2,7 @@ package dta
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"tsperr/internal/activity"
@@ -152,5 +153,71 @@ func TestNewDefaultK(t *testing.T) {
 	a := New(nil, 0)
 	if a.K <= 0 {
 		t.Error("K must default to a positive value")
+	}
+}
+
+// TestStageDTSMemo asserts that the activation-signature memo returns
+// bit-identical forms to a fresh analyzer evaluating the same cycle, and
+// that distinct activation patterns get distinct entries.
+func TestStageDTSMemo(t *testing.T) {
+	ops := [][2]uint32{{0, 0}, {0xFFFF, 1}, {0, 0}, {0xFFFF, 1}}
+	a, tr, ad := adderFixture(t, 2500, ops)
+	eps := ad.N.Endpoints(0)
+	// Cycles 1 and 3 apply the same stimulus after a zero cycle, so their
+	// activation signatures match and the memo must serve cycle 3.
+	d1, ok1 := a.StageDTS(eps, 1, tr)
+	before := len(a.stage)
+	d3, ok3 := a.StageDTS(eps, 3, tr)
+	if !ok1 || !ok3 {
+		t.Fatal("expected activated paths at cycles 1 and 3")
+	}
+	if len(a.stage) != before {
+		t.Errorf("identical signature must hit the memo: %d -> %d entries", before, len(a.stage))
+	}
+	if d1.Mean != d3.Mean || d1.Rand != d3.Rand {
+		t.Errorf("memoized form differs: %v vs %v", d1.Mean, d3.Mean)
+	}
+	// A fresh analyzer recomputing cycle 3 from scratch must agree exactly.
+	fresh := New(a.Engine, a.K)
+	df, okf := fresh.StageDTS(eps, 3, tr)
+	if !okf || df.Mean != d3.Mean || df.Rand != d3.Rand {
+		t.Errorf("fresh recomputation differs: %v vs %v", df.Mean, d3.Mean)
+	}
+}
+
+// TestAnalyzerConcurrent drives one analyzer from many goroutines (run under
+// -race in make check) and checks every goroutine observes identical values.
+func TestAnalyzerConcurrent(t *testing.T) {
+	ops := [][2]uint32{{0, 0}, {0xFFFFFFFF, 1}, {1, 1}, {0xFF, 0xFF00}}
+	a, tr, ad := adderFixture(t, 2500, ops)
+	eps := ad.N.Endpoints(0)
+	const workers = 8
+	means := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, cyc := range []int{1, 2, 3, 1, 2, 3} {
+				if f, ok := a.StageDTS(eps, cyc, tr); ok {
+					means[w] = append(means[w], f.Mean)
+				} else {
+					means[w] = append(means[w], math.NaN())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if len(means[w]) != len(means[0]) {
+			t.Fatalf("worker %d saw %d results, want %d", w, len(means[w]), len(means[0]))
+		}
+		for i := range means[w] {
+			same := means[w][i] == means[0][i] ||
+				(math.IsNaN(means[w][i]) && math.IsNaN(means[0][i]))
+			if !same {
+				t.Errorf("worker %d cycle-slot %d: %v vs %v", w, i, means[w][i], means[0][i])
+			}
+		}
 	}
 }

@@ -1,12 +1,16 @@
 package errormodel
 
 import (
+	"context"
+	"sync"
+
 	"tsperr/internal/activity"
 	"tsperr/internal/cfg"
 	"tsperr/internal/cpu"
 	"tsperr/internal/dta"
 	"tsperr/internal/isa"
 	"tsperr/internal/netlist"
+	"tsperr/internal/pool"
 )
 
 // ControlChar is the per-basic-block control-network DTS characterization of
@@ -31,6 +35,23 @@ type ControlChar struct {
 // block during characterization, enough to fill the 6-stage pipeline.
 const prefixWindow = cpu.NumStages
 
+// stimMemoLimit bounds the stimulus memo; dropping it wholesale on overflow
+// keeps memory bounded without affecting results (entries are pure functions
+// of their key).
+const stimMemoLimit = 1 << 12
+
+// stimEntry is one memoized control-stimulus run. The activation trace is
+// simulated once under the once guard; per-position instruction failure
+// probabilities fill in lazily as blocks query them.
+type stimEntry struct {
+	once sync.Once
+	tr   *activity.Trace
+	err  error
+
+	mu   sync.Mutex
+	fail map[int]float64
+}
+
 // controlStimulus drives the control network for one instruction sequence
 // and returns the activation trace. results[i] supplies the representative
 // EX result value for static instruction index i (from the training run);
@@ -42,26 +63,93 @@ func (m *Machine) controlStimulus(seq []isa.Inst, seqIdx []int, results []uint32
 	}
 	tr := &activity.Trace{NumGates: m.Ctrl.N.NumGates()}
 	total := len(seq) + cpu.NumStages // drain so late stages see the tail
-	in := map[netlist.GateID]bool{}
+	vals := make([]bool, m.Ctrl.N.NumGates())
 	for t := 0; t < total; t++ {
-		var word uint32
-		if t < len(seq) {
-			word = seq[t].Encode()
-		}
-		setWordInputs(in, m.Ctrl.Instr, word)
-		// The instruction in EX at cycle t entered IF at t-StageEX.
-		var res uint32
-		if k := t - cpu.StageEX; k >= 0 && k < len(seq) {
-			if idx := seqIdx[k]; idx >= 0 && idx < len(results) {
-				res = results[idx]
-			}
-		}
-		setWordInputs(in, m.Ctrl.ExResult, res)
-		in[m.Ctrl.Stall] = false
-		in[m.Ctrl.Flush] = false
-		tr.Sets = append(tr.Sets, sim.Cycle(in))
+		word, res := m.stimulusCycle(seq, seqIdx, results, t)
+		setWordDense(vals, m.Ctrl.Instr, word)
+		setWordDense(vals, m.Ctrl.ExResult, res)
+		vals[m.Ctrl.Stall] = false
+		vals[m.Ctrl.Flush] = false
+		tr.Sets = append(tr.Sets, sim.CycleDense(vals))
 	}
 	return tr, nil
+}
+
+// stimulusCycle returns the (instruction word, EX result) pair the control
+// network observes at cycle t of a stimulus sequence. The instruction in EX
+// at cycle t entered IF at t-StageEX.
+func (m *Machine) stimulusCycle(seq []isa.Inst, seqIdx []int, results []uint32, t int) (word, res uint32) {
+	if t < len(seq) {
+		word = seq[t].Encode()
+	}
+	if k := t - cpu.StageEX; k >= 0 && k < len(seq) {
+		if idx := seqIdx[k]; idx >= 0 && idx < len(results) {
+			res = results[idx]
+		}
+	}
+	return word, res
+}
+
+// stimulusFails returns the control-path instruction failure probability at
+// each queried fetch position of the stimulus defined by (seq, seqIdx,
+// results). Both the simulated trace and the per-position probabilities are
+// memoized on the exact (instruction word, EX result) stream: different
+// blocks and incoming edges frequently replay identical streams (shared
+// predecessors, all-nop prefixes), and the probability is a pure function of
+// the stream, so reusing the memo is bit-identical to recomputing.
+func (m *Machine) stimulusFails(seq []isa.Inst, seqIdx []int, results []uint32, positions []int) ([]float64, error) {
+	total := len(seq) + cpu.NumStages
+	key := make([]byte, 0, 8*total)
+	for t := 0; t < total; t++ {
+		word, res := m.stimulusCycle(seq, seqIdx, results, t)
+		key = append(key,
+			byte(word), byte(word>>8), byte(word>>16), byte(word>>24),
+			byte(res), byte(res>>8), byte(res>>16), byte(res>>24))
+	}
+	m.stimMu.Lock()
+	if m.stim == nil {
+		m.stim = map[string]*stimEntry{}
+	}
+	e, ok := m.stim[string(key)]
+	if !ok {
+		if len(m.stim) >= stimMemoLimit {
+			m.stim = map[string]*stimEntry{}
+		}
+		e = &stimEntry{fail: map[int]float64{}}
+		m.stim[string(key)] = e
+	}
+	m.stimMu.Unlock()
+	e.once.Do(func() {
+		e.tr, e.err = m.controlStimulus(seq, seqIdx, results)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	out := make([]float64, len(positions))
+	for i, t := range positions {
+		e.mu.Lock()
+		f, ok := e.fail[t]
+		e.mu.Unlock()
+		if !ok {
+			// Concurrent queries for the same position may both compute; the
+			// result is deterministic, so last-write-wins is harmless.
+			f = m.instDTSFail(t, e.tr)
+			e.mu.Lock()
+			e.fail[t] = f
+			e.mu.Unlock()
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// ClearStimulusMemo drops the stimulus memo. SetWorkingPeriod calls it
+// because memoized probabilities are per operating point; benchmarks call it
+// to measure cold characterization.
+func (m *Machine) ClearStimulusMemo() {
+	m.stimMu.Lock()
+	m.stim = nil
+	m.stimMu.Unlock()
 }
 
 // instDTSFail returns the control-endpoint instruction error probability for
@@ -80,103 +168,132 @@ func (m *Machine) instDTSFail(t int, tr *activity.Trace) float64 {
 // only on short sequences (each block prefixed by a window of its
 // predecessor), not on whole program executions. results holds a
 // representative EX result value per static instruction, recorded during the
-// training run.
+// training run. Blocks characterize on the shared worker pool with
+// GOMAXPROCS workers.
 func (m *Machine) CharacterizeControl(g *cfg.Graph, pr *cfg.Profile, results []uint32) (*ControlChar, error) {
+	return m.CharacterizeControlWorkers(g, pr, results, 0)
+}
+
+// CharacterizeControlWorkers is CharacterizeControl on a bounded pool of the
+// given number of workers (<= 0 selects runtime.GOMAXPROCS). Blocks are
+// independent tasks writing distinct rows of the output tables; per-block
+// accumulation preserves the serial edge order and every memoized quantity is
+// a pure function of its key, so the tables are bit-identical for any worker
+// count.
+func (m *Machine) CharacterizeControlWorkers(g *cfg.Graph, pr *cfg.Profile, results []uint32, workers int) (*ControlChar, error) {
 	nb := len(g.Blocks)
 	cc := &ControlChar{
 		Fail:      make([][]float64, nb),
 		FailFlush: make([][]float64, nb),
 	}
-	for b := 0; b < nb; b++ {
-		blk := &g.Blocks[b]
-		n := blk.NumInsts()
-		cc.Fail[b] = make([]float64, n)
-		cc.FailFlush[b] = make([]float64, n)
-		if pr.ExecCount[b] == 0 {
-			continue
-		}
-		cc.TrainedBlocks++
-
-		// Incoming edges with activation probabilities; the residual mass is
-		// the program-start pseudo-edge, characterized with a nop prefix
-		// (flushed processor, as the paper assumes at program entry).
-		type incoming struct {
-			weight  float64
-			prefix  []isa.Inst
-			prefIdx []int
-		}
-		var ins []incoming
-		var mass float64
-		for _, e := range pr.IncomingEdges(b) {
-			w := pr.ActivationProb(e)
-			if w <= 0 {
-				continue
-			}
-			mass += w
-			pred := &g.Blocks[e.From]
-			start := pred.End - prefixWindow
-			if start < pred.Start {
-				start = pred.Start
-			}
-			var pfx []isa.Inst
-			var idx []int
-			for i := start; i < pred.End; i++ {
-				pfx = append(pfx, g.Prog.Insts[i])
-				idx = append(idx, i)
-			}
-			ins = append(ins, incoming{weight: w, prefix: pfx, prefIdx: idx})
-		}
-		if rest := 1 - mass; rest > 1e-9 {
-			pfx := make([]isa.Inst, prefixWindow)
-			idx := make([]int, prefixWindow)
-			for i := range idx {
-				idx[i] = -1
-			}
-			ins = append(ins, incoming{weight: rest, prefix: pfx, prefIdx: idx})
-		}
-
-		for _, in := range ins {
-			// Normal-execution sequence: prefix ++ block body.
-			seq := append([]isa.Inst{}, in.prefix...)
-			seqIdx := append([]int{}, in.prefIdx...)
-			for i := blk.Start; i < blk.End; i++ {
-				seq = append(seq, g.Prog.Insts[i])
-				seqIdx = append(seqIdx, i)
-			}
-			tr, err := m.controlStimulus(seq, seqIdx, results)
-			if err != nil {
-				return nil, err
-			}
-			for k := 0; k < n; k++ {
-				cc.Fail[b][k] += in.weight * m.instDTSFail(len(in.prefix)+k, tr)
-			}
-		}
-
-		// Flushed-state sequence: a nop is inserted before every block
-		// instruction (Section 4.1). The conditional p^e does not depend on
-		// which edge was taken — the pipeline state is the flush state — so
-		// one characterization per block suffices.
-		var seq []isa.Inst
-		var seqIdx []int
-		for i := 0; i < prefixWindow; i++ {
-			seq = append(seq, isa.Inst{})
-			seqIdx = append(seqIdx, -1)
-		}
-		pos := make([]int, n)
-		for i := blk.Start; i < blk.End; i++ {
-			seq = append(seq, isa.Inst{}) // nop mimicking the flush
-			seqIdx = append(seqIdx, -1)
-			pos[i-blk.Start] = len(seq)
-			seq = append(seq, g.Prog.Insts[i])
-			seqIdx = append(seqIdx, i)
-		}
-		tr, err := m.controlStimulus(seq, seqIdx, results)
-		if err != nil {
-			return nil, err
-		}
-		for k := 0; k < n; k++ {
-			cc.FailFlush[b][k] = m.instDTSFail(pos[k], tr)
+	trained := make([]bool, nb)
+	errs := make([]error, nb)
+	pool.Run(context.Background(), nb, workers, false, errs, func(_ context.Context, b int) error {
+		return m.characterizeBlock(g, pr, results, cc, trained, b)
+	})
+	if err := pool.FirstError(errs); err != nil {
+		return nil, err
+	}
+	for _, t := range trained {
+		if t {
+			cc.TrainedBlocks++
 		}
 	}
 	return cc, nil
+}
+
+// characterizeBlock fills row b of the characterization tables.
+func (m *Machine) characterizeBlock(g *cfg.Graph, pr *cfg.Profile, results []uint32, cc *ControlChar, trained []bool, b int) error {
+	blk := &g.Blocks[b]
+	n := blk.NumInsts()
+	cc.Fail[b] = make([]float64, n)
+	cc.FailFlush[b] = make([]float64, n)
+	if pr.ExecCount[b] == 0 {
+		return nil
+	}
+	trained[b] = true
+
+	// Incoming edges with activation probabilities; the residual mass is
+	// the program-start pseudo-edge, characterized with a nop prefix
+	// (flushed processor, as the paper assumes at program entry).
+	type incoming struct {
+		weight  float64
+		prefix  []isa.Inst
+		prefIdx []int
+	}
+	var ins []incoming
+	var mass float64
+	for _, e := range pr.IncomingEdges(b) {
+		w := pr.ActivationProb(e)
+		if w <= 0 {
+			continue
+		}
+		mass += w
+		pred := &g.Blocks[e.From]
+		start := pred.End - prefixWindow
+		if start < pred.Start {
+			start = pred.Start
+		}
+		var pfx []isa.Inst
+		var idx []int
+		for i := start; i < pred.End; i++ {
+			pfx = append(pfx, g.Prog.Insts[i])
+			idx = append(idx, i)
+		}
+		ins = append(ins, incoming{weight: w, prefix: pfx, prefIdx: idx})
+	}
+	if rest := 1 - mass; rest > 1e-9 {
+		pfx := make([]isa.Inst, prefixWindow)
+		idx := make([]int, prefixWindow)
+		for i := range idx {
+			idx[i] = -1
+		}
+		ins = append(ins, incoming{weight: rest, prefix: pfx, prefIdx: idx})
+	}
+
+	for _, in := range ins {
+		// Normal-execution sequence: prefix ++ block body.
+		seq := append([]isa.Inst{}, in.prefix...)
+		seqIdx := append([]int{}, in.prefIdx...)
+		for i := blk.Start; i < blk.End; i++ {
+			seq = append(seq, g.Prog.Insts[i])
+			seqIdx = append(seqIdx, i)
+		}
+		positions := make([]int, n)
+		for k := 0; k < n; k++ {
+			positions[k] = len(in.prefix) + k
+		}
+		fails, err := m.stimulusFails(seq, seqIdx, results, positions)
+		if err != nil {
+			return err
+		}
+		for k := 0; k < n; k++ {
+			cc.Fail[b][k] += in.weight * fails[k]
+		}
+	}
+
+	// Flushed-state sequence: a nop is inserted before every block
+	// instruction (Section 4.1). The conditional p^e does not depend on
+	// which edge was taken — the pipeline state is the flush state — so
+	// one characterization per block suffices.
+	var seq []isa.Inst
+	var seqIdx []int
+	for i := 0; i < prefixWindow; i++ {
+		seq = append(seq, isa.Inst{})
+		seqIdx = append(seqIdx, -1)
+	}
+	pos := make([]int, n)
+	for i := blk.Start; i < blk.End; i++ {
+		seq = append(seq, isa.Inst{}) // nop mimicking the flush
+		seqIdx = append(seqIdx, -1)
+		pos[i-blk.Start] = len(seq)
+		seq = append(seq, g.Prog.Insts[i])
+		seqIdx = append(seqIdx, i)
+	}
+	fails, err := m.stimulusFails(seq, seqIdx, results, pos)
+	if err != nil {
+		return err
+	}
+	copy(cc.FailFlush[b], fails)
+	return nil
 }

@@ -1,10 +1,13 @@
 package errormodel
 
 import (
+	"context"
+
 	"tsperr/internal/activity"
 	"tsperr/internal/dta"
 	"tsperr/internal/isa"
 	"tsperr/internal/netlist"
+	"tsperr/internal/pool"
 	"tsperr/internal/variation"
 )
 
@@ -31,142 +34,181 @@ type DatapathModel struct {
 	MulFail  []float64
 }
 
-func setWordInputs(in map[netlist.GateID]bool, gates [32]netlist.GateID, w uint32) {
+// setWordDense writes a 32-bit word into a dense primary-input slice.
+func setWordDense(vals []bool, gates [32]netlist.GateID, w uint32) {
 	for i := 0; i < 32; i++ {
-		in[gates[i]] = (w>>uint(i))&1 == 1
+		vals[gates[i]] = (w>>uint(i))&1 == 1
+	}
+}
+
+// setMulWordDense writes a 16-bit word into a dense primary-input slice.
+func setMulWordDense(vals []bool, gates [16]netlist.GateID, w uint32) {
+	for i := 0; i < 16; i++ {
+		vals[gates[i]] = (w>>uint(i))&1 == 1
 	}
 }
 
 // TrainDatapath measures the per-depth DTS tables. It mirrors the training
 // flow of Figure 2: run targeted vectors through the gate-level unit, record
-// activity, and apply Algorithm 1 to the data endpoints.
+// activity, and apply Algorithm 1 to the data endpoints. Training runs on the
+// shared worker pool with GOMAXPROCS workers.
 func (m *Machine) TrainDatapath() (*DatapathModel, error) {
-	dp := &DatapathModel{}
+	return m.TrainDatapathWorkers(0)
+}
 
-	// ---- Adder: carry chains of exact length d. ----
-	adderSim, err := activity.NewSimulator(m.Adder.N)
-	if err != nil {
-		return nil, err
+// TrainDatapathWorkers is TrainDatapath on a bounded pool of the given number
+// of workers (<= 0 selects runtime.GOMAXPROCS). Every per-depth measurement
+// is an independent task: it owns its simulator and trace, writes a distinct
+// table slot, and the DTA analyzers it consults are safe for concurrent use,
+// so the tables are bit-identical for any worker count.
+func (m *Machine) TrainDatapathWorkers(workers int) (*DatapathModel, error) {
+	dp := &DatapathModel{
+		AdderSlack: make([]variation.Canon, 33),
+		AdderFail:  make([]float64, 33),
+		ShiftSlack: make([]variation.Canon, 6),
+		ShiftFail:  make([]float64, 6),
+		MulSlack:   make([]variation.Canon, 17),
+		MulFail:    make([]float64, 17),
 	}
 	adderEps := m.Adder.N.DataEndpoints(0)
-	dp.AdderSlack = make([]variation.Canon, 33)
-	dp.AdderFail = make([]float64, 33)
-	for d := 1; d <= 32; d++ {
-		adderSim.Reset()
-		in := map[netlist.GateID]bool{}
-		setWordInputs(in, m.Adder.A, 0)
-		setWordInputs(in, m.Adder.B, 0)
-		in[m.Adder.Cin] = false
-		tr := &activity.Trace{NumGates: m.Adder.N.NumGates()}
-		tr.Sets = append(tr.Sets, adderSim.Cycle(in))
-		var a uint32
-		if d == 32 {
-			a = 0xFFFFFFFF
-		} else {
-			a = (uint32(1) << uint(d)) - 1
-		}
-		setWordInputs(in, m.Adder.A, a)
-		setWordInputs(in, m.Adder.B, 1)
-		tr.Sets = append(tr.Sets, adderSim.Cycle(in))
-		slack, ok := m.AdderDTA.StageDTS(adderEps, 1, tr)
-		if !ok {
-			continue // no activated path at this depth
-		}
-		dp.AdderSlack[d] = slack
-		dp.AdderFail[d] = dta.ErrorProbability(slack)
-	}
-
-	// ---- Shifter: k active layers. ----
-	shiftSim, err := activity.NewSimulator(m.Shifter.N)
-	if err != nil {
-		return nil, err
-	}
 	shiftEps := m.Shifter.N.DataEndpoints(0)
-	dp.ShiftSlack = make([]variation.Canon, 6)
-	dp.ShiftFail = make([]float64, 6)
-	for k := 1; k <= 5; k++ {
-		shiftSim.Reset()
-		in := map[netlist.GateID]bool{}
-		setWordInputs(in, m.Shifter.In, 0)
-		for i := 0; i < 5; i++ {
-			in[m.Shifter.Amt[i]] = false
-		}
-		tr := &activity.Trace{NumGates: m.Shifter.N.NumGates()}
-		tr.Sets = append(tr.Sets, shiftSim.Cycle(in))
-		setWordInputs(in, m.Shifter.In, 0xFFFFFFFF)
-		amt := (uint32(1) << uint(k)) - 1 // k low bits set => k active layers
-		for i := 0; i < 5; i++ {
-			in[m.Shifter.Amt[i]] = (amt>>uint(i))&1 == 1
-		}
-		tr.Sets = append(tr.Sets, shiftSim.Cycle(in))
-		slack, ok := m.ShifterDTA.StageDTS(shiftEps, 1, tr)
-		if !ok {
-			continue
-		}
-		dp.ShiftSlack[k] = slack
-		dp.ShiftFail[k] = dta.ErrorProbability(slack)
-	}
-
-	// ---- Multiplier: d significant bits in the smaller operand. ----
-	mulSim, err := activity.NewSimulator(m.Mult.N)
-	if err != nil {
-		return nil, err
-	}
 	mulEps := m.Mult.N.DataEndpoints(0)
-	dp.MulSlack = make([]variation.Canon, 17)
-	dp.MulFail = make([]float64, 17)
-	setMulWord := func(in map[netlist.GateID]bool, gates [16]netlist.GateID, w uint32) {
-		for i := 0; i < 16; i++ {
-			in[gates[i]] = (w>>uint(i))&1 == 1
-		}
+	logicEps := m.Logic.N.DataEndpoints(0)
+
+	// Flatten the per-depth sweeps into one task list: 32 adder carry
+	// depths, 5 shifter layer counts, 16 multiplier operand widths, and the
+	// single logic measurement.
+	var tasks []func() error
+	for d := 1; d <= 32; d++ {
+		d := d
+		tasks = append(tasks, func() error { return m.trainAdderDepth(dp, adderEps, d) })
+	}
+	for k := 1; k <= 5; k++ {
+		k := k
+		tasks = append(tasks, func() error { return m.trainShiftLayers(dp, shiftEps, k) })
 	}
 	for d := 1; d <= 16; d++ {
-		mulSim.Reset()
-		in := map[netlist.GateID]bool{}
-		setMulWord(in, m.Mult.A, 0)
-		setMulWord(in, m.Mult.B, 0)
-		tr := &activity.Trace{NumGates: m.Mult.N.NumGates()}
-		tr.Sets = append(tr.Sets, mulSim.Cycle(in))
-		var bw uint32
-		if d == 16 {
-			bw = 0xFFFF
-		} else {
-			bw = (uint32(1) << uint(d)) - 1
-		}
-		setMulWord(in, m.Mult.A, 0xFFFF)
-		setMulWord(in, m.Mult.B, bw)
-		tr.Sets = append(tr.Sets, mulSim.Cycle(in))
-		slack, ok := m.MultDTA.StageDTS(mulEps, 1, tr)
-		if !ok {
-			continue
-		}
-		dp.MulSlack[d] = slack
-		dp.MulFail[d] = dta.ErrorProbability(slack)
+		d := d
+		tasks = append(tasks, func() error { return m.trainMulWidth(dp, mulEps, d) })
 	}
+	tasks = append(tasks, func() error { return m.trainLogic(dp, logicEps) })
 
-	// ---- Logic unit: one full-switch measurement. ----
-	logicSim, err := activity.NewSimulator(m.Logic.N)
-	if err != nil {
+	errs := make([]error, len(tasks))
+	pool.Run(context.Background(), len(tasks), workers, false, errs,
+		func(_ context.Context, i int) error { return tasks[i]() })
+	if err := pool.FirstError(errs); err != nil {
 		return nil, err
 	}
-	logicEps := m.Logic.N.DataEndpoints(0)
-	{
-		in := map[netlist.GateID]bool{}
-		setWordInputs(in, m.Logic.A, 0)
-		setWordInputs(in, m.Logic.B, 0)
-		in[m.Logic.Sel[0]] = false
-		in[m.Logic.Sel[1]] = false
-		tr := &activity.Trace{NumGates: m.Logic.N.NumGates()}
-		tr.Sets = append(tr.Sets, logicSim.Cycle(in))
-		setWordInputs(in, m.Logic.A, 0xFFFFFFFF)
-		setWordInputs(in, m.Logic.B, 0x55555555)
-		in[m.Logic.Sel[1]] = true // xor
-		tr.Sets = append(tr.Sets, logicSim.Cycle(in))
-		if slack, ok := m.LogicDTA.StageDTS(logicEps, 1, tr); ok {
-			dp.LogicFail = dta.ErrorProbability(slack)
-		}
-	}
 	return dp, nil
+}
+
+// trainAdderDepth measures the adder DTS with a carry chain of exactly d
+// bits activated and fills table slot d.
+func (m *Machine) trainAdderDepth(dp *DatapathModel, eps []netlist.GateID, d int) error {
+	sim, err := activity.NewSimulator(m.Adder.N)
+	if err != nil {
+		return err
+	}
+	vals := make([]bool, m.Adder.N.NumGates())
+	setWordDense(vals, m.Adder.A, 0)
+	setWordDense(vals, m.Adder.B, 0)
+	vals[m.Adder.Cin] = false
+	tr := &activity.Trace{NumGates: m.Adder.N.NumGates()}
+	tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+	a := uint32(0xFFFFFFFF)
+	if d < 32 {
+		a = (uint32(1) << uint(d)) - 1
+	}
+	setWordDense(vals, m.Adder.A, a)
+	setWordDense(vals, m.Adder.B, 1)
+	tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+	slack, ok := m.AdderDTA.StageDTS(eps, 1, tr)
+	if !ok {
+		return nil // no activated path at this depth
+	}
+	dp.AdderSlack[d] = slack
+	dp.AdderFail[d] = dta.ErrorProbability(slack)
+	return nil
+}
+
+// trainShiftLayers measures the shifter DTS with k active barrel layers and
+// fills table slot k.
+func (m *Machine) trainShiftLayers(dp *DatapathModel, eps []netlist.GateID, k int) error {
+	sim, err := activity.NewSimulator(m.Shifter.N)
+	if err != nil {
+		return err
+	}
+	vals := make([]bool, m.Shifter.N.NumGates())
+	setWordDense(vals, m.Shifter.In, 0)
+	for i := 0; i < 5; i++ {
+		vals[m.Shifter.Amt[i]] = false
+	}
+	tr := &activity.Trace{NumGates: m.Shifter.N.NumGates()}
+	tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+	setWordDense(vals, m.Shifter.In, 0xFFFFFFFF)
+	amt := (uint32(1) << uint(k)) - 1 // k low bits set => k active layers
+	for i := 0; i < 5; i++ {
+		vals[m.Shifter.Amt[i]] = (amt>>uint(i))&1 == 1
+	}
+	tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+	slack, ok := m.ShifterDTA.StageDTS(eps, 1, tr)
+	if !ok {
+		return nil
+	}
+	dp.ShiftSlack[k] = slack
+	dp.ShiftFail[k] = dta.ErrorProbability(slack)
+	return nil
+}
+
+// trainMulWidth measures the multiplier DTS with d significant bits in the
+// smaller operand and fills table slot d.
+func (m *Machine) trainMulWidth(dp *DatapathModel, eps []netlist.GateID, d int) error {
+	sim, err := activity.NewSimulator(m.Mult.N)
+	if err != nil {
+		return err
+	}
+	vals := make([]bool, m.Mult.N.NumGates())
+	setMulWordDense(vals, m.Mult.A, 0)
+	setMulWordDense(vals, m.Mult.B, 0)
+	tr := &activity.Trace{NumGates: m.Mult.N.NumGates()}
+	tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+	bw := uint32(0xFFFF)
+	if d < 16 {
+		bw = (uint32(1) << uint(d)) - 1
+	}
+	setMulWordDense(vals, m.Mult.A, 0xFFFF)
+	setMulWordDense(vals, m.Mult.B, bw)
+	tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+	slack, ok := m.MultDTA.StageDTS(eps, 1, tr)
+	if !ok {
+		return nil
+	}
+	dp.MulSlack[d] = slack
+	dp.MulFail[d] = dta.ErrorProbability(slack)
+	return nil
+}
+
+// trainLogic performs the single full-switch logic-unit measurement.
+func (m *Machine) trainLogic(dp *DatapathModel, eps []netlist.GateID) error {
+	sim, err := activity.NewSimulator(m.Logic.N)
+	if err != nil {
+		return err
+	}
+	vals := make([]bool, m.Logic.N.NumGates())
+	setWordDense(vals, m.Logic.A, 0)
+	setWordDense(vals, m.Logic.B, 0)
+	vals[m.Logic.Sel[0]] = false
+	vals[m.Logic.Sel[1]] = false
+	tr := &activity.Trace{NumGates: m.Logic.N.NumGates()}
+	tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+	setWordDense(vals, m.Logic.A, 0xFFFFFFFF)
+	setWordDense(vals, m.Logic.B, 0x55555555)
+	vals[m.Logic.Sel[1]] = true // xor
+	tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+	if slack, ok := m.LogicDTA.StageDTS(eps, 1, tr); ok {
+		dp.LogicFail = dta.ErrorProbability(slack)
+	}
+	return nil
 }
 
 // FailProb returns the datapath timing-error probability of an instruction

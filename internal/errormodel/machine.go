@@ -8,12 +8,15 @@
 package errormodel
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"tsperr/internal/cell"
 	"tsperr/internal/dta"
 	"tsperr/internal/gen"
 	"tsperr/internal/netlist"
+	"tsperr/internal/pool"
 	"tsperr/internal/sta"
 	"tsperr/internal/variation"
 )
@@ -90,12 +93,47 @@ type Machine struct {
 	ShifterDTA *dta.Analyzer
 	LogicDTA   *dta.Analyzer
 	MultDTA    *dta.Analyzer
+
+	// stim memoizes control-stimulus runs across blocks and programs at the
+	// current operating point (see control.go); guarded by stimMu.
+	stimMu sync.Mutex
+	stim   map[string]*stimEntry
 }
 
 // NewMachine generates the netlists and calibrates each unit's delay scale
 // so that the design's point of first failure and working point sit at the
 // configured ratios of the base frequency.
 func NewMachine(opts Options) (*Machine, error) {
+	return newMachine(opts, nil)
+}
+
+// NewMachineWithScales rebuilds a machine from previously calibrated
+// per-unit delay scales keyed by netlist name, skipping the expensive SSTA
+// calibration of each unit. It is the warm path of the persistent model
+// cache: the netlists regenerate deterministically, so a machine restored
+// with the scales of an earlier NewMachine call is identical to it. A
+// missing or non-positive scale is an error (the caller should fall back to
+// full calibration).
+func NewMachineWithScales(opts Options, scales map[string]float64) (*Machine, error) {
+	if scales == nil {
+		return nil, fmt.Errorf("errormodel: nil scale table")
+	}
+	return newMachine(opts, scales)
+}
+
+// Scales returns the calibrated per-unit delay scales keyed by netlist name,
+// the input NewMachineWithScales needs to reconstruct this machine.
+func (m *Machine) Scales() map[string]float64 {
+	out := make(map[string]float64, 5)
+	for _, e := range []*sta.Engine{
+		m.AdderEngine, m.CtrlEngine, m.ShifterEngine, m.LogicEngine, m.MultEngine,
+	} {
+		out[e.N.Name] = e.DelayScale
+	}
+	return out
+}
+
+func newMachine(opts Options, scales map[string]float64) (*Machine, error) {
 	if opts.BaseFreqMHz <= 0 || opts.WorkingRatio <= 0 || opts.PoFFRatio <= 0 {
 		return nil, fmt.Errorf("errormodel: non-positive frequency configuration")
 	}
@@ -134,19 +172,38 @@ func NewMachine(opts Options) (*Machine, error) {
 		{m.Logic.N, opts.LogicRatio, &m.LogicEngine, &m.LogicDTA},
 		{m.Mult.N, opts.MultiplierRatio, &m.MultEngine, &m.MultDTA},
 	}
-	for _, u := range units {
-		target := m.PoFFPeriodPs * u.ratio
-		scale, err := gen.CalibrateScale([]*netlist.Netlist{u.n}, model,
-			opts.SigmaRel, target, opts.CalibrationPercentile, opts.KPaths)
-		if err != nil {
-			return nil, fmt.Errorf("errormodel: calibrating %s: %w", u.n.Name, err)
+	// The five units calibrate independently (each owns its netlist, engine,
+	// and analyzer slot), so the SSTA calibration — the dominant cost of
+	// machine construction — runs on the shared bounded worker pool. A
+	// cached scale table (warm start) skips calibration entirely.
+	errs := make([]error, len(units))
+	pool.Run(context.Background(), len(units), 0, false, errs, func(_ context.Context, i int) error {
+		u := units[i]
+		var scale float64
+		if scales != nil {
+			scale = scales[u.n.Name]
+			if scale <= 0 {
+				return fmt.Errorf("errormodel: no cached scale for %s", u.n.Name)
+			}
+		} else {
+			target := m.PoFFPeriodPs * u.ratio
+			var err error
+			scale, err = gen.CalibrateScale([]*netlist.Netlist{u.n}, model,
+				opts.SigmaRel, target, opts.CalibrationPercentile, opts.KPaths)
+			if err != nil {
+				return fmt.Errorf("errormodel: calibrating %s: %w", u.n.Name, err)
+			}
 		}
 		e, err := sta.NewEngine(u.n, model, m.WorkingPeriodPs, opts.SigmaRel, scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		*u.eng = e
 		*u.ana = dta.New(e, opts.KPaths)
+		return nil
+	})
+	if err := pool.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -158,6 +215,7 @@ func (m *Machine) WorkingFreqMHz() float64 { return 1e6 / m.WorkingPeriodPs }
 // period, used by the operating-point sweep example.
 func (m *Machine) SetWorkingPeriod(periodPs float64) {
 	m.WorkingPeriodPs = periodPs
+	m.ClearStimulusMemo() // memoized probabilities are per operating point
 	for _, pair := range []struct {
 		eng *sta.Engine
 		ana **dta.Analyzer

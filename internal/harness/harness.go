@@ -13,6 +13,7 @@ import (
 	"tsperr/internal/cpu"
 	"tsperr/internal/errormodel"
 	"tsperr/internal/mibench"
+	"tsperr/internal/modelcache"
 )
 
 // DefaultScenarios is the number of input datasets per benchmark; their
@@ -20,19 +21,70 @@ import (
 const DefaultScenarios = 8
 
 var (
-	fwOnce sync.Once
-	fw     *core.Framework
-	fwErr  error
+	fwMu sync.Mutex
+	fw   *core.Framework
+
+	// Model-cache policy for SharedFramework. Disabled by default so
+	// library consumers (and `go test ./...`) never touch the filesystem;
+	// the CLI commands opt in via SetModelCache before first use.
+	cacheEnabled bool
+	cacheDir     string
 )
+
+// Build hooks, substituted by tests to exercise failure and retry semantics.
+var (
+	buildFramework       = core.NewFramework
+	buildFrameworkCached = core.NewFrameworkCached
+)
+
+// SetModelCache configures whether SharedFramework consults the persistent
+// model cache and where; dir == "" selects modelcache.DefaultDir. It only
+// affects frameworks built after the call, so commands invoke it before
+// their first SharedFramework use.
+func SetModelCache(enabled bool, dir string) {
+	fwMu.Lock()
+	defer fwMu.Unlock()
+	cacheEnabled = enabled
+	cacheDir = dir
+}
 
 // SharedFramework builds (once) the calibrated machine and trained datapath
 // model shared by all benchmarks — the machine-dependent "training" the
-// paper performs once per design.
+// paper performs once per design. Concurrent callers during the build wait
+// for the single in-flight attempt; unlike a sync.Once, a failed build is
+// not latched, so a later call retries instead of replaying the old error
+// forever.
 func SharedFramework() (*core.Framework, error) {
-	fwOnce.Do(func() {
-		fw, fwErr = core.NewFramework(errormodel.DefaultOptions())
-	})
-	return fw, fwErr
+	fwMu.Lock()
+	defer fwMu.Unlock()
+	if fw != nil {
+		return fw, nil
+	}
+	opts := errormodel.DefaultOptions()
+	if cacheEnabled {
+		dir := cacheDir
+		if dir == "" {
+			d, err := modelcache.DefaultDir()
+			if err == nil {
+				dir = d
+			}
+			// With no usable cache dir, fall through to an uncached build.
+		}
+		if dir != "" {
+			f, _, err := buildFrameworkCached(opts, dir)
+			if err != nil {
+				return nil, err
+			}
+			fw = f
+			return fw, nil
+		}
+	}
+	f, err := buildFramework(opts)
+	if err != nil {
+		return nil, err
+	}
+	fw = f
+	return fw, nil
 }
 
 // SpecFor converts a benchmark into an analyzable program spec.

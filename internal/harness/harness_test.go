@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"tsperr/internal/core"
+	"tsperr/internal/errormodel"
 	"tsperr/internal/faultinject"
 	"tsperr/internal/mibench"
 )
@@ -138,6 +139,76 @@ func TestDegradedRowAndFailureDetail(t *testing.T) {
 	detail := FailureDetail(rep.Failures)
 	if !strings.Contains(detail, "scenario 1 [setup]") {
 		t.Errorf("detail missing scenario tag: %q", detail)
+	}
+}
+
+// swapBuildHooks snapshots and clears the shared-framework state so a test
+// can substitute build hooks, restoring everything on cleanup.
+func swapBuildHooks(t *testing.T) {
+	t.Helper()
+	fwMu.Lock()
+	origFw, origEnabled, origDir := fw, cacheEnabled, cacheDir
+	fw = nil
+	fwMu.Unlock()
+	origBuild, origCached := buildFramework, buildFrameworkCached
+	t.Cleanup(func() {
+		buildFramework, buildFrameworkCached = origBuild, origCached
+		fwMu.Lock()
+		fw, cacheEnabled, cacheDir = origFw, origEnabled, origDir
+		fwMu.Unlock()
+	})
+}
+
+// Regression: SharedFramework used a sync.Once, so a single failed build
+// (e.g. a transient resource problem) was latched and replayed to every
+// later caller. A failure must leave the slot empty so the next call
+// retries; a success must be latched.
+func TestSharedFrameworkRetriesAfterFailure(t *testing.T) {
+	swapBuildHooks(t)
+	calls := 0
+	sentinel := &core.Framework{}
+	buildFramework = func(errormodel.Options) (*core.Framework, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient build failure")
+		}
+		return sentinel, nil
+	}
+	if _, err := SharedFramework(); err == nil {
+		t.Fatal("first build should fail")
+	}
+	f, err := SharedFramework()
+	if err != nil {
+		t.Fatalf("second call should retry the build: %v", err)
+	}
+	if f != sentinel || calls != 2 {
+		t.Errorf("framework %p after %d build calls", f, calls)
+	}
+	if f2, err := SharedFramework(); err != nil || f2 != sentinel || calls != 2 {
+		t.Errorf("success should be latched without rebuilding (calls=%d)", calls)
+	}
+}
+
+func TestSharedFrameworkUsesModelCache(t *testing.T) {
+	swapBuildHooks(t)
+	dir := t.TempDir()
+	sentinel := &core.Framework{}
+	var gotDir string
+	buildFrameworkCached = func(_ errormodel.Options, d string) (*core.Framework, bool, error) {
+		gotDir = d
+		return sentinel, true, nil
+	}
+	buildFramework = func(errormodel.Options) (*core.Framework, error) {
+		t.Error("cache-enabled build must go through the cached constructor")
+		return nil, errors.New("wrong path")
+	}
+	SetModelCache(true, dir)
+	f, err := SharedFramework()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != sentinel || gotDir != dir {
+		t.Errorf("framework %p via dir %q, want %q", f, gotDir, dir)
 	}
 }
 

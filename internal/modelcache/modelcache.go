@@ -1,0 +1,126 @@
+// Package modelcache persists the once-per-design training results — the
+// calibrated per-unit delay scales and the trained datapath timing model —
+// in a content-addressed on-disk cache, so repeated tool invocations at the
+// same operating point skip SSTA calibration and datapath training entirely.
+//
+// The cache is content-addressed: the key is a hash of the schema version,
+// the full errormodel.Options, and the cell-library fingerprint. Anything
+// that could change the trained model changes the key, so stale entries are
+// never served; they are simply orphaned (and a mismatching or corrupt file
+// under the expected name is deleted and reported as a miss). Netlists are
+// not serialized — they regenerate deterministically from the generators —
+// which keeps snapshots small and sidesteps the unexported graph internals.
+//
+// Writes are atomic (temp file + rename in the same directory), so a crashed
+// or concurrent writer can never leave a half-written snapshot visible to
+// readers, and concurrent writers of the same key simply race to publish
+// identical bytes.
+package modelcache
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tsperr/internal/errormodel"
+)
+
+// SchemaVersion invalidates every cached snapshot when the serialized layout
+// or the meaning of the trained tables changes. Bump it on any change to
+// Snapshot, DatapathModel, or the training flow itself.
+const SchemaVersion = 1
+
+// Snapshot is the serializable result of the machine-dependent training
+// phase: everything NewFrameworkCached needs to rebuild a Framework without
+// calibrating or training.
+type Snapshot struct {
+	// Schema and Key echo the cache metadata for self-validation on load.
+	Schema int
+	Key    string
+	// Scales are the calibrated per-unit delay scales by netlist name
+	// (errormodel.Machine.Scales), the input of NewMachineWithScales.
+	Scales map[string]float64
+	// Datapath is the trained per-depth DTS table set.
+	Datapath *errormodel.DatapathModel
+}
+
+// Key derives the content address of a model snapshot from the operating
+// point options and the cell-library fingerprint. %+v over Options is stable
+// for a fixed struct definition, and any field addition changes the rendered
+// string (and therefore the key), which is exactly the invalidation we want.
+func Key(opts errormodel.Options, libFingerprint string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%d\nopts=%+v\nlib=%s\n", SchemaVersion, opts, libFingerprint)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Path returns the snapshot file for a key inside dir.
+func Path(dir, key string) string {
+	return filepath.Join(dir, "model-"+key+".gob")
+}
+
+// DefaultDir returns the per-user cache directory for model snapshots.
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("modelcache: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "tsperr"), nil
+}
+
+// Save atomically writes a snapshot under its key, creating dir as needed.
+// The snapshot's Schema and Key fields are stamped here.
+func Save(dir, key string, snap *Snapshot) error {
+	if snap == nil || snap.Scales == nil || snap.Datapath == nil {
+		return fmt.Errorf("modelcache: incomplete snapshot")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("modelcache: %w", err)
+	}
+	snap.Schema = SchemaVersion
+	snap.Key = key
+	tmp, err := os.CreateTemp(dir, "model-*.tmp")
+	if err != nil {
+		return fmt.Errorf("modelcache: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(snap); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelcache: encoding snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), Path(dir, key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelcache: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load returns the snapshot stored under key, or ok == false on any miss:
+// absent file, undecodable bytes, or metadata that does not match the
+// requested key or schema. Invalid files are removed so the next Save
+// replaces them; a miss is never an error, the caller just rebuilds.
+func Load(dir, key string) (snap *Snapshot, ok bool) {
+	p := Path(dir, key)
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var s Snapshot
+	if err := gob.NewDecoder(f).Decode(&s); err != nil {
+		os.Remove(p)
+		return nil, false
+	}
+	if s.Schema != SchemaVersion || s.Key != key || s.Scales == nil || s.Datapath == nil {
+		os.Remove(p)
+		return nil, false
+	}
+	return &s, true
+}

@@ -1,0 +1,108 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	const n = 100
+	var count atomic.Int64
+	done := make([]bool, n)
+	Run(context.Background(), n, 8, false, nil, func(_ context.Context, i int) error {
+		count.Add(1)
+		done[i] = true
+		return nil
+	})
+	if count.Load() != n {
+		t.Fatalf("ran %d tasks, want %d", count.Load(), n)
+	}
+	for i, d := range done {
+		if !d {
+			t.Errorf("index %d never ran", i)
+		}
+	}
+}
+
+func TestRunRecordsPerIndexErrors(t *testing.T) {
+	const n = 10
+	errs := make([]error, n)
+	Run(context.Background(), n, 4, false, errs, func(_ context.Context, i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	for i := 0; i < n; i++ {
+		if (i%3 == 0) != (errs[i] != nil) {
+			t.Errorf("errs[%d] = %v", i, errs[i])
+		}
+	}
+	if FirstError(errs) == nil || FirstError(errs).Error() != "task 0 failed" {
+		t.Errorf("FirstError = %v", FirstError(errs))
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	errs := make([]error, 3)
+	Run(context.Background(), 3, 2, false, errs, func(_ context.Context, i int) error {
+		if i == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(errs[1], &pe) {
+		t.Fatalf("errs[1] = %v, want PanicError", errs[1])
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("panic payload = %v (stack %d bytes)", pe.Value, len(pe.Stack))
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("other tasks must not fail: %v %v", errs[0], errs[2])
+	}
+}
+
+func TestRunFailFastCancelsPending(t *testing.T) {
+	const n = 64
+	errs := make([]error, n)
+	Run(context.Background(), n, 1, true, errs, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return errors.New("first fails")
+		}
+		return ctx.Err() // cancelled once the first failure lands
+	})
+	if errs[0] == nil {
+		t.Fatal("first task should fail")
+	}
+	// With a single worker the remaining tasks all observe the cancellation.
+	for i := 1; i < n; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("errs[%d] = %v, want context.Canceled", i, errs[i])
+		}
+	}
+}
+
+func TestRunZeroTasksAndNilContext(t *testing.T) {
+	Run(context.Background(), 0, 4, false, nil, func(context.Context, int) error {
+		t.Fatal("must not run")
+		return nil
+	})
+	ran := false
+	Run(nil, 1, 0, false, nil, func(ctx context.Context, _ int) error { //nolint:staticcheck
+		if ctx == nil {
+			t.Error("pool must substitute a background context")
+		}
+		ran = true
+		return nil
+	})
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	if FirstError(nil) != nil {
+		t.Fatal("FirstError(nil) must be nil")
+	}
+}
