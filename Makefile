@@ -1,12 +1,13 @@
 # tsperr build/verify targets.
 #
-# `make check` is the tier-2 verification gate: vet plus the full test
-# suite under the race detector (the resilience tests exercise the
+# `make check` is the tier-2 verification gate: vet, the project linters
+# (tsperrlint source passes + the netlist structural lint), and the full
+# test suite under the race detector (the resilience tests exercise the
 # scenario worker pool concurrently).
 
 GO ?= go
 
-.PHONY: all build test check bench clean
+.PHONY: all build test lint check bench clean
 
 all: build
 
@@ -16,7 +17,14 @@ build:
 test:
 	$(GO) test ./...
 
-check:
+# `make lint` runs the project-specific static analysis (DESIGN.md §9):
+# the tsperrlint pass suite over every package including test files, and
+# the structural lint over every generated pipeline netlist.
+lint:
+	$(GO) run ./cmd/tsperrlint -tests ./...
+	$(GO) run ./cmd/tsperrlint -netlist
+
+check: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
 

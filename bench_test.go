@@ -123,13 +123,13 @@ func BenchmarkOperatingPoint(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		dpWork, err := m.TrainDatapath()
+		dpWork, err := m.TrainDatapath(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
 		workER = dpWork.AdderFail[32]
 		m.SetWorkingPeriod(m.PoFFPeriodPs)
-		dpPoFF, err := m.TrainDatapath()
+		dpPoFF, err := m.TrainDatapath(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,7 +218,7 @@ func BenchmarkAblationKPaths(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		dp2, err := m2.TrainDatapath()
+		dp2, err := m2.TrainDatapath(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,7 +227,7 @@ func BenchmarkAblationKPaths(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		dp8, err := m8.TrainDatapath()
+		dp8, err := m8.TrainDatapath(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -308,13 +308,13 @@ func BenchmarkCharacterizeControl(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Machine.ClearStimulusMemo()
-		if _, err := f.Machine.CharacterizeControl(rep.Graph, sc.Profile, sc.Features.Results); err != nil {
+		if _, err := f.Machine.CharacterizeControl(context.Background(), rep.Graph, sc.Profile, sc.Features.Results); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
 	warmStart := time.Now()
-	if _, err := f.Machine.CharacterizeControl(rep.Graph, sc.Profile, sc.Features.Results); err != nil {
+	if _, err := f.Machine.CharacterizeControl(context.Background(), rep.Graph, sc.Profile, sc.Features.Results); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportMetric(time.Since(warmStart).Seconds()*1e3, "warm_ms")

@@ -43,7 +43,7 @@ func main() {
 		// Re-target the machine at this operating point and re-train the
 		// datapath tables (their DTS depends on the clock).
 		fw.Machine.SetWorkingPeriod(base / ratio)
-		dp, err := fw.Machine.TrainDatapath()
+		dp, err := fw.Machine.TrainDatapath(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

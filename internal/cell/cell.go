@@ -132,6 +132,13 @@ func (k Kind) Eval(in []bool) bool {
 	}
 }
 
+// Known reports whether k is a member of the library. Netlists built
+// through Add can only hold known kinds, but the structural linter checks
+// it anyway so hand-corrupted or future-serialized netlists fail loudly.
+func (k Kind) Known() bool {
+	return k < numKinds
+}
+
 // IsSource reports whether the cell starts timing paths (its output is stable
 // at the start of the clock cycle): primary inputs, constants, and flip-flop
 // outputs.

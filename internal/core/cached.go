@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tsperr/internal/cell"
 	"tsperr/internal/errormodel"
 	"tsperr/internal/modelcache"
@@ -16,17 +18,23 @@ import (
 // (the framework is still correct, the next run just stays cold).
 //
 // The returned warm flag reports whether the cache was hit.
-func NewFrameworkCached(opts errormodel.Options, dir string) (fw *Framework, warm bool, err error) {
+func NewFrameworkCached(opts errormodel.Options, dir string) (*Framework, bool, error) {
+	return NewFrameworkCachedContext(context.Background(), opts, dir)
+}
+
+// NewFrameworkCachedContext is NewFrameworkCached with cancellable rebuild
+// work (the warm path is cheap; ctx matters on cache misses).
+func NewFrameworkCachedContext(ctx context.Context, opts errormodel.Options, dir string) (fw *Framework, warm bool, err error) {
 	key := modelcache.Key(opts, cell.Fingerprint())
 	if snap, ok := modelcache.Load(dir, key); ok {
-		m, merr := errormodel.NewMachineWithScales(opts, snap.Scales)
+		m, merr := errormodel.NewMachineWithScalesContext(ctx, opts, snap.Scales)
 		if merr == nil {
 			return &Framework{Machine: m, Datapath: snap.Datapath}, true, nil
 		}
 		// A snapshot that validates but cannot rebuild a machine (e.g. a unit
 		// was renamed without a schema bump) falls through to a full rebuild.
 	}
-	fw, err = NewFramework(opts)
+	fw, err = NewFrameworkContext(ctx, opts)
 	if err != nil {
 		return nil, false, err
 	}

@@ -37,6 +37,7 @@ func TestNewFrameworkCachedWarm(t *testing.T) {
 	if !reflect.DeepEqual(fw.Machine.Scales(), f.Machine.Scales()) {
 		t.Errorf("restored scales %v != trained %v", fw.Machine.Scales(), f.Machine.Scales())
 	}
+	//tsperrlint:ignore floatcmp a cache restore must reproduce the operating point bit-identically
 	if fw.Machine.WorkingPeriodPs != f.Machine.WorkingPeriodPs {
 		t.Error("operating point differs after restore")
 	}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -60,8 +61,10 @@ type Estimate struct {
 	mixTrunc float64
 }
 
-// NewEstimate runs the Section 5 estimation over the scenarios.
-func NewEstimate(g *cfg.Graph, scenarios []Scenario) (*Estimate, error) {
+// NewEstimate runs the Section 5 estimation over the scenarios. ctx cancels
+// between scenarios — with hundreds of scenario samples over large CFGs the
+// moment sums are long-running by the pipeline's standards.
+func NewEstimate(ctx context.Context, g *cfg.Graph, scenarios []Scenario) (*Estimate, error) {
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("core: no scenarios")
 	}
@@ -81,6 +84,9 @@ func NewEstimate(g *cfg.Graph, scenarios []Scenario) (*Estimate, error) {
 	}
 
 	for r, sc := range scenarios {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: estimation aborted at scenario %d: %w", r, err)
+		}
 		var lam, b1, b2 numeric.KahanSum
 		for bi := range g.Blocks {
 			blk := &g.Blocks[bi]

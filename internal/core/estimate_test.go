@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestEstimateLambdaMoments(t *testing.T) {
 		{0.001, 0.002, 0.003, 0},
 		{0.002, 0.004, 0.006, 0},
 	}, 1000)
-	e, err := NewEstimate(g, sc)
+	e, err := NewEstimate(context.Background(), g, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestEstimateLambdaMoments(t *testing.T) {
 
 func TestEstimateRequiresScenarios(t *testing.T) {
 	g, _ := synthScenarios(t, [][]float64{{0.1}}, 10)
-	if _, err := NewEstimate(g, nil); err == nil {
+	if _, err := NewEstimate(context.Background(), g, nil); err == nil {
 		t.Error("empty scenario list should fail")
 	}
 }
@@ -89,7 +90,7 @@ func TestEstimateRequiresScenarios(t *testing.T) {
 func TestErrorCountCDFDegenerate(t *testing.T) {
 	// Single scenario => LambdaStd 0 => pure Poisson CDF.
 	g, sc := synthScenarios(t, [][]float64{{0.005, 0.005, 0, 0}}, 2000)
-	e, err := NewEstimate(g, sc)
+	e, err := NewEstimate(context.Background(), g, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestErrorCountCDFMixture(t *testing.T) {
 	g, sc := synthScenarios(t, [][]float64{
 		{0.004, 0, 0, 0}, {0.006, 0, 0, 0}, {0.005, 0, 0, 0},
 	}, 10000)
-	e, err := NewEstimate(g, sc)
+	e, err := NewEstimate(context.Background(), g, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestCDFBoundsBracket(t *testing.T) {
 	g, sc := synthScenarios(t, [][]float64{
 		{0.004, 0.001, 0, 0}, {0.006, 0.002, 0, 0},
 	}, 5000)
-	e, err := NewEstimate(g, sc)
+	e, err := NewEstimate(context.Background(), g, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,13 +151,14 @@ func TestCDFBoundsBracket(t *testing.T) {
 
 func TestErrorRateCDFMatchesCountCDF(t *testing.T) {
 	g, sc := synthScenarios(t, [][]float64{{0.002, 0.004, 0, 0}}, 3000)
-	e, _ := NewEstimate(g, sc)
+	e, _ := NewEstimate(context.Background(), g, sc)
 	rate := 0.0015
 	if math.Abs(e.ErrorRateCDF(rate)-e.ErrorCountCDF(rate*e.TotalInsts)) > 1e-12 {
 		t.Error("rate CDF should be the count CDF at rate*n")
 	}
 	lo1, hi1 := e.ErrorRateCDFBounds(rate)
 	lo2, hi2 := e.ErrorCountCDFBounds(rate * e.TotalInsts)
+	//tsperrlint:ignore floatcmp both bounds come from the same computation and must agree bit-exactly
 	if lo1 != lo2 || hi1 != hi2 {
 		t.Error("rate bounds should match count bounds")
 	}
@@ -173,7 +175,7 @@ func TestChenSteinBoundScalesWithDependence(t *testing.T) {
 				s.Cond.PE[i] = pe
 			}
 		}
-		e, err := NewEstimate(g, sc)
+		e, err := NewEstimate(context.Background(), g, sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +209,7 @@ func TestSteinBoundShrinksWithMoreInstructions(t *testing.T) {
 			}
 		}
 		g, sc := synthScenarios(t, probs, 1000)
-		e, err := NewEstimate(g, sc)
+		e, err := NewEstimate(context.Background(), g, sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +230,7 @@ func TestErrorRateQuantileInvertsTheCDF(t *testing.T) {
 	g, sc := synthScenarios(t, [][]float64{
 		{0.004, 0.001, 0, 0}, {0.005, 0.002, 0, 0}, {0.006, 0.001, 0, 0},
 	}, 8000)
-	e, err := NewEstimate(g, sc)
+	e, err := NewEstimate(context.Background(), g, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +253,7 @@ func TestErrorRateQuantileInvertsTheCDF(t *testing.T) {
 
 func TestStdErrorRateIncludesPoissonTerm(t *testing.T) {
 	g, sc := synthScenarios(t, [][]float64{{0.004, 0, 0, 0}}, 10000)
-	e, _ := NewEstimate(g, sc)
+	e, _ := NewEstimate(context.Background(), g, sc)
 	// Single scenario: LambdaStd = 0, so SD comes from the Poisson variance.
 	want := math.Sqrt(e.LambdaMean) / e.TotalInsts
 	if math.Abs(e.StdErrorRate()-want) > 1e-15 {

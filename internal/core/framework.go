@@ -26,11 +26,17 @@ type Framework struct {
 // NewFramework builds and trains the machine-dependent parts (everything
 // that does not depend on the analyzed program).
 func NewFramework(opts errormodel.Options) (*Framework, error) {
-	m, err := errormodel.NewMachine(opts)
+	return NewFrameworkContext(context.Background(), opts)
+}
+
+// NewFrameworkContext is NewFramework under a context: cancellation aborts
+// between (and inside) the calibration and training phases.
+func NewFrameworkContext(ctx context.Context, opts errormodel.Options) (*Framework, error) {
+	m, err := errormodel.NewMachineContext(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
-	dp, err := m.TrainDatapath()
+	dp, err := m.TrainDatapath(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +210,7 @@ func (f *Framework) AnalyzeWithOpts(ctx context.Context, name string, spec Progr
 	}
 	trainStart := time.Now()
 	cc, err := protect(func() (*errormodel.ControlChar, error) {
-		return f.Machine.CharacterizeControl(g, raws[first].profile, raws[first].feats.Results)
+		return f.Machine.CharacterizeControl(ctx, g, raws[first].profile, raws[first].feats.Results)
 	})
 	if err != nil {
 		return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseControl, Err: err}
@@ -257,7 +263,7 @@ func (f *Framework) AnalyzeWithOpts(ctx context.Context, name string, spec Progr
 	if err := ctx.Err(); err != nil {
 		return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseEstimate, Err: err}
 	}
-	est, err := NewEstimate(g, surviving)
+	est, err := NewEstimate(ctx, g, surviving)
 	if err != nil {
 		return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseEstimate, Err: err}
 	}

@@ -46,7 +46,7 @@ func (f *Framework) SelectOperatingPoint(ctx context.Context, name string, spec 
 			return nil, 0, fmt.Errorf("core: non-positive ratio %v", ratio)
 		}
 		f.Machine.SetWorkingPeriod(base / ratio)
-		dp, err := f.Machine.TrainDatapath()
+		dp, err := f.Machine.TrainDatapath(ctx)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -12,7 +12,7 @@ func TestSelectOperatingPoint(t *testing.T) {
 	origPeriod := f.Machine.WorkingPeriodPs
 	defer func() {
 		f.Machine.SetWorkingPeriod(origPeriod)
-		dp, err := f.Machine.TrainDatapath()
+		dp, err := f.Machine.TrainDatapath(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

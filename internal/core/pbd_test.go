@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestPoissonMixtureAgainstExactPBD(t *testing.T) {
 	perInst := []float64{0.003, 0.001, 0.004, 0.002}
 	const execs = 500
 	g, sc := synthScenarios(t, [][]float64{perInst}, execs)
-	est, err := NewEstimate(g, sc)
+	est, err := NewEstimate(context.Background(), g, sc)
 	if err != nil {
 		t.Fatal(err)
 	}

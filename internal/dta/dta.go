@@ -63,8 +63,10 @@ type Analyzer struct {
 	// ranking metric.
 	K int
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// cache memoizes per-endpoint path enumerations; guarded by mu.
 	cache map[netlist.GateID]*epPaths
+	// stage memoizes stage-level DTS reductions; guarded by mu.
 	stage map[string]stageResult
 }
 

@@ -1,6 +1,7 @@
 package errormodel
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 // the frequency of negative slack over explicitly sampled manufactured dies.
 func TestChipSampleValidatesSSTAProbability(t *testing.T) {
 	m := testMachine(t)
-	dp, err := m.TrainDatapath()
+	dp, err := m.TrainDatapath(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestChipSampleValidatesSSTAProbability(t *testing.T) {
 // exceeds the independence product.
 func TestSpatialCorrelationInflatesJointFailure(t *testing.T) {
 	m := testMachine(t)
-	dp, err := m.TrainDatapath()
+	dp, err := m.TrainDatapath(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

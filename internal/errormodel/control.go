@@ -48,7 +48,8 @@ type stimEntry struct {
 	tr   *activity.Trace
 	err  error
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	// fail maps sequence position to failure probability; guarded by mu.
 	fail map[int]float64
 }
 
@@ -170,8 +171,8 @@ func (m *Machine) instDTSFail(t int, tr *activity.Trace) float64 {
 // representative EX result value per static instruction, recorded during the
 // training run. Blocks characterize on the shared worker pool with
 // GOMAXPROCS workers.
-func (m *Machine) CharacterizeControl(g *cfg.Graph, pr *cfg.Profile, results []uint32) (*ControlChar, error) {
-	return m.CharacterizeControlWorkers(g, pr, results, 0)
+func (m *Machine) CharacterizeControl(ctx context.Context, g *cfg.Graph, pr *cfg.Profile, results []uint32) (*ControlChar, error) {
+	return m.CharacterizeControlWorkers(ctx, g, pr, results, 0)
 }
 
 // CharacterizeControlWorkers is CharacterizeControl on a bounded pool of the
@@ -180,7 +181,7 @@ func (m *Machine) CharacterizeControl(g *cfg.Graph, pr *cfg.Profile, results []u
 // accumulation preserves the serial edge order and every memoized quantity is
 // a pure function of its key, so the tables are bit-identical for any worker
 // count.
-func (m *Machine) CharacterizeControlWorkers(g *cfg.Graph, pr *cfg.Profile, results []uint32, workers int) (*ControlChar, error) {
+func (m *Machine) CharacterizeControlWorkers(ctx context.Context, g *cfg.Graph, pr *cfg.Profile, results []uint32, workers int) (*ControlChar, error) {
 	nb := len(g.Blocks)
 	cc := &ControlChar{
 		Fail:      make([][]float64, nb),
@@ -188,7 +189,7 @@ func (m *Machine) CharacterizeControlWorkers(g *cfg.Graph, pr *cfg.Profile, resu
 	}
 	trained := make([]bool, nb)
 	errs := make([]error, nb)
-	pool.Run(context.Background(), nb, workers, false, errs, func(_ context.Context, b int) error {
+	pool.Run(ctx, nb, workers, false, errs, func(_ context.Context, b int) error {
 		return m.characterizeBlock(g, pr, results, cc, trained, b)
 	})
 	if err := pool.FirstError(errs); err != nil {

@@ -51,9 +51,10 @@ func setMulWordDense(vals []bool, gates [16]netlist.GateID, w uint32) {
 // TrainDatapath measures the per-depth DTS tables. It mirrors the training
 // flow of Figure 2: run targeted vectors through the gate-level unit, record
 // activity, and apply Algorithm 1 to the data endpoints. Training runs on the
-// shared worker pool with GOMAXPROCS workers.
-func (m *Machine) TrainDatapath() (*DatapathModel, error) {
-	return m.TrainDatapathWorkers(0)
+// shared worker pool with GOMAXPROCS workers; ctx cancels between depth
+// measurements.
+func (m *Machine) TrainDatapath(ctx context.Context) (*DatapathModel, error) {
+	return m.TrainDatapathWorkers(ctx, 0)
 }
 
 // TrainDatapathWorkers is TrainDatapath on a bounded pool of the given number
@@ -61,7 +62,7 @@ func (m *Machine) TrainDatapath() (*DatapathModel, error) {
 // is an independent task: it owns its simulator and trace, writes a distinct
 // table slot, and the DTA analyzers it consults are safe for concurrent use,
 // so the tables are bit-identical for any worker count.
-func (m *Machine) TrainDatapathWorkers(workers int) (*DatapathModel, error) {
+func (m *Machine) TrainDatapathWorkers(ctx context.Context, workers int) (*DatapathModel, error) {
 	dp := &DatapathModel{
 		AdderSlack: make([]variation.Canon, 33),
 		AdderFail:  make([]float64, 33),
@@ -94,7 +95,7 @@ func (m *Machine) TrainDatapathWorkers(workers int) (*DatapathModel, error) {
 	tasks = append(tasks, func() error { return m.trainLogic(dp, logicEps) })
 
 	errs := make([]error, len(tasks))
-	pool.Run(context.Background(), len(tasks), workers, false, errs,
+	pool.Run(ctx, len(tasks), workers, false, errs,
 		func(_ context.Context, i int) error { return tasks[i]() })
 	if err := pool.FirstError(errs); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package errormodel
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -109,7 +110,7 @@ func seedCharacterizeControl(m *Machine, g *cfg.Graph, pr *cfg.Profile, results 
 // count, on both cold and warm stimulus memos.
 func TestCharacterizeControlDeterministic(t *testing.T) {
 	m := testMachine(t)
-	dp, err := m.TrainDatapath()
+	dp, err := m.TrainDatapath(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,14 +135,14 @@ func TestCharacterizeControlDeterministic(t *testing.T) {
 	}
 	for _, workers := range []int{1, 8} {
 		m.ClearStimulusMemo() // cold: every value computed by this run
-		got, err := m.CharacterizeControlWorkers(g, pr, feats.Results, workers)
+		got, err := m.CharacterizeControlWorkers(context.Background(), g, pr, feats.Results, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
 		check("cold", got)
 	}
 	// Warm: the memo is primed by the runs above; reuse must not change bits.
-	got, err := m.CharacterizeControlWorkers(g, pr, feats.Results, 4)
+	got, err := m.CharacterizeControlWorkers(context.Background(), g, pr, feats.Results, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,11 +153,11 @@ func TestCharacterizeControlDeterministic(t *testing.T) {
 // bit-identical tables for any worker count.
 func TestTrainDatapathDeterministic(t *testing.T) {
 	m := testMachine(t)
-	d1, err := m.TrainDatapathWorkers(1)
+	d1, err := m.TrainDatapathWorkers(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d8, err := m.TrainDatapathWorkers(8)
+	d8, err := m.TrainDatapathWorkers(context.Background(), 8)
 	if err != nil {
 		t.Fatal(err)
 	}

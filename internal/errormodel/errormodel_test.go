@@ -1,6 +1,7 @@
 package errormodel
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -66,7 +67,7 @@ func TestNewMachineRejectsBadOptions(t *testing.T) {
 
 func TestTrainDatapathMonotone(t *testing.T) {
 	m := testMachine(t)
-	dp, err := m.TrainDatapath()
+	dp, err := m.TrainDatapath(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,18 +129,22 @@ func TestFailProbDispatch(t *testing.T) {
 	if got := dp.FailProb(isa.OpAdd, 50); got != 0.32 {
 		t.Errorf("depth must clamp at 32: %v", got)
 	}
+	//tsperrlint:ignore floatcmp dispatch must return the exact stored table entry
 	if got := dp.FailProb(isa.OpMul, 9); got != dp.MulFail[9] {
 		t.Errorf("mul dispatch = %v", got)
 	}
+	//tsperrlint:ignore floatcmp dispatch must return the exact stored table entry
 	if got := dp.FailProb(isa.OpMul, 30); got != dp.MulFail[16] {
 		t.Errorf("mul depth must clamp at 16: %v", got)
 	}
 	if got := dp.FailProb(isa.OpSub, 0); got != 0 {
 		t.Errorf("zero depth must be safe: %v", got)
 	}
+	//tsperrlint:ignore floatcmp dispatch must return the exact stored table entry
 	if got := dp.FailProb(isa.OpSlli, 3); got != dp.ShiftFail[2] {
 		t.Errorf("shift dispatch = %v", got)
 	}
+	//tsperrlint:ignore floatcmp dispatch must return the exact stored table entry
 	if got := dp.FailProb(isa.OpXor, 1); got != dp.LogicFail {
 		t.Errorf("logic dispatch = %v", got)
 	}
@@ -186,12 +191,12 @@ func runScenario(t *testing.T, dp *DatapathModel) (*cfg.Graph, *cfg.Profile, *Sc
 
 func TestCharacterizeControlShapes(t *testing.T) {
 	m := testMachine(t)
-	dp, err := m.TrainDatapath()
+	dp, err := m.TrainDatapath(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	g, pr, feats := runScenario(t, dp)
-	cc, err := m.CharacterizeControl(g, pr, feats.Results)
+	cc, err := m.CharacterizeControl(context.Background(), g, pr, feats.Results)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,12 +222,12 @@ func TestCharacterizeControlShapes(t *testing.T) {
 
 func TestConditionalsAndMarginals(t *testing.T) {
 	m := testMachine(t)
-	dp, err := m.TrainDatapath()
+	dp, err := m.TrainDatapath(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	g, pr, feats := runScenario(t, dp)
-	cc, err := m.CharacterizeControl(g, pr, feats.Results)
+	cc, err := m.CharacterizeControl(context.Background(), g, pr, feats.Results)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,14 +318,14 @@ func TestMarginalsHandDerivedChain(t *testing.T) {
 
 func TestSetWorkingPeriodRaisesErrorProbability(t *testing.T) {
 	m := testMachine(t)
-	dpSlow, err := m.TrainDatapath()
+	dpSlow, err := m.TrainDatapath(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	origPeriod := m.WorkingPeriodPs
 	defer m.SetWorkingPeriod(origPeriod)
 	m.SetWorkingPeriod(origPeriod * 0.95) // higher frequency
-	dpFast, err := m.TrainDatapath()
+	dpFast, err := m.TrainDatapath(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -104,7 +104,13 @@ type Machine struct {
 // so that the design's point of first failure and working point sit at the
 // configured ratios of the base frequency.
 func NewMachine(opts Options) (*Machine, error) {
-	return newMachine(opts, nil)
+	return NewMachineContext(context.Background(), opts)
+}
+
+// NewMachineContext is NewMachine with cancellable calibration: ctx aborts
+// the per-unit SSTA calibration between units.
+func NewMachineContext(ctx context.Context, opts Options) (*Machine, error) {
+	return newMachine(ctx, opts, nil)
 }
 
 // NewMachineWithScales rebuilds a machine from previously calibrated
@@ -115,10 +121,15 @@ func NewMachine(opts Options) (*Machine, error) {
 // missing or non-positive scale is an error (the caller should fall back to
 // full calibration).
 func NewMachineWithScales(opts Options, scales map[string]float64) (*Machine, error) {
+	return NewMachineWithScalesContext(context.Background(), opts, scales)
+}
+
+// NewMachineWithScalesContext is NewMachineWithScales with cancellation.
+func NewMachineWithScalesContext(ctx context.Context, opts Options, scales map[string]float64) (*Machine, error) {
 	if scales == nil {
 		return nil, fmt.Errorf("errormodel: nil scale table")
 	}
-	return newMachine(opts, scales)
+	return newMachine(ctx, opts, scales)
 }
 
 // Scales returns the calibrated per-unit delay scales keyed by netlist name,
@@ -133,7 +144,7 @@ func (m *Machine) Scales() map[string]float64 {
 	return out
 }
 
-func newMachine(opts Options, scales map[string]float64) (*Machine, error) {
+func newMachine(ctx context.Context, opts Options, scales map[string]float64) (*Machine, error) {
 	if opts.BaseFreqMHz <= 0 || opts.WorkingRatio <= 0 || opts.PoFFRatio <= 0 {
 		return nil, fmt.Errorf("errormodel: non-positive frequency configuration")
 	}
@@ -177,7 +188,7 @@ func newMachine(opts Options, scales map[string]float64) (*Machine, error) {
 	// machine construction — runs on the shared bounded worker pool. A
 	// cached scale table (warm start) skips calibration entirely.
 	errs := make([]error, len(units))
-	pool.Run(context.Background(), len(units), 0, false, errs, func(_ context.Context, i int) error {
+	pool.Run(ctx, len(units), 0, false, errs, func(_ context.Context, i int) error {
 		u := units[i]
 		var scale float64
 		if scales != nil {

@@ -114,11 +114,15 @@ func (v PanicValue) String() string {
 // Injector evaluates rules at hook points. It is safe for concurrent use by
 // the worker pool.
 type Injector struct {
-	mu    sync.Mutex
-	rng   *numeric.RNG
-	rules []Rule
-	fired map[int]int // rule index -> firings
+	mu sync.Mutex
+	// rng drives probabilistic rules; guarded by mu.
+	rng *numeric.RNG
+	// fired counts firings per rule index; guarded by mu.
+	fired map[int]int
+	// calls counts hook evaluations per point; guarded by mu.
 	calls map[Point]int
+	// rules is the armed rule set; guarded by mu.
+	rules []Rule
 }
 
 // New arms an injector. The seed only matters for rules with Prob set; any

@@ -103,6 +103,7 @@ func Control() *ControlNet {
 		carry = b.add(cell.AND2, fmt.Sprintf("pc_c%d", i), pc[i], carry)
 		n.Gate(pc[i]).Fanin[0] = sum
 	}
+	n.MarkUnused(carry) // the counter wraps: the final carry-out has no consumer
 
 	// ---- Stage ID: opcode matchers and control-signal OR trees. ----
 	b.stage = cpu.StageID
@@ -123,6 +124,11 @@ func Control() *ControlNet {
 		}
 		match[op] = b.tree(cell.AND2, fmt.Sprintf("match_%s", op), lits)
 	}
+	// Every opcode gets a matcher so decode timing covers the full table,
+	// but NOP and HALT assert no control signal; their outputs dangle by
+	// design.
+	n.MarkUnused(match[isa.OpNop])
+	n.MarkUnused(match[isa.OpHalt])
 	orOf := func(name string, ops ...isa.Op) netlist.GateID {
 		in := make([]netlist.GateID, len(ops))
 		for i, op := range ops {

@@ -58,6 +58,9 @@ func Multiplier() *MultiplierNet {
 			next[i] = s
 			carry = c
 		}
+		// The product truncates at bit 15, so each row's final carry-out
+		// ripples into the discarded high half and drives nothing here.
+		n.MarkUnused(carry)
 		acc = next
 	}
 	for i := 0; i < 16; i++ {

@@ -22,13 +22,14 @@ const DefaultScenarios = 8
 
 var (
 	fwMu sync.Mutex
-	fw   *core.Framework
+	// fw is the lazily built shared framework; guarded by fwMu.
+	fw *core.Framework
 
 	// Model-cache policy for SharedFramework. Disabled by default so
 	// library consumers (and `go test ./...`) never touch the filesystem;
 	// the CLI commands opt in via SetModelCache before first use.
-	cacheEnabled bool
-	cacheDir     string
+	cacheEnabled bool   // guarded by fwMu
+	cacheDir     string // guarded by fwMu
 )
 
 // Build hooks, substituted by tests to exercise failure and retry semantics.

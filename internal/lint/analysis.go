@@ -1,0 +1,226 @@
+// Package lint implements the repository's custom static-analysis passes
+// and the minimal driver framework they run on. The repo has two machine-
+// checked contracts that ordinary `go vet` cannot see: parallel
+// characterization must stay bit-identical to serial execution (no
+// map-iteration-order-dependent accumulation, no unguarded memo access),
+// and context cancellation must thread through every long-running
+// scenario/instruction/cycle loop. The analyzers here enforce both, plus
+// the float-equality hygiene the estimation math depends on.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API surface
+// (Analyzer, Pass, Diagnostic) but is built purely on the standard library
+// (go/ast, go/types, go/importer), because this module is dependency-free
+// by policy. cmd/tsperrlint is the multichecker driver; it runs both
+// standalone over package patterns and as a `go vet -vettool`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the conventional file:line:col form used by vet tools.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// All returns the full pass suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIterOrder, CtxFlow, GuardedField, FloatCmp}
+}
+
+// ByName resolves a comma-separated analyzer selection; an empty selection
+// means all analyzers.
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ignoreRe matches the suppression directive. It must carry the analyzer
+// name (or "all") and a non-empty reason, mirroring //lint:ignore:
+//
+//	//tsperrlint:ignore floatcmp exact tie-break is intentional
+var ignoreRe = regexp.MustCompile(`^//tsperrlint:ignore\s+([\w,]+)\s+\S`)
+
+// suppressions maps file:line to the set of analyzer names suppressed on
+// that line (a directive suppresses its own line and the line below it,
+// so it works both as a trailing and as a preceding comment).
+func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	sup := map[string]map[string]bool{}
+	add := func(pos token.Position, names string) {
+		for _, n := range strings.Split(names, ",") {
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				key := fmt.Sprintf("%s:%d", pos.Filename, line)
+				if sup[key] == nil {
+					sup[key] = map[string]bool{}
+				}
+				sup[key][strings.TrimSpace(n)] = true
+			}
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := ignoreRe.FindStringSubmatch(c.Text); m != nil {
+					add(fset.Position(c.Pos()), m[1])
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// RunAnalyzers applies the analyzers to one loaded package and returns the
+// surviving diagnostics sorted by position. Findings on lines carrying a
+// matching //tsperrlint:ignore directive are dropped.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sup := suppressions(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if s := sup[key]; s != nil && (s[d.Analyzer] || s["all"]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// ---- shared type and syntax helpers used by several analyzers ----
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (x in x.f[i].g), or nil when the chain does not start at an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether the object bound to the leftmost
+// identifier of lhs was declared inside [lo, hi) — i.e. the variable is
+// local to that region (typically a loop body) rather than an accumulator
+// that outlives it.
+func declaredWithin(info *types.Info, lhs ast.Expr, lo, hi token.Pos) bool {
+	id := rootIdent(lhs)
+	if id == nil {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= lo && obj.Pos() < hi
+}

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the cancellation contract of the resilient estimation
+// pipeline (DESIGN.md §7): long-running work must be abortable. In the
+// packages listed in CtxFlowScope it reports
+//
+//  1. exported functions that run a scenario/instruction/cycle loop
+//     (recognized by the domain vocabulary in the loop header) but neither
+//     accept a context.Context nor consult one, and
+//  2. any non-trivial function without a context parameter that
+//     manufactures context.Background()/context.TODO() — laundering the
+//     contract by handing uncancellable contexts to workers.
+//
+// Thin delegating wrappers (at most two statements, no loops — the
+// conventional Run/RunContext pairing) are exempt from the second check,
+// since a Background() fallback at the outermost convenience layer is the
+// standard library's own idiom.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag scenario/instruction/cycle loops and Background() laundering outside the context-threading contract",
+	Run:  runCtxFlow,
+}
+
+// CtxFlowScope lists the import paths whose packages carry the
+// cancellation contract. Loops elsewhere (generators, pure math) finish in
+// microseconds and are deliberately out of scope.
+var CtxFlowScope = []string{
+	"tsperr/internal/core",
+	"tsperr/internal/harness",
+	"tsperr/internal/errormodel",
+	"tsperr/internal/cpu",
+}
+
+// ctxLoopTokens is the domain vocabulary marking a loop as long-running:
+// iterating scenarios, instructions, or clock cycles.
+var ctxLoopTokens = []string{"scenario", "cycle", "inst"}
+
+func runCtxFlow(pass *Pass) error {
+	inScope := false
+	for _, p := range CtxFlowScope {
+		if pass.Pkg.Path() == p {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCtxFlowFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkCtxFlowFunc(pass *Pass, fn *ast.FuncDecl) {
+	if hasCtxParam(pass.TypesInfo, fn) {
+		return // the contract is satisfied at the signature
+	}
+	if isTestEntry(pass.TypesInfo, fn) {
+		return // test entry points are where root contexts legitimately begin
+	}
+	consults := consultsContext(pass.TypesInfo, fn.Body)
+
+	if fn.Name.IsExported() && !consults {
+		if loop := findDomainLoop(fn.Body); loop != nil {
+			pass.Reportf(loop.Pos(),
+				"exported %s runs a scenario/instruction/cycle loop but neither accepts a context.Context nor checks one (cancellation contract, DESIGN.md §7)",
+				fn.Name.Name)
+		}
+	}
+
+	if isThinWrapper(fn) {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := contextFactory(call); name != "" {
+			pass.Reportf(call.Pos(),
+				"%s manufactures context.%s instead of accepting a context.Context; callers cannot cancel this work (add a ctx parameter or delegate from a thin wrapper)",
+				fn.Name.Name, name)
+		}
+		return true
+	})
+}
+
+// isTestEntry reports whether fn is a go-test entry point — TestXxx,
+// BenchmarkXxx, or FuzzXxx taking the corresponding *testing parameter.
+// Tests own their run and are the one place a root context is correct, so
+// both ctxflow checks skip them.
+func isTestEntry(info *types.Info, fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	if !strings.HasPrefix(name, "Test") && !strings.HasPrefix(name, "Benchmark") && !strings.HasPrefix(name, "Fuzz") {
+		return false
+	}
+	if fn.Recv != nil || fn.Type.Params == nil || len(fn.Type.Params.List) != 1 {
+		return false
+	}
+	t := info.TypeOf(fn.Type.Params.List[0].Type)
+	if t == nil {
+		return false
+	}
+	switch t.String() {
+	case "*testing.T", "*testing.B", "*testing.F":
+		return true
+	}
+	return false
+}
+
+// hasCtxParam reports whether any parameter of fn has type context.Context.
+func hasCtxParam(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// consultsContext reports whether the body references a context-typed
+// variable (a struct field or captured ctx being checked), which satisfies
+// the "checks one" half of the contract. Results of context.Background()
+// calls are not variables and do not count.
+func consultsContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := info.ObjectOf(id)
+		if v, ok := obj.(*types.Var); ok && isContextType(v.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// findDomainLoop returns the first for/range statement whose header
+// mentions the scenario/instruction/cycle vocabulary, or nil.
+func findDomainLoop(body *ast.BlockStmt) ast.Stmt {
+	var hit ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			if headerHasToken(s.Init) || headerHasToken(s.Cond) || headerHasToken(s.Post) {
+				hit = s
+			}
+		case *ast.RangeStmt:
+			if headerHasToken(s.X) {
+				hit = s
+			}
+		}
+		return hit == nil
+	})
+	return hit
+}
+
+// headerHasToken scans the identifiers of a loop-header node for the
+// domain vocabulary.
+func headerHasToken(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		lower := strings.ToLower(id.Name)
+		for _, tok := range ctxLoopTokens {
+			if strings.Contains(lower, tok) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isThinWrapper reports whether fn is a small delegating convenience
+// wrapper: at most two top-level statements and no loops anywhere.
+func isThinWrapper(fn *ast.FuncDecl) bool {
+	if len(fn.Body.List) > 2 {
+		return false
+	}
+	hasLoop := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			hasLoop = true
+		}
+		return !hasLoop
+	})
+	return !hasLoop
+}
+
+// contextFactory returns "Background" or "TODO" when call is
+// context.Background() or context.TODO(), and "" otherwise.
+func contextFactory(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "context" {
+		return ""
+	}
+	if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+		return sel.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// FloatCmp flags == and != between floating-point expressions. Exact
+// float equality is almost always a latent bug in SSTA/estimation math —
+// two algebraically equal delay or probability expressions differ in the
+// last ulp as soon as evaluation order changes, which is exactly what the
+// parallel characterization pipeline does. Allowed:
+//
+//   - comparisons where either operand is a compile-time constant
+//     (x == 0 sentinel and division guards are idiomatic and exact);
+//   - comparisons inside tolerance helpers, recognized by function names
+//     matching approx/almost/within/tol(erance);
+//   - lines carrying a //tsperrlint:ignore floatcmp directive with a
+//     reason.
+//
+// Everything else should go through numeric.ApproxEq or restructure into
+// ordered comparisons.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= between floating-point expressions outside approved tolerance helpers",
+	Run:  runFloatCmp,
+}
+
+// toleranceFuncRe recognizes approved tolerance-helper functions by name.
+var toleranceFuncRe = regexp.MustCompile(`(?i)approx|almost|within|tol`)
+
+func runFloatCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if toleranceFuncRe.MatchString(fn.Name.Name) {
+				continue
+			}
+			checkFloatCmps(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkFloatCmps(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt := pass.TypesInfo.Types[be.X]
+		yt := pass.TypesInfo.Types[be.Y]
+		if !isFloat(xt.Type) || !isFloat(yt.Type) {
+			return true
+		}
+		if xt.Value != nil || yt.Value != nil {
+			return true // constant sentinel comparison: exact by construction
+		}
+		pass.Reportf(be.OpPos,
+			"%s between floating-point expressions; use numeric.ApproxEq (or ordered comparisons) — exact equality breaks under reassociation",
+			be.Op)
+		return true
+	})
+}

@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// loader resolves and type-checks packages of a single module without the
+// go/packages machinery: module-local imports are resolved from source by
+// module-path prefix, and standard-library imports go through the
+// compiler-independent "source" importer (which needs no export data and
+// therefore no network or pre-built GOROOT/pkg tree).
+type loader struct {
+	root    string // absolute module root
+	module  string // module path from go.mod
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package // import path -> loaded package (no test files)
+	loading map[string]bool     // import cycle guard
+}
+
+// Load type-checks the packages matched by patterns ("./...", "./dir",
+// "dir/...") under the module rooted at root, plus their module-local
+// dependencies, and returns only the matched packages. includeTests adds
+// in-package _test.go files; external (package foo_test) test packages are
+// skipped, as are testdata and hidden directories.
+func Load(root string, patterns []string, includeTests bool) ([]*Package, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(absRoot)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		root:    absRoot,
+		module:  module,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(absRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := module
+		if rel != "." {
+			path = module + "/" + filepath.ToSlash(rel)
+		}
+		var pkg *Package
+		if includeTests {
+			// Test files are only added to the packages the caller asked
+			// for; dependencies always load without them. In-package test
+			// files may import packages that import this one back — legal
+			// in Go (tests sit outside the import graph), so treating them
+			// uniformly would manufacture phantom import cycles.
+			pkg, err = l.loadOne(path, true)
+		} else {
+			pkg, err = l.load(path)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// modulePath reads the module declaration of root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s/go.mod", root)
+}
+
+// expand resolves package patterns to directories containing Go files.
+func (l *loader) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	addIfPkg := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		recursive := false
+		if strings.HasSuffix(p, "/...") || p == "..." {
+			recursive = true
+			p = strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+			if p == "" {
+				p = "."
+			}
+		}
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(l.root, p)
+		}
+		if !recursive {
+			addIfPkg(p)
+			continue
+		}
+		err := filepath.WalkDir(p, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != p && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			addIfPkg(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), "_") && !strings.HasPrefix(e.Name(), ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer: module-local paths load from source,
+// everything else is delegated to the standard-library source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module-local package without test files
+// (memoized). It returns (nil, nil) for directories with no buildable Go
+// files.
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	pkg, err := l.loadOne(path, false)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loadOne parses and type-checks one module-local package, optionally with
+// its in-package test files. Not memoized; dependency imports resolve
+// through load (and therefore never see test files).
+func (l *loader) loadOne(path string, tests bool) (*Package, error) {
+	dir := l.root
+	if path != l.module {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+	}
+	files, err := l.parseDir(dir, tests)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
+	}
+	return &Package{
+		PkgPath: path,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// parseDir parses the buildable Go files of one directory: non-test files
+// always, in-package test files when tests is set. External test packages
+// (package foo_test) are never included — they would form a second package
+// in the same directory.
+func (l *loader) parseDir(dir string, tests bool) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, "_") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if strings.HasSuffix(n, "_test.go") && !tests {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkgName := ""
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		name := f.Name.Name
+		if strings.HasSuffix(n, "_test.go") && strings.HasSuffix(name, "_test") {
+			continue // external test package
+		}
+		if pkgName == "" {
+			pkgName = name
+		}
+		if name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed packages %q and %q", dir, pkgName, name)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

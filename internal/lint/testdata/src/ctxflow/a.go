@@ -1,0 +1,104 @@
+// Fixture for the ctxflow analyzer. The test loads this package under the
+// import path tsperr/internal/core so it falls inside CtxFlowScope.
+package fixture
+
+import (
+	"context"
+	"testing"
+)
+
+// RunScenarios is the core violation: exported, runs a scenario loop, and
+// has no way to be cancelled.
+func RunScenarios(n int) float64 {
+	var total float64
+	for scenario := 0; scenario < n; scenario++ { // want `neither accepts a context.Context nor checks one`
+		total += float64(scenario)
+	}
+	return total
+}
+
+// RunScenariosContext satisfies the contract at the signature.
+func RunScenariosContext(ctx context.Context, n int) (float64, error) {
+	var total float64
+	for scenario := 0; scenario < n; scenario++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += float64(scenario)
+	}
+	return total, nil
+}
+
+// engine carries its context as a field; methods consulting it are fine.
+type engine struct {
+	ctx context.Context
+	n   int
+}
+
+// CycleAll has no ctx parameter but checks the stored one each cycle.
+func (e *engine) CycleAll() error {
+	for cycle := 0; cycle < e.n; cycle++ {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run is the conventional thin wrapper; a Background() here is the stdlib's
+// own convenience idiom and is exempt.
+func Run(n int) float64 {
+	v, _ := RunScenariosContext(context.Background(), n)
+	return v
+}
+
+// RunInstBatch launders the contract: it is not a thin wrapper, yet it
+// manufactures an uncancellable context for the real work.
+func RunInstBatch(insts []int) float64 {
+	var total float64
+	weight := 0.5
+	if len(insts) > 100 {
+		weight = 1.0
+	}
+	v, _ := RunScenariosContext(context.Background(), len(insts)) // want `manufactures context.Background`
+	total = v * weight
+	return total
+}
+
+// sumInst is unexported: the domain-loop check only binds the exported API,
+// so this stays clean (callers reach it through a ctx-accepting entry).
+func sumInst(insts []float64) float64 {
+	var total float64
+	for _, inst := range insts {
+		total += inst
+	}
+	return total
+}
+
+// Tally loops, but over plain indices with no domain vocabulary — short
+// bounded math that the contract deliberately leaves alone.
+func Tally(xs []float64) float64 {
+	var t float64
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+
+// TestScenarioSweep is a go-test entry point: it both runs a scenario loop
+// and manufactures a root context, and both are correct here — the test owns
+// its run.
+func TestScenarioSweep(t *testing.T) {
+	for scenario := 0; scenario < 4; scenario++ {
+		if _, err := RunScenariosContext(context.Background(), scenario); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioSweep gets the same exemption for *testing.B.
+func BenchmarkScenarioSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunScenariosContext(context.Background(), 3)
+	}
+}

@@ -1,0 +1,48 @@
+// Fixture for the floatcmp analyzer: exact ==/!= between float expressions
+// is flagged unless a constant is involved, the enclosing function is a
+// tolerance helper, or the line carries an ignore directive.
+package fixture
+
+func sameDelay(a, b float64) bool {
+	return a == b // want `between floating-point expressions`
+}
+
+func changedDelay(a, b float32) bool {
+	return a != b // want `between floating-point expressions`
+}
+
+// zeroGuard compares against a compile-time constant — the idiomatic exact
+// sentinel, clean.
+func zeroGuard(x float64) bool {
+	return x == 0
+}
+
+// approxEq is a tolerance helper by name; its internal exact comparisons
+// are the implementation of the approved pattern.
+func approxEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// withinUlp is likewise exempt by name.
+func withinUlp(a, b float64) bool {
+	return a == b
+}
+
+// intCompare involves no floats — clean.
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+// tieBreak documents a deliberate exact comparison with the suppression
+// directive, which must silence the finding.
+func tieBreak(a, b float64) bool {
+	//tsperrlint:ignore floatcmp exact tie on bit-identical inputs is intended
+	return a == b
+}

@@ -1,0 +1,86 @@
+// Fixture for the mapiterorder analyzer: order-sensitive work inside
+// map-range loops must be flagged; sorted-key iteration and commutative
+// updates must not.
+package fixture
+
+import "sort"
+
+// acc mimics numeric.KahanSum: a float accumulator with an Add method.
+type acc struct{ sum, c float64 }
+
+func (a *acc) Add(v float64) { a.sum += v }
+
+func floatAccumulation(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `iteration-order dependent`
+	}
+	return total
+}
+
+func kahanAccumulation(m map[string]float64) float64 {
+	var k acc
+	for _, v := range m {
+		k.Add(v) // want `accumulator .Add inside map-range loop`
+	}
+	return k.sum
+}
+
+func appendCollection(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to a slice that outlives`
+	}
+	return keys
+}
+
+func workerDispatch(m map[string]func(), done chan string) {
+	for k, f := range m {
+		go f()    // want `goroutine launched from a map-range loop`
+		done <- k // want `channel send inside a map-range loop`
+	}
+}
+
+// sortedKeys is the approved fix pattern: collect, sort, then range the
+// slice — no diagnostics, including on the collection append.
+func sortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// intCounting is commutative and must not be flagged.
+func intCounting(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// localAccumulator only lives inside the loop body; order cannot leak.
+func localAccumulator(m map[string][]float64) {
+	for _, vs := range m {
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v
+		}
+		_ = rowSum
+	}
+}
+
+// mapToMap writes are set-semantics, not order-sensitive.
+func mapToMap(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}

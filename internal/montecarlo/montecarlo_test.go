@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -62,7 +63,7 @@ func fixture(t *testing.T, pcVal, peVal float64, scenarios int) (*isa.Program, *
 
 func TestMonteCarloMatchesMarginalMean(t *testing.T) {
 	p, g, scs, conds := fixture(t, 0.02, 0.05, 1)
-	est, err := core.NewEstimate(g, scs)
+	est, err := core.NewEstimate(context.Background(), g, scs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestMonteCarloMatchesMarginalMean(t *testing.T) {
 
 func TestPoissonApproximationWithinBound(t *testing.T) {
 	p, g, scs, conds := fixture(t, 0.01, 0.03, 1)
-	est, err := core.NewEstimate(g, scs)
+	est, err := core.NewEstimate(context.Background(), g, scs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,8 +134,8 @@ func TestDependenceRaisesVariance(t *testing.T) {
 func TestDataVariationWidensSpread(t *testing.T) {
 	p, g, scsMulti, condsMulti := fixture(t, 0.02, 0.04, 4)
 	_, _, scsOne, condsOne := fixture(t, 0.02, 0.04, 1)
-	estMulti, _ := core.NewEstimate(g, scsMulti)
-	estOne, _ := core.NewEstimate(g, scsOne)
+	estMulti, _ := core.NewEstimate(context.Background(), g, scsMulti)
+	estOne, _ := core.NewEstimate(context.Background(), g, scsOne)
 	if estMulti.LambdaStd <= estOne.LambdaStd {
 		t.Errorf("data variation should widen lambda: %v vs %v",
 			estMulti.LambdaStd, estOne.LambdaStd)

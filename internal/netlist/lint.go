@@ -1,0 +1,176 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tsperr/internal/cell"
+)
+
+// Severity classifies a structural finding. Errors indicate a netlist the
+// estimation pipeline would mis-analyze (or panic on); warnings indicate
+// likely generator bugs that do not by themselves corrupt timing analysis.
+type Severity int
+
+const (
+	// Warning marks suspicious-but-survivable structure (dangling outputs).
+	Warning Severity = iota
+	// Error marks structure that breaks the analysis contract.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one structural-lint diagnostic, tied to a gate where one is
+// responsible.
+type Finding struct {
+	Severity Severity
+	// Rule is the stable machine-readable rule name (dangling-gate,
+	// fanin-arity, stage-order, delay-annotation, placement, dup-name).
+	Rule string
+	// Gate names the offending gate ("" for netlist-level findings).
+	Gate string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	if f.Gate == "" {
+		return fmt.Sprintf("%s: [%s] %s", f.Severity, f.Rule, f.Msg)
+	}
+	return fmt.Sprintf("%s: [%s] gate %q: %s", f.Severity, f.Rule, f.Gate, f.Msg)
+}
+
+// HasErrors reports whether any finding is Error-severity.
+func HasErrors(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Library abstracts the cell library the linter checks gates against, so
+// tests can lint with deliberately broken libraries.
+type Library interface {
+	// Known reports whether the kind is a member of the library.
+	Known(k cell.Kind) bool
+	// NumInputs is the required fan-in arity of the kind.
+	NumInputs(k cell.Kind) int
+	// Delay is the nominal propagation delay of the kind in picoseconds.
+	Delay(k cell.Kind) float64
+}
+
+// StdLibrary adapts package cell's standard library to the Library
+// interface.
+type StdLibrary struct{}
+
+func (StdLibrary) Known(k cell.Kind) bool    { return k.Known() }
+func (StdLibrary) NumInputs(k cell.Kind) int { return k.NumInputs() }
+func (StdLibrary) Delay(k cell.Kind) float64 { return k.Delay() }
+
+// Lint runs the structural rule set over the netlist and returns the
+// findings, errors before warnings and in gate order within each. Unlike
+// Validate, which stops at the first fatal problem, Lint reports every
+// violation of every rule so a broken generator is diagnosed in one run:
+//
+//	dangling-gate    warning  non-endpoint gate drives nothing and is not
+//	                          declared Unused
+//	fanin-arity      error    fan-in count differs from the library arity,
+//	                          or a fan-in ID is out of range
+//	stage-order      error    a gate consumes a signal from a later stage,
+//	                          or sits outside [0, Stages)
+//	delay-annotation error    unknown cell kind, or a combinational cell
+//	                          with a non-positive library delay
+//	placement        error    die coordinates NaN or outside [0, 1)
+//	dup-name         error    two gates share a name
+//
+// Lint never builds the topological order, so it works (and stays useful)
+// on netlists whose cycles make Validate fail.
+func (n *Netlist) Lint(lib Library) []Finding {
+	var fs []Finding
+	m := len(n.gates)
+
+	// Fanout counts, computed locally: build() panics on cyclic netlists,
+	// and the linter must keep working on exactly those.
+	drives := make([]int, m)
+	for i := range n.gates {
+		for _, f := range n.gates[i].Fanin {
+			if int(f) >= 0 && int(f) < m {
+				drives[f]++
+			}
+		}
+	}
+
+	firstByName := map[string]GateID{}
+	for i := range n.gates {
+		g := &n.gates[i]
+		report := func(sev Severity, rule, format string, args ...any) {
+			fs = append(fs, Finding{Severity: sev, Rule: rule, Gate: g.Name,
+				Msg: fmt.Sprintf(format, args...)})
+		}
+
+		known := lib.Known(g.Kind)
+		if !known {
+			report(Error, "delay-annotation", "cell kind %v is not in the library; no delay model exists for it", g.Kind)
+		} else if g.Kind.IsCombinational() && lib.Delay(g.Kind) <= 0 {
+			report(Error, "delay-annotation", "combinational cell %v has non-positive library delay %gps", g.Kind, lib.Delay(g.Kind))
+		}
+
+		arityOK := true
+		for _, f := range g.Fanin {
+			if int(f) < 0 || int(f) >= m {
+				report(Error, "fanin-arity", "fanin ID %d out of range [0,%d)", f, m)
+				arityOK = false
+			}
+		}
+		if known {
+			if want := lib.NumInputs(g.Kind); len(g.Fanin) != want {
+				report(Error, "fanin-arity", "%v has %d fanins, library requires %d", g.Kind, len(g.Fanin), want)
+				arityOK = false
+			}
+		}
+
+		if g.Stage < 0 || g.Stage >= n.Stages {
+			report(Error, "stage-order", "stage %d outside [0,%d)", g.Stage, n.Stages)
+		}
+		if arityOK {
+			for _, f := range g.Fanin {
+				if fg := &n.gates[f]; fg.Stage > g.Stage {
+					report(Error, "stage-order", "consumes %q from later stage %d while in stage %d; signals must flow forward", fg.Name, fg.Stage, g.Stage)
+				}
+			}
+		}
+
+		for _, c := range [2]float64{g.X, g.Y} {
+			if math.IsNaN(c) || c < 0 || c >= 1 {
+				report(Error, "placement", "die coordinates (%g,%g) outside [0,1)x[0,1); the spatial variation model cannot place it", g.X, g.Y)
+				break
+			}
+		}
+
+		if drives[g.ID] == 0 && !g.IsEndpoint() && !g.Unused {
+			report(Warning, "dangling-gate", "%v output drives nothing and is not declared Unused; likely a generator bug", g.Kind)
+		}
+
+		if first, dup := firstByName[g.Name]; dup {
+			report(Error, "dup-name", "name already used by gate %d; diagnostics and endpoint reports would be ambiguous", first)
+		} else {
+			firstByName[g.Name] = g.ID
+		}
+	}
+
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return fs[i].Severity > fs[j].Severity // errors first
+		}
+		return false
+	})
+	return fs
+}

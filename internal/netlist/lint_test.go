@@ -1,0 +1,171 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tsperr/internal/cell"
+)
+
+// smallNet builds a minimal well-formed two-stage netlist:
+// stage 0: inputs a,b -> AND -> DFF q0; stage 1: INV of q0 -> DFF q1.
+func smallNet(t *testing.T) *Netlist {
+	t.Helper()
+	n := New("small", 2)
+	a := n.Add(cell.INPUT, "a", 0)
+	b := n.Add(cell.INPUT, "b", 0)
+	and := n.Add(cell.AND2, "and", 0, a, b)
+	q0 := n.Add(cell.DFF, "q0", 0, and)
+	inv := n.Add(cell.INV, "inv", 1, q0)
+	n.Add(cell.DFF, "q1", 1, inv)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("smallNet invalid: %v", err)
+	}
+	return n
+}
+
+func findingsFor(fs []Finding, rule string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestLintCleanNetlist(t *testing.T) {
+	fs := smallNet(t).Lint(StdLibrary{})
+	if len(fs) != 0 {
+		t.Fatalf("clean netlist produced findings: %v", fs)
+	}
+}
+
+func TestLintDanglingGate(t *testing.T) {
+	n := smallNet(t)
+	id := n.Add(cell.INV, "orphan", 1, 0)
+	fs := findingsFor(n.Lint(StdLibrary{}), "dangling-gate")
+	if len(fs) != 1 || fs[0].Gate != "orphan" || fs[0].Severity != Warning {
+		t.Fatalf("dangling gate findings = %v, want one warning on orphan", fs)
+	}
+	n.MarkUnused(id)
+	if fs := n.Lint(StdLibrary{}); len(fs) != 0 {
+		t.Fatalf("MarkUnused should silence the dangling warning, got %v", fs)
+	}
+}
+
+func TestLintFaninArity(t *testing.T) {
+	n := smallNet(t)
+	and := n.Gate(2)
+	and.Fanin = and.Fanin[:1] // AND2 with one input
+	fs := findingsFor(n.Lint(StdLibrary{}), "fanin-arity")
+	if len(fs) != 1 || fs[0].Gate != "and" || fs[0].Severity != Error {
+		t.Fatalf("arity findings = %v, want one error on and", fs)
+	}
+
+	n2 := smallNet(t)
+	n2.Gate(2).Fanin[0] = 99 // dangling reference
+	fs = findingsFor(n2.Lint(StdLibrary{}), "fanin-arity")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "out of range") {
+		t.Fatalf("out-of-range findings = %v, want one", fs)
+	}
+}
+
+func TestLintStageOrder(t *testing.T) {
+	n := smallNet(t)
+	n.Gate(2).Stage = 1 // the AND now claims stage 1 but feeds the stage-0 DFF
+	fs := findingsFor(n.Lint(StdLibrary{}), "stage-order")
+	if len(fs) != 1 || fs[0].Gate != "q0" || !strings.Contains(fs[0].Msg, "later stage") {
+		t.Fatalf("stage-order findings = %v, want one back-edge error on q0", fs)
+	}
+
+	n2 := smallNet(t)
+	n2.Gate(4).Stage = 7
+	fs = findingsFor(n2.Lint(StdLibrary{}), "stage-order")
+	// Gate 4 is out of range, and q1 now consumes it from a "later" stage.
+	if len(fs) != 2 || !strings.Contains(fs[0].Msg, "outside [0,2)") {
+		t.Fatalf("stage-range findings = %v, want range + back-edge errors", fs)
+	}
+}
+
+// zeroDelayLib breaks the AND2 delay annotation on purpose.
+type zeroDelayLib struct{ StdLibrary }
+
+func (zeroDelayLib) Delay(k cell.Kind) float64 {
+	if k == cell.AND2 {
+		return 0
+	}
+	return k.Delay()
+}
+
+func TestLintDelayAnnotation(t *testing.T) {
+	n := smallNet(t)
+	n.Gate(4).Kind = cell.Kind(200)
+	fs := findingsFor(n.Lint(StdLibrary{}), "delay-annotation")
+	if len(fs) != 1 || fs[0].Gate != "inv" || !strings.Contains(fs[0].Msg, "not in the library") {
+		t.Fatalf("unknown-kind findings = %v, want one on inv", fs)
+	}
+
+	fs = findingsFor(smallNet(t).Lint(zeroDelayLib{}), "delay-annotation")
+	if len(fs) != 1 || fs[0].Gate != "and" || !strings.Contains(fs[0].Msg, "non-positive") {
+		t.Fatalf("zero-delay findings = %v, want one on and", fs)
+	}
+}
+
+func TestLintPlacement(t *testing.T) {
+	n := smallNet(t)
+	n.SetPlacement(2, 1.5, 0.5)
+	n.SetPlacement(3, math.NaN(), 0.5)
+	fs := findingsFor(n.Lint(StdLibrary{}), "placement")
+	if len(fs) != 2 || fs[0].Gate != "and" || fs[1].Gate != "q0" {
+		t.Fatalf("placement findings = %v, want errors on and, q0", fs)
+	}
+}
+
+func TestLintDupName(t *testing.T) {
+	n := smallNet(t)
+	n.Gate(4).Name = "and"
+	fs := findingsFor(n.Lint(StdLibrary{}), "dup-name")
+	if len(fs) != 1 || fs[0].Gate != "and" || fs[0].Severity != Error {
+		t.Fatalf("dup-name findings = %v, want one error", fs)
+	}
+}
+
+// TestLintSurvivesCycle checks that Lint keeps working on a netlist whose
+// cycle makes Validate fail — and that the Validate error now names the
+// stuck gates with kind and stage.
+func TestLintSurvivesCycle(t *testing.T) {
+	n := smallNet(t)
+	i1 := n.Add(cell.INV, "loop1", 1, 0)
+	i2 := n.Add(cell.INV, "loop2", 1, i1)
+	q := n.Add(cell.DFF, "loopq", 1, i2)
+	_ = q
+	n.Gate(i1).Fanin[0] = i2 // close the combinational loop
+
+	err := n.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a cyclic netlist")
+	}
+	for _, want := range []string{"loop1", "loop2", "INV", "stage 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("cycle error %q does not mention %q", err, want)
+		}
+	}
+
+	fs := n.Lint(StdLibrary{})
+	if len(fs) != 0 {
+		// The cycle itself is Validate's job; Lint must simply not panic
+		// and not misreport the cyclic gates under unrelated rules.
+		t.Fatalf("Lint on cyclic netlist reported %v, want none", fs)
+	}
+}
+
+func TestHasErrors(t *testing.T) {
+	if HasErrors([]Finding{{Severity: Warning}}) {
+		t.Fatal("warning counted as error")
+	}
+	if !HasErrors([]Finding{{Severity: Warning}, {Severity: Error}}) {
+		t.Fatal("error not detected")
+	}
+}

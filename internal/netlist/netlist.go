@@ -8,6 +8,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"tsperr/internal/cell"
 )
@@ -32,6 +33,11 @@ type Gate struct {
 	// holds operands, results, condition codes, or intermediate values.
 	// Endpoints with Data == false are control endpoints.
 	Data bool
+	// Unused declares that the gate's output intentionally drives nothing
+	// (e.g. the final carry-out of an adder whose width is fixed). The
+	// structural linter flags dangling outputs unless they are declared
+	// here.
+	Unused bool
 }
 
 // IsEndpoint reports whether the gate terminates timing paths (flip-flop).
@@ -86,6 +92,10 @@ func (n *Netlist) SetPlacement(id GateID, x, y float64) {
 
 // MarkData marks a gate as a data endpoint.
 func (n *Netlist) MarkData(id GateID) { n.gates[id].Data = true }
+
+// MarkUnused declares that a gate's output intentionally drives nothing,
+// exempting it from the linter's dangling-gate rule.
+func (n *Netlist) MarkUnused(id GateID) { n.gates[id].Unused = true }
 
 // Endpoints returns the endpoint IDs of a pipeline stage, matching E(N, s) of
 // Table 1. If dataOnly or controlOnly filters are needed, use EndpointsOf.
@@ -180,8 +190,29 @@ func (n *Netlist) build() error {
 		}
 	}
 	if len(topo) != m {
-		return fmt.Errorf("netlist %q: combinational cycle detected (%d of %d gates ordered)",
-			n.Name, len(topo), m)
+		// Every non-source gate with remaining in-degree sits on or behind a
+		// cycle; naming them turns "somewhere in 5000 gates" into a fixable
+		// report.
+		const maxNamed = 8
+		var stuck []string
+		extra := 0
+		for i := range n.gates {
+			g := &n.gates[i]
+			if g.Kind.IsSource() || indeg[g.ID] == 0 {
+				continue
+			}
+			if len(stuck) < maxNamed {
+				stuck = append(stuck, fmt.Sprintf("%s(%v, stage %d)", g.Name, g.Kind, g.Stage))
+			} else {
+				extra++
+			}
+		}
+		more := ""
+		if extra > 0 {
+			more = fmt.Sprintf(" and %d more", extra)
+		}
+		return fmt.Errorf("netlist %q: combinational cycle detected (%d of %d gates ordered); unresolved gates: %s%s",
+			n.Name, len(topo), m, strings.Join(stuck, ", "), more)
 	}
 	n.topo = topo
 	n.dirty = false
@@ -226,8 +257,11 @@ func (p Path) String() string {
 // breaking ties deterministically by endpoint then first gate.
 func SortPathsByDelay(ps []Path) {
 	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].NominalDelay != ps[j].NominalDelay {
-			return ps[i].NominalDelay > ps[j].NominalDelay
+		if ps[i].NominalDelay > ps[j].NominalDelay {
+			return true
+		}
+		if ps[i].NominalDelay < ps[j].NominalDelay {
+			return false
 		}
 		if ps[i].Endpoint != ps[j].Endpoint {
 			return ps[i].Endpoint < ps[j].Endpoint
