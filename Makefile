@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint check bench clean
+.PHONY: all build test lint check smoke bench clean
 
 all: build
 
@@ -27,6 +27,11 @@ lint:
 check: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# `make smoke` runs the tsperrd daemon end to end: warm-up, one estimate, a
+# 16-request dedup burst, and a SIGTERM drain (mirrors the CI smoke job).
+smoke:
+	./scripts/tsperrd-smoke.sh
 
 # `make bench` records the full benchmark suite as go-test JSON events in
 # BENCH_<date>.json (benchstat-friendly after extracting the output lines:

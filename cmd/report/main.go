@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	report [-scenarios N] [-o file.md] [-timeout D] [-retries N] [-min-scenarios N]
+//	report [-scenarios N] [-o file.md] [-timeout D] [-retries N] [-min-scenarios N] [-json]
+//
+// With -json the evaluation is emitted as one machine-readable document
+// (operating point + every benchmark's core.Report in the shared JSON
+// schema) instead of markdown; the Monte Carlo section is markdown-only.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +39,7 @@ func main() {
 	retries := flag.Int("retries", 0, "per-scenario retries for transient failures")
 	minScenarios := flag.Int("min-scenarios", 0,
 		"proceed degraded if at least this many scenarios survive per benchmark (0 = all must succeed)")
+	jsonOut := flag.Bool("json", false, "emit the evaluation as JSON instead of markdown")
 	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
 	harness.SetModelCache(modelCache())
@@ -46,6 +53,13 @@ func main() {
 		log.Fatal(err)
 	}
 	pm := f.PerfModel()
+
+	if *jsonOut {
+		if err := emitJSON(ctx, f, *scenarios, opts, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	fmt.Fprintf(&sb, "# tsperr evaluation report\n\n")
 	fmt.Fprintf(&sb, "Machine: base %.0f MHz, PoFF %.2fx, working %.2fx (%.0f MHz), %s.\n\n",
@@ -142,4 +156,46 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// emitJSON writes the machine-readable evaluation: the operating point and
+// every benchmark's report in the shared core.Report JSON schema (the same
+// document cmd/tsperr -json prints and tsperrd serves).
+func emitJSON(ctx context.Context, f *core.Framework, scenarios int, opts core.AnalyzeOpts, out string) error {
+	pm := f.PerfModel()
+	doc := struct {
+		BaseFreqMHz      float64        `json:"base_freq_mhz"`
+		WorkingFreqMHz   float64        `json:"working_freq_mhz"`
+		WorkingRatio     float64        `json:"working_ratio"`
+		BreakEvenRatePct float64        `json:"break_even_error_rate_pct"`
+		Scenarios        int            `json:"scenarios"`
+		Reports          []*core.Report `json:"reports"`
+	}{
+		BaseFreqMHz:      f.Machine.Opts.BaseFreqMHz,
+		WorkingFreqMHz:   f.Machine.WorkingFreqMHz(),
+		WorkingRatio:     f.Machine.Opts.WorkingRatio,
+		BreakEvenRatePct: 100 * pm.BreakEvenErrorRate(),
+		Scenarios:        scenarios,
+	}
+	for _, b := range mibench.All() {
+		rep, err := harness.AnalyzeWithOpts(ctx, b.Name, scenarios, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		doc.Reports = append(doc.Reports, rep)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err := os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }

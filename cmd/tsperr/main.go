@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N] [-explain] <benchmark>
+//	tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N] [-json] [-explain] <benchmark>
 //
 // Run with no arguments to list the available benchmarks. Exit status is 2
 // for usage errors and 1 for analysis failures; on failure every failing
@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -55,6 +56,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tsperr: ")
 	scenarios := flag.Int("scenarios", harness.DefaultScenarios, "input datasets")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of the text summary")
 	explain := flag.Bool("explain", false, "print the estimation-flow walkthrough and exit")
 	timeout := flag.Duration("timeout", 0, "abort the analysis after this duration (0 = none)")
 	retries := flag.Int("retries", 0, "per-scenario retries for transient failures")
@@ -69,7 +71,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N] [-explain] <benchmark>")
+		fmt.Fprintln(os.Stderr, "usage: tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N] [-json] [-explain] <benchmark>")
 		fmt.Fprintln(os.Stderr, "available benchmarks:")
 		for _, b := range mibench.All() {
 			fmt.Fprintf(os.Stderr, "  %-13s (%s)\n", b.Name, b.Category)
@@ -95,6 +97,16 @@ func main() {
 		for _, line := range splitLines(harness.FailureDetail(rep.Failures)) {
 			fmt.Fprintf(os.Stderr, "  %s\n", line)
 		}
+	}
+	if *jsonOut {
+		// The shared core.Report encoding — the same document tsperrd serves
+		// — so scripted consumers parse one schema regardless of entry point.
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(buf))
+		return
 	}
 	f, _ := harness.SharedFramework()
 	pm := f.PerfModel()

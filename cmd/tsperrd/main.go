@@ -1,0 +1,144 @@
+// Command tsperrd is the resident estimation service: it warms one shared
+// framework (calibrated machine + trained datapath model, backed by the
+// persistent model cache) and serves error-rate estimates over HTTP/JSON.
+//
+// Usage:
+//
+//	tsperrd [-listen :8080] [-workers N] [-queue N] [-cache N]
+//	        [-max-scenarios N] [-request-timeout D] [-max-timeout D]
+//	        [-drain-timeout D] [-model-cache] [-model-cache-dir DIR]
+//
+// Endpoints:
+//
+//	POST /v1/estimate   {"benchmark":"typeset","scenarios":4}  — sync, or
+//	                    {"benchmark":"typeset","async":true}   — 202 + job id
+//	GET  /v1/jobs/{id}  poll an async job
+//	GET  /healthz       503 while the model warms, 200 once ready
+//	GET  /metrics       Prometheus text format
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains:
+// every in-flight estimate runs to completion and its response is delivered
+// before the process exits (bounded by -drain-timeout, after which in-flight
+// work is aborted and the exit status is 1).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tsperr/internal/cell"
+	"tsperr/internal/cliutil"
+	"tsperr/internal/errormodel"
+	"tsperr/internal/harness"
+	"tsperr/internal/mibench"
+	"tsperr/internal/modelcache"
+	"tsperr/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsperrd: ")
+	listen := flag.String("listen", ":8080", "address to serve on")
+	workers := flag.Int("workers", 2, "concurrent estimation computations")
+	queueDepth := flag.Int("queue", 0,
+		"pending-computation backlog before 503s (default 4x workers)")
+	cacheSize := flag.Int("cache", 128, "LRU result-cache capacity (reports)")
+	maxScenarios := flag.Int("max-scenarios", 64,
+		"largest scenario fan-out a request may ask for")
+	requestTimeout := flag.Duration("request-timeout", 2*time.Minute,
+		"default per-computation deadline (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute,
+		"cap on the per-request timeout_ms knob (0 = no cap)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for in-flight estimates")
+	modelCache := cliutil.ModelCacheFlags()
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tsperrd [-listen addr] [flags]; run with -h for the list")
+		os.Exit(cliutil.ExitUsage)
+	}
+	harness.SetModelCache(modelCache())
+
+	srv, err := server.New(context.Background(), server.Config{
+		Analyze: harness.AnalyzeWithOpts,
+		// The same content address the model cache files under: options plus
+		// the cell library. Request keys therefore never collide across
+		// operating points or library revisions.
+		Fingerprint: modelcache.Key(errormodel.DefaultOptions(), cell.Fingerprint()),
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		CacheSize:   *cacheSize,
+		Limits: server.Limits{
+			DefaultScenarios: harness.DefaultScenarios,
+			MaxScenarios:     *maxScenarios,
+			Lookup: func(name string) error {
+				_, err := mibench.ByName(name)
+				return err
+			},
+		},
+		DefaultTimeout: *requestTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm the shared framework off the serving path so the listener is up
+	// (and /healthz answers "warming") while calibration and training run —
+	// or, with a warm model cache, restore in well under a second.
+	go func() {
+		t0 := time.Now()
+		if _, err := harness.SharedFramework(); err != nil {
+			log.Fatalf("model warm-up failed: %v", err)
+		}
+		srv.SetReady()
+		log.Printf("model warm in %.2fs; serving estimates", time.Since(t0).Seconds())
+	}()
+
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *listen)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		// The listener died on its own (port in use, ...): nothing to drain.
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("received %s; draining in-flight estimates (up to %s)", sig, *drainTimeout)
+	}
+
+	// Graceful drain: Shutdown stops the listener and waits for active
+	// handlers — which are blocked on their computations — so every accepted
+	// request gets its real result. Only then is the compute queue closed.
+	// The drain deadline must NOT cancel the computations' base context
+	// (they live under srv's own lifecycle), so a slow-but-finite estimate
+	// still completes inside the window.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete (%v); aborting in-flight work", err)
+		srv.Abort()
+		_ = httpSrv.Close()
+		os.Exit(cliutil.ExitFailure)
+	}
+	srv.Close()
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}

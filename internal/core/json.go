@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// The JSON encodings below are the one wire schema shared by every consumer
+// of a Report: the tsperrd estimation service, `tsperr -json`, and
+// `report -json` all emit exactly these bytes, pinned by the golden test in
+// json_test.go. The schema is a projection, not a dump: the CFG graph and
+// the per-scenario solver state stay out (they are huge and carry unexported
+// internals), while everything a client needs to rank, alert on, or re-plot
+// a program's error-rate distribution is flattened in.
+
+// reportJSON is the wire form of a Report.
+type reportJSON struct {
+	Name          string  `json:"name"`
+	Instructions  int64   `json:"instructions"`
+	BasicBlocks   int     `json:"basic_blocks"`
+	TrainingSec   float64 `json:"training_sec"`
+	SimulationSec float64 `json:"simulation_sec"`
+	// Scenarios is the number of surviving scenarios the estimate is built
+	// from (fewer than requested in a degraded run).
+	Scenarios int `json:"scenarios"`
+	// Degraded/FailedScenarios/Failures carry the graceful-degradation
+	// outcome; Failures flattens the errors.Join tree into one string per
+	// dropped scenario, phase-tagged like the CLI failure detail.
+	Degraded        bool      `json:"degraded,omitempty"`
+	FailedScenarios int       `json:"failed_scenarios,omitempty"`
+	Failures        []string  `json:"failures,omitempty"`
+	Estimate        *Estimate `json:"estimate"`
+}
+
+// estimateJSON is the wire form of an Estimate: the lambda distribution, the
+// derived error-rate headline numbers, and the Section 5/6.4 approximation
+// bounds.
+type estimateJSON struct {
+	LambdaMean float64 `json:"lambda_mean"`
+	LambdaStd  float64 `json:"lambda_std"`
+	TotalInsts float64 `json:"total_instructions"`
+	// MeanErrorRate/StdErrorRate/quantiles are fractions (0.004 = 0.4%).
+	MeanErrorRate float64 `json:"mean_error_rate"`
+	StdErrorRate  float64 `json:"std_error_rate"`
+	P50           float64 `json:"p50_error_rate"`
+	P95           float64 `json:"p95_error_rate"`
+	P99           float64 `json:"p99_error_rate"`
+	DKLambda      float64 `json:"dk_lambda"`
+	DKCount       float64 `json:"dk_count"`
+	B1            float64 `json:"b1"`
+	B2            float64 `json:"b2"`
+}
+
+// MarshalJSON renders the report's stable wire schema.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Name:            r.Name,
+		Instructions:    r.Instructions,
+		BasicBlocks:     r.BasicBlocks,
+		TrainingSec:     durationSec(r.Training),
+		SimulationSec:   durationSec(r.Simulation),
+		Scenarios:       len(r.Scenarios),
+		Degraded:        r.Degraded,
+		FailedScenarios: r.FailedScenarios,
+		Failures:        failureStrings(r.Failures),
+		Estimate:        r.Estimate,
+	}
+	return json.Marshal(out)
+}
+
+// MarshalJSON renders the estimate's wire schema, including the derived
+// error-rate quantiles so clients never re-implement the Equation (14)
+// quadrature.
+func (e *Estimate) MarshalJSON() ([]byte, error) {
+	out := estimateJSON{
+		LambdaMean:    e.LambdaMean,
+		LambdaStd:     e.LambdaStd,
+		TotalInsts:    e.TotalInsts,
+		MeanErrorRate: e.MeanErrorRate(),
+		StdErrorRate:  e.StdErrorRate(),
+		P50:           e.ErrorRateQuantile(0.50),
+		P95:           e.ErrorRateQuantile(0.95),
+		P99:           e.ErrorRateQuantile(0.99),
+		DKLambda:      e.DKLambda,
+		DKCount:       e.DKCount,
+		B1:            e.B1,
+		B2:            e.B2,
+	}
+	return json.Marshal(out)
+}
+
+// durationSec rounds a phase duration to microsecond granularity — far
+// below measurement noise, and it keeps the JSON free of 17-digit float
+// artifacts.
+func durationSec(d time.Duration) float64 {
+	return float64(d.Round(time.Microsecond)) / float64(time.Second)
+}
+
+// failureStrings flattens a joined failure tree into one line per scenario,
+// matching the harness failure-detail wording; a non-scenario error becomes
+// a single entry.
+func failureStrings(err error) []string {
+	if err == nil {
+		return nil
+	}
+	ses := ScenarioErrors(err)
+	if len(ses) == 0 {
+		return []string{err.Error()}
+	}
+	out := make([]string, len(ses))
+	for i, se := range ses {
+		out[i] = se.Error()
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tsperr/internal/numeric"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport is a fully populated degraded report with hand-set fields, so
+// the golden bytes pin the wire schema itself rather than any pipeline
+// output.
+func goldenReport() *Report {
+	return &Report{
+		Name:            "golden",
+		Instructions:    120000,
+		BasicBlocks:     14,
+		Training:        1502300 * time.Microsecond,
+		Simulation:      250750 * time.Microsecond,
+		Scenarios:       make([]Scenario, 3),
+		Degraded:        true,
+		FailedScenarios: 1,
+		Failures: &ScenarioError{
+			Benchmark: "golden", Scenario: 2, Phase: PhaseSimulation,
+			Attempts: 2, Err: os.ErrDeadlineExceeded,
+		},
+		Estimate: &Estimate{
+			LambdaMean: 40,
+			LambdaStd:  4,
+			TotalInsts: 1e6,
+			DKLambda:   0.0125,
+			DKCount:    0.03,
+			B1:         0.5,
+			B2:         0.25,
+		},
+	}
+}
+
+// The report wire schema is shared verbatim by tsperrd, `tsperr -json`, and
+// `report -json`; this golden pins it. Regenerate deliberately with
+// `go test ./internal/core -run TestReportJSONGolden -update` after a schema
+// change, and treat the diff as an API change for every service client.
+func TestReportJSONGolden(t *testing.T) {
+	raw, err := json.Marshal(goldenReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n')
+	path := filepath.Join("testdata", "report_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report JSON drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// A clean report omits the degradation fields entirely, and failure trees
+// flatten to one line per scenario.
+func TestReportJSONDegradationFields(t *testing.T) {
+	rep := goldenReport()
+	rep.Degraded = false
+	rep.FailedScenarios = 0
+	rep.Failures = nil
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"degraded", "failed_scenarios", "failures"} {
+		if _, ok := m[field]; ok {
+			t.Errorf("clean report must omit %q", field)
+		}
+	}
+
+	deg := goldenReport()
+	raw, err = json.Marshal(deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	failures, ok := m["failures"].([]any)
+	if !ok || len(failures) != 1 {
+		t.Fatalf("failures = %v, want one phase-tagged line", m["failures"])
+	}
+	line, _ := failures[0].(string)
+	for _, frag := range []string{"golden", "scenario 2", "simulation", "2 attempts"} {
+		if !bytes.Contains([]byte(line), []byte(frag)) {
+			t.Errorf("failure line %q missing %q", line, frag)
+		}
+	}
+}
+
+// The estimate encoding must agree with the computed accessors, so service
+// clients can trust the flattened numbers.
+func TestEstimateJSONMatchesAccessors(t *testing.T) {
+	e := goldenReport().Estimate
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"lambda_mean":     e.LambdaMean,
+		"mean_error_rate": e.MeanErrorRate(),
+		"std_error_rate":  e.StdErrorRate(),
+		"p95_error_rate":  e.ErrorRateQuantile(0.95),
+		"dk_lambda":       e.DKLambda,
+	}
+	for field, want := range checks {
+		if !numeric.ApproxEq(m[field], want, 1e-15) {
+			t.Errorf("%s = %v, want %v", field, m[field], want)
+		}
+	}
+	if m["p50_error_rate"] >= m["p95_error_rate"] || m["p95_error_rate"] >= m["p99_error_rate"] {
+		t.Errorf("quantiles not increasing: %v / %v / %v",
+			m["p50_error_rate"], m["p95_error_rate"], m["p99_error_rate"])
+	}
+}

@@ -35,6 +35,7 @@ var CtxFlowScope = []string{
 	"tsperr/internal/harness",
 	"tsperr/internal/errormodel",
 	"tsperr/internal/cpu",
+	"tsperr/internal/server",
 }
 
 // ctxLoopTokens is the domain vocabulary marking a loop as long-running:

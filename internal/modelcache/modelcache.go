@@ -91,6 +91,15 @@ func Save(dir, key string, snap *Snapshot) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("modelcache: encoding snapshot: %w", err)
 	}
+	// Flush to stable storage before publishing: without it a crash between
+	// the rename and the kernel writeback could expose an empty or truncated
+	// file under the final name, which every later process would then treat
+	// as corruption.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelcache: syncing snapshot: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("modelcache: %w", err)
@@ -115,12 +124,32 @@ func Load(dir, key string) (snap *Snapshot, ok bool) {
 	defer f.Close()
 	var s Snapshot
 	if err := gob.NewDecoder(f).Decode(&s); err != nil {
-		os.Remove(p)
+		removeIfSameFile(f, p)
 		return nil, false
 	}
 	if s.Schema != SchemaVersion || s.Key != key || s.Scales == nil || s.Datapath == nil {
-		os.Remove(p)
+		removeIfSameFile(f, p)
 		return nil, false
 	}
 	return &s, true
+}
+
+// removeIfSameFile deletes the invalid snapshot at p, but only while p still
+// names the very file this reader decoded. Multiple processes share the
+// cache directory: between our Open and the decode failure, a concurrent
+// Save may have renamed a fresh, valid snapshot over p, and an unconditional
+// remove would delete that new file — the one failure mode the atomic
+// temp+rename publish cannot defend against.
+func removeIfSameFile(f *os.File, p string) {
+	opened, err := f.Stat()
+	if err != nil {
+		return
+	}
+	current, err := os.Stat(p)
+	if err != nil {
+		return // already gone or unreadable; nothing to clean up
+	}
+	if os.SameFile(opened, current) {
+		os.Remove(p)
+	}
 }

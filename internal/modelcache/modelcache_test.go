@@ -102,6 +102,48 @@ func TestLoadRemovesCorruptFile(t *testing.T) {
 	}
 }
 
+// The cross-process race the same-inode guard exists for: a reader opens a
+// corrupt snapshot, and before it gets to the cleanup remove, a concurrent
+// writer publishes a fresh valid snapshot over the same path. The cleanup
+// must spare the new file — it is not the one the reader found corrupt.
+func TestCorruptCleanupSparesFreshlyPublishedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	key := Key(errormodel.DefaultOptions(), "lib")
+	p := Path(dir, key)
+	if err := os.WriteFile(p, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The reader's view: the corrupt file, held open across the race window.
+	f, err := os.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// The concurrent writer wins the race and publishes a valid snapshot.
+	if err := Save(dir, key, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// The reader's deferred cleanup must notice p no longer names its file.
+	removeIfSameFile(f, p)
+	if _, ok := Load(dir, key); !ok {
+		t.Fatal("freshly published snapshot was deleted by a stale reader's cleanup")
+	}
+
+	// Control: with no intervening publish, the cleanup does remove the file.
+	if err := os.WriteFile(p, []byte("corrupt again"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	removeIfSameFile(f2, p)
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Error("unreplaced corrupt file should have been removed")
+	}
+}
+
 func TestLoadRejectsKeyMismatchInsideFile(t *testing.T) {
 	dir := t.TempDir()
 	keyA := Key(errormodel.DefaultOptions(), "lib-a")

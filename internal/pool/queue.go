@@ -1,0 +1,108 @@
+package pool
+
+import (
+	"context"
+	"sync"
+)
+
+// Queue is a bounded job queue with a fixed worker pool, the serving-side
+// counterpart of Run: Run fans a known index range out over workers and
+// returns when all are done, while Queue accepts jobs that arrive over time
+// (an estimation daemon's requests) and applies backpressure once the
+// backlog is full. Jobs run with the same panic-recovery semantics as Run's
+// tasks, so one bad request cannot kill the process.
+type Queue struct {
+	ctx     context.Context
+	onPanic func(*PanicError)
+	tasks   chan func(context.Context)
+	wg      sync.WaitGroup
+
+	mu sync.Mutex
+	// closed marks the queue as draining; guarded by mu.
+	closed bool
+	// running counts jobs currently executing on a worker; guarded by mu.
+	running int
+}
+
+// NewQueue starts workers goroutines (<= 0 selects 1) consuming a backlog of
+// at most depth pending jobs (<= 0 selects workers). Jobs receive ctx, the
+// queue's base context: cancelling it is the caller's lever for aborting
+// everything in flight, while Close alone lets in-flight and queued jobs
+// drain.
+func NewQueue(ctx context.Context, workers, depth int, onPanic func(*PanicError)) *Queue {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = workers
+	}
+	q := &Queue{ctx: ctx, onPanic: onPanic, tasks: make(chan func(context.Context), depth)}
+	for w := 0; w < workers; w++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for fn := range q.tasks {
+		q.mu.Lock()
+		q.running++
+		q.mu.Unlock()
+		err := safeCall(q.ctx, 0, func(ctx context.Context, _ int) error {
+			fn(ctx)
+			return nil
+		})
+		q.mu.Lock()
+		q.running--
+		q.mu.Unlock()
+		if pe, ok := err.(*PanicError); ok && q.onPanic != nil {
+			q.onPanic(pe)
+		}
+	}
+}
+
+// TrySubmit enqueues fn without blocking. It reports false — the caller's
+// backpressure signal — when the backlog is full or the queue is draining.
+func (q *Queue) TrySubmit(fn func(context.Context)) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth returns the pending backlog plus the jobs currently running — the
+// /metrics queue-depth gauge.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.tasks) + q.running
+}
+
+// Close stops accepting new jobs and blocks until every pending and
+// in-flight job has finished — the graceful-shutdown drain. It does not
+// cancel anything: to abort instead of drain, cancel the NewQueue context
+// first. Close is idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	close(q.tasks)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

@@ -1,0 +1,114 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsSubmittedJobs(t *testing.T) {
+	q := NewQueue(context.Background(), 4, 16, nil)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		if !q.TrySubmit(func(context.Context) {
+			defer wg.Done()
+			ran.Add(1)
+		}) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	wg.Wait()
+	q.Close()
+	if ran.Load() != 16 {
+		t.Errorf("ran %d jobs, want 16", ran.Load())
+	}
+}
+
+func TestQueueBackpressureWhenFull(t *testing.T) {
+	block := make(chan struct{})
+	q := NewQueue(context.Background(), 1, 1, nil)
+	started := make(chan struct{})
+	if !q.TrySubmit(func(context.Context) { close(started); <-block }) {
+		t.Fatal("first submit rejected")
+	}
+	<-started // the worker is now occupied; the backlog (depth 1) is free
+	if !q.TrySubmit(func(context.Context) {}) {
+		t.Fatal("backlog slot should accept one job")
+	}
+	if q.TrySubmit(func(context.Context) {}) {
+		t.Error("full backlog must reject")
+	}
+	if d := q.Depth(); d != 2 {
+		t.Errorf("depth = %d, want 2 (1 running + 1 queued)", d)
+	}
+	close(block)
+	q.Close()
+}
+
+func TestQueueCloseDrainsPendingJobs(t *testing.T) {
+	block := make(chan struct{})
+	q := NewQueue(context.Background(), 1, 4, nil)
+	var ran atomic.Int64
+	started := make(chan struct{})
+	q.TrySubmit(func(context.Context) { close(started); <-block; ran.Add(1) })
+	<-started
+	for i := 0; i < 3; i++ {
+		if !q.TrySubmit(func(context.Context) { ran.Add(1) }) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	done := make(chan struct{})
+	go func() { q.Close(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Close returned while a job was still blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(block)
+	<-done
+	if ran.Load() != 4 {
+		t.Errorf("drained %d jobs, want all 4", ran.Load())
+	}
+	if q.TrySubmit(func(context.Context) {}) {
+		t.Error("closed queue must reject new jobs")
+	}
+}
+
+func TestQueueRecoversPanics(t *testing.T) {
+	var panics atomic.Int64
+	q := NewQueue(context.Background(), 2, 4, func(*PanicError) { panics.Add(1) })
+	var wg sync.WaitGroup
+	wg.Add(2)
+	q.TrySubmit(func(context.Context) { defer wg.Done(); panic("job went bad") })
+	q.TrySubmit(func(context.Context) { defer wg.Done() })
+	wg.Wait()
+	q.Close()
+	if panics.Load() != 1 {
+		t.Errorf("recovered %d panics, want 1", panics.Load())
+	}
+}
+
+func TestQueueContextReachesJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	q := NewQueue(ctx, 1, 1, nil)
+	got := make(chan error, 1)
+	q.TrySubmit(func(jctx context.Context) {
+		cancel()
+		<-jctx.Done()
+		got <- jctx.Err()
+	})
+	if err := <-got; err != context.Canceled {
+		t.Errorf("job ctx err = %v, want Canceled", err)
+	}
+	q.Close()
+}
+
+func TestQueueCloseIdempotent(t *testing.T) {
+	q := NewQueue(context.Background(), 2, 2, nil)
+	q.Close()
+	q.Close()
+}

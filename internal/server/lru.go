@@ -1,0 +1,60 @@
+package server
+
+import (
+	"container/list"
+
+	"tsperr/internal/core"
+)
+
+// lru is a fixed-capacity least-recently-used result cache mapping request
+// keys to completed reports. It is not goroutine-safe: the server accesses
+// it only under its mu, in the same critical sections that manage the
+// flight table, so a cache fill and its flight retirement are atomic.
+type lru struct {
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+// lruEntry is one cached result.
+type lruEntry struct {
+	key string
+	rep *core.Report
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached report for key, marking it most recently used.
+func (c *lru) get(key string) (*core.Report, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).rep, true
+}
+
+// add inserts or refreshes key, evicting the least recently used entry when
+// over capacity.
+func (c *lru) add(key string, rep *core.Report) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).rep = rep
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, rep: rep})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached results (the /metrics gauge).
+func (c *lru) len() int { return c.order.Len() }

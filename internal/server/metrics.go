@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the service counters, exported in Prometheus text format at
+// GET /metrics. Everything is stdlib: plain atomics for counters and a
+// fixed-bucket histogram for request latency. Counters only ever increase;
+// gauges (queue depth, in-flight computations, cache size) are sampled live
+// at render time by the server.
+type metrics struct {
+	estimateRequests atomic.Uint64
+	jobRequests      atomic.Uint64
+	healthRequests   atomic.Uint64
+	metricsRequests  atomic.Uint64
+
+	computations  atomic.Uint64
+	dedupJoins    atomic.Uint64
+	cacheHits     atomic.Uint64
+	queueRejects  atomic.Uint64
+	clientCancels atomic.Uint64
+	badRequests   atomic.Uint64
+	failures      atomic.Uint64
+	panics        atomic.Uint64
+
+	latency histogram
+}
+
+// latencyBounds are the histogram bucket upper bounds in seconds. The low
+// end resolves warm cache hits (microseconds – milliseconds); the high end
+// covers cold full-framework computations.
+var latencyBounds = [...]float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket cumulative latency histogram; the final
+// implicit bucket is +Inf.
+type histogram struct {
+	buckets [len(latencyBounds) + 1]atomic.Uint64
+	count   atomic.Uint64
+	sumUS   atomic.Uint64 // sum in microseconds, so the atomic stays integral
+}
+
+// observe records one request duration.
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBounds) && s > latencyBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(uint64(d.Microseconds()))
+}
+
+// gauges are the point-in-time values the server samples under its mu just
+// before rendering.
+type gauges struct {
+	queueDepth   int
+	inflight     int
+	cacheEntries int
+	jobsStored   int
+	ready        bool
+	uptime       time.Duration
+}
+
+// render writes the Prometheus text exposition. Order is fixed (no map
+// iteration), so scrapes diff cleanly.
+func (m *metrics) render(w io.Writer, g gauges) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP tsperrd_requests_total HTTP requests by endpoint.\n# TYPE tsperrd_requests_total counter\n")
+	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"estimate\"} %d\n", m.estimateRequests.Load())
+	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"jobs\"} %d\n", m.jobRequests.Load())
+	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"healthz\"} %d\n", m.healthRequests.Load())
+	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"metrics\"} %d\n", m.metricsRequests.Load())
+
+	counter("tsperrd_computations_total", "Estimations actually executed (after dedup and cache).", m.computations.Load())
+	counter("tsperrd_dedup_joins_total", "Requests that joined an identical in-flight computation.", m.dedupJoins.Load())
+	counter("tsperrd_cache_hits_total", "Requests served from the LRU result cache.", m.cacheHits.Load())
+	counter("tsperrd_queue_rejects_total", "Requests rejected because the compute queue was full or draining.", m.queueRejects.Load())
+	counter("tsperrd_client_cancels_total", "Waiters that left before their computation finished.", m.clientCancels.Load())
+	counter("tsperrd_bad_requests_total", "Requests rejected by validation.", m.badRequests.Load())
+	counter("tsperrd_failures_total", "Computations that finished with an error.", m.failures.Load())
+	counter("tsperrd_panics_total", "Worker panics recovered by the compute queue.", m.panics.Load())
+
+	gauge("tsperrd_queue_depth", "Jobs pending or running on the compute queue.", float64(g.queueDepth))
+	gauge("tsperrd_inflight_computations", "Deduplicated computations currently in flight.", float64(g.inflight))
+	gauge("tsperrd_cache_entries", "Reports held by the LRU result cache.", float64(g.cacheEntries))
+	gauge("tsperrd_jobs_stored", "Async jobs currently retained.", float64(g.jobsStored))
+	ready := 0.0
+	if g.ready {
+		ready = 1.0
+	}
+	gauge("tsperrd_ready", "1 once the shared framework is warm.", ready)
+	gauge("tsperrd_uptime_seconds", "Seconds since the server started.", g.uptime.Seconds())
+
+	fmt.Fprintf(w, "# HELP tsperrd_request_seconds Estimate-request latency.\n# TYPE tsperrd_request_seconds histogram\n")
+	var cum uint64
+	for i, b := range latencyBounds {
+		cum += m.latency.buckets[i].Load()
+		fmt.Fprintf(w, "tsperrd_request_seconds_bucket{le=\"%g\"} %d\n", b, cum)
+	}
+	cum += m.latency.buckets[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "tsperrd_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "tsperrd_request_seconds_sum %g\n", float64(m.latency.sumUS.Load())/1e6)
+	fmt.Fprintf(w, "tsperrd_request_seconds_count %d\n", m.latency.count.Load())
+}

@@ -1,0 +1,160 @@
+// Package server implements tsperrd, the resident estimation service: one
+// warm framework (calibrated machine + trained datapath model, the
+// once-per-design work of PAPER.md §3–4) serving error-rate estimates over
+// HTTP/JSON. The serving layer adds what a CLI cannot: request
+// deduplication (concurrent identical requests share one computation),
+// an LRU result cache keyed on the canonical request hash and the model
+// fingerprint, bounded-queue backpressure, and graceful drain on shutdown.
+// The numerical pipeline itself lives in internal/core; this package never
+// touches it beyond the injected analyze function.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tsperr/internal/core"
+)
+
+// Request is the body of POST /v1/estimate. The zero value of every field
+// except Benchmark selects a server-side default, so the minimal request is
+// {"benchmark": "typeset"}.
+type Request struct {
+	// Benchmark names the program to analyze (mibench.ByName).
+	Benchmark string `json:"benchmark"`
+	// Scenarios is the number of input datasets (the data-variation axis).
+	Scenarios int `json:"scenarios,omitempty"`
+	// Workers bounds the per-computation scenario concurrency; it does not
+	// change the result (the pipeline is bit-deterministic across worker
+	// counts), so it is excluded from the request hash.
+	Workers int `json:"workers,omitempty"`
+	// Retries / MinScenarios / FailFast are the core.AnalyzeOpts resilience
+	// knobs; they can change the report (degraded runs), so they are part
+	// of the request hash.
+	Retries      int  `json:"retries,omitempty"`
+	MinScenarios int  `json:"min_scenarios,omitempty"`
+	FailFast     bool `json:"fail_fast,omitempty"`
+	// TimeoutMS bounds this computation's wall time, capped by the server's
+	// -max-timeout. Zero selects the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Async, when set, returns a job id immediately (202); poll
+	// GET /v1/jobs/{id} for the result.
+	Async bool `json:"async,omitempty"`
+}
+
+// maxRequestBody bounds the decode of one request body; estimation requests
+// are a few hundred bytes, so anything larger is a client bug.
+const maxRequestBody = 1 << 20
+
+// parseRequest decodes, normalizes, and validates one estimate request.
+// Unknown fields are rejected so a typoed knob fails loudly instead of
+// silently selecting a default.
+func parseRequest(r *http.Request, limits Limits) (*Request, error) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid request body: %w", err)
+	}
+	req.normalize(limits)
+	if err := req.validate(limits); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Limits is the validation envelope the server applies to every request.
+type Limits struct {
+	// DefaultScenarios fills Request.Scenarios == 0; MaxScenarios rejects
+	// oversized fan-outs before they reach the compute queue.
+	DefaultScenarios int
+	MaxScenarios     int
+	// MaxRetries bounds per-scenario retry amplification.
+	MaxRetries int
+	// MaxWorkers bounds per-computation concurrency.
+	MaxWorkers int
+	// Lookup, when non-nil, vets the benchmark name at admission (the
+	// daemon wires mibench.ByName); nil accepts any name and lets the
+	// analyze function fail it.
+	Lookup func(name string) error
+}
+
+// normalize fills defaulted fields in place.
+func (q *Request) normalize(limits Limits) {
+	if q.Scenarios <= 0 {
+		q.Scenarios = limits.DefaultScenarios
+	}
+}
+
+// validate rejects out-of-envelope requests with client-facing messages.
+func (q *Request) validate(limits Limits) error {
+	if q.Benchmark == "" {
+		return errors.New("benchmark is required")
+	}
+	if limits.Lookup != nil {
+		if err := limits.Lookup(q.Benchmark); err != nil {
+			return fmt.Errorf("unknown benchmark %q", q.Benchmark)
+		}
+	}
+	if q.Scenarios < 1 || q.Scenarios > limits.MaxScenarios {
+		return fmt.Errorf("scenarios %d out of range [1, %d]", q.Scenarios, limits.MaxScenarios)
+	}
+	if q.Workers < 0 || q.Workers > limits.MaxWorkers {
+		return fmt.Errorf("workers %d out of range [0, %d]", q.Workers, limits.MaxWorkers)
+	}
+	if q.Retries < 0 || q.Retries > limits.MaxRetries {
+		return fmt.Errorf("retries %d out of range [0, %d]", q.Retries, limits.MaxRetries)
+	}
+	if q.MinScenarios < 0 || q.MinScenarios > q.Scenarios {
+		return fmt.Errorf("min_scenarios %d out of range [0, scenarios=%d]", q.MinScenarios, q.Scenarios)
+	}
+	if q.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms %d must be >= 0", q.TimeoutMS)
+	}
+	return nil
+}
+
+// Key is the canonical content address of a request's result: a SHA-256
+// over the result-determining fields plus the server's model fingerprint
+// (options + cell library), so two daemons at different operating points
+// never share entries. Workers, TimeoutMS, and Async are deliberately
+// excluded — they shape scheduling, not the report (worker-count
+// determinism is pinned by errormodel's determinism tests) — so requests
+// differing only in those knobs dedup onto one computation.
+func (q *Request) Key(fingerprint string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "fp=%s\nbench=%s\nscenarios=%d\nretries=%d\nmin=%d\nfailfast=%t\n",
+		fingerprint, q.Benchmark, q.Scenarios, q.Retries, q.MinScenarios, q.FailFast)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// analyzeOpts maps the request's resilience knobs onto the pipeline's
+// options.
+func (q *Request) analyzeOpts() core.AnalyzeOpts {
+	return core.AnalyzeOpts{
+		Workers:      q.Workers,
+		Retries:      q.Retries,
+		MinScenarios: q.MinScenarios,
+		FailFast:     q.FailFast,
+	}
+}
+
+// timeout resolves the effective computation deadline: the request's ask
+// capped by max, or def when the request leaves it unset. Zero means no
+// deadline.
+func (q *Request) timeout(def, max time.Duration) time.Duration {
+	if q.TimeoutMS <= 0 {
+		return def
+	}
+	d := time.Duration(q.TimeoutMS) * time.Millisecond
+	if max > 0 && d > max {
+		return max
+	}
+	return d
+}
