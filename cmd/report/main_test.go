@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Re-exec smoke harness: TestMain diverts into main() under the marker env
+// var so flag parsing and exit codes run through the real entry point. The
+// full evaluation is far too slow for a smoke test, so only the flag layer
+// is exercised here.
+func TestMain(m *testing.M) {
+	if os.Getenv("TSPERR_SMOKE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runSelf(t *testing.T, args ...string) (code int, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TSPERR_SMOKE_MAIN=1")
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, errb.String()
+}
+
+func TestSmokeUnknownFlag(t *testing.T) {
+	code, stderr := runSelf(t, "-no-such-flag")
+	if code != 2 || !strings.Contains(stderr, "no-such-flag") {
+		t.Fatalf("exit = %d, stderr = %s; want flag error", code, stderr)
+	}
+}
+
+func TestSmokeHelpListsFlags(t *testing.T) {
+	code, stderr := runSelf(t, "-h")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 for -h\nstderr: %s", code, stderr)
+	}
+	for _, f := range []string{"-scenarios", "-json", "-model-cache"} {
+		if !strings.Contains(stderr, f) {
+			t.Errorf("help output missing %s: %s", f, stderr)
+		}
+	}
+}

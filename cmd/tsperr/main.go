@@ -4,11 +4,20 @@
 //
 // Usage:
 //
-//	tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N] [-json] [-explain] <benchmark>
+//	tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N]
+//	       [-mc-trials N] [-mc-seed S] [-json] [-explain] <benchmark>
+//	tsperr -batch suite.json [-json] [flags]
 //
-// Run with no arguments to list the available benchmarks. Exit status is 2
-// for usage errors and 1 for analysis failures; on failure every failing
-// scenario is reported with its pipeline phase, not just the first.
+// Run with no arguments to list the available benchmarks. With -batch, the
+// argument is a suite file ({"entries":[{"benchmark":...,"scenarios":...}]})
+// run through the shared framework with identical entries computed once;
+// results stream as text rows, or -json emits one document reusing the
+// shared core.Report encoding per entry. -mc-trials appends a sharded Monte
+// Carlo validation of the analytic distribution to the report.
+//
+// Exit status is 2 for usage errors and 1 for analysis failures (in batch
+// mode: if any entry failed); on failure every failing scenario is reported
+// with its pipeline phase, not just the first.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"tsperr/internal/cliutil"
 	"tsperr/internal/core"
@@ -62,6 +72,11 @@ func main() {
 	retries := flag.Int("retries", 0, "per-scenario retries for transient failures")
 	minScenarios := flag.Int("min-scenarios", 0,
 		"proceed degraded if at least this many scenarios survive (0 = all must succeed)")
+	mcTrials := flag.Int("mc-trials", 0,
+		"validate the analytic distribution with this many sharded Monte Carlo trials (0 = off)")
+	mcSeed := flag.Uint64("mc-seed", 0, "Monte Carlo seed (0 = the pipeline default)")
+	batchPath := flag.String("batch", "",
+		"run a JSON suite file instead of one benchmark; identical entries compute once")
 	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
 	harness.SetModelCache(modelCache())
@@ -70,8 +85,23 @@ func main() {
 		fmt.Println(explainText)
 		return
 	}
+	opts := core.AnalyzeOpts{
+		Retries:      *retries,
+		MinScenarios: *minScenarios,
+		MCTrials:     *mcTrials,
+		MCSeed:       *mcSeed,
+	}
+	if *batchPath != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: tsperr -batch suite.json [-json] [flags] (no benchmark argument)")
+			os.Exit(cliutil.ExitUsage)
+		}
+		runBatch(*batchPath, *timeout, *scenarios, opts, *jsonOut)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N] [-json] [-explain] <benchmark>")
+		fmt.Fprintln(os.Stderr, "usage: tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N] [-mc-trials N] [-json] [-explain] <benchmark>")
+		fmt.Fprintln(os.Stderr, "       tsperr -batch suite.json [-json] [flags]")
 		fmt.Fprintln(os.Stderr, "available benchmarks:")
 		for _, b := range mibench.All() {
 			fmt.Fprintf(os.Stderr, "  %-13s (%s)\n", b.Name, b.Category)
@@ -81,10 +111,7 @@ func main() {
 	name := flag.Arg(0)
 	ctx, cancel := cliutil.Context(*timeout)
 	defer cancel()
-	rep, err := harness.AnalyzeWithOpts(ctx, name, *scenarios, core.AnalyzeOpts{
-		Retries:      *retries,
-		MinScenarios: *minScenarios,
-	})
+	rep, err := harness.AnalyzeWithOpts(ctx, name, *scenarios, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tsperr: %s: analysis failed:\n", name)
 		for _, line := range splitLines(harness.FailureDetail(err)) {
@@ -122,6 +149,14 @@ func main() {
 		100*e.ErrorRateQuantile(0.50), 100*e.ErrorRateQuantile(0.95),
 		100*e.ErrorRateQuantile(0.99))
 	fmt.Printf("bounds: d_K(lambda) <= %.3f, d_K(R_E) <= %.3f\n", e.DKLambda, e.DKCount)
+	if mc := rep.MC; mc != nil {
+		verdict := "within"
+		if !mc.Within {
+			verdict = "OUTSIDE"
+		}
+		fmt.Printf("monte carlo (%d trials, %d chunks): mean %.2f vs lambda %.2f; max CDF distance %.4f %s bound %.4f\n",
+			mc.Trials, mc.Chunks, mc.Mean, mc.LambdaRef, mc.MaxCDFDistance, verdict, mc.Bound)
+	}
 	imp := pm.ImprovementPct(mean)
 	verdict := "benefits from timing speculation"
 	if imp < 0 {
@@ -130,4 +165,86 @@ func main() {
 	fmt.Printf("performance at 1.15x frequency with replay-at-half-frequency: %+.2f%% — %s %s\n",
 		imp, name, verdict)
 	fmt.Printf("break-even error rate: %.3f%%\n", 100*pm.BreakEvenErrorRate())
+}
+
+// batchItemJSON is one entry of the -batch -json document; Report reuses the
+// shared core.Report encoding, the same schema tsperrd serves.
+type batchItemJSON struct {
+	Index      int          `json:"index"`
+	Name       string       `json:"name"`
+	Key        string       `json:"key"`
+	Dedup      bool         `json:"dedup,omitempty"`
+	ElapsedSec float64      `json:"elapsed_sec"`
+	Report     *core.Report `json:"report,omitempty"`
+	Error      string       `json:"error,omitempty"`
+}
+
+type batchJSON struct {
+	Items      []batchItemJSON `json:"items"`
+	Computed   int             `json:"computed"`
+	Deduped    int             `json:"deduped"`
+	Failed     int             `json:"failed"`
+	ElapsedSec float64         `json:"elapsed_sec"`
+}
+
+// runBatch executes a suite file. Text mode streams one row per entry as it
+// lands; JSON mode emits the whole document at the end. Exits 1 when any
+// entry failed, 2 when the suite itself is unusable.
+func runBatch(path string, timeout time.Duration, scenarios int, opts core.AnalyzeOpts, jsonOut bool) {
+	suite, err := harness.LoadSuite(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsperr: %v\n", err)
+		os.Exit(cliutil.ExitUsage)
+	}
+	ctx, cancel := cliutil.Context(timeout)
+	defer cancel()
+
+	var onResult func(core.BatchItemResult)
+	if !jsonOut {
+		fmt.Println(harness.Table2Header())
+		onResult = func(r core.BatchItemResult) {
+			switch {
+			case r.Err != nil:
+				fmt.Printf("# %s: FAILED: %v\n", r.Name, r.Err)
+			case r.Dedup:
+				fmt.Printf("%s  (deduped)\n", harness.Table2Row(r.Report))
+			default:
+				fmt.Printf("%s  (%.2fs)\n", harness.Table2Row(r.Report), r.Elapsed.Seconds())
+			}
+		}
+	}
+	res, err := harness.RunSuite(ctx, suite, opts, scenarios, onResult)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsperr: %v\n", err)
+		os.Exit(cliutil.ExitFailure)
+	}
+	if jsonOut {
+		doc := batchJSON{
+			Items:      make([]batchItemJSON, len(res.Items)),
+			Computed:   res.Computed,
+			Deduped:    res.Deduped,
+			Failed:     res.Failed,
+			ElapsedSec: res.Elapsed.Seconds(),
+		}
+		for i, r := range res.Items {
+			doc.Items[i] = batchItemJSON{
+				Index: r.Index, Name: r.Name, Key: r.Key, Dedup: r.Dedup,
+				ElapsedSec: r.Elapsed.Seconds(), Report: r.Report,
+			}
+			if r.Err != nil {
+				doc.Items[i].Error = r.Err.Error()
+			}
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(buf))
+	} else {
+		fmt.Printf("suite: %d entries, %d computed, %d deduped, %d failed in %.2fs\n",
+			len(res.Items), res.Computed, res.Deduped, res.Failed, res.Elapsed.Seconds())
+	}
+	if res.Failed > 0 {
+		os.Exit(cliutil.ExitFailure)
+	}
 }

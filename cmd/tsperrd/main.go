@@ -5,16 +5,21 @@
 // Usage:
 //
 //	tsperrd [-listen :8080] [-workers N] [-queue N] [-cache N]
-//	        [-max-scenarios N] [-request-timeout D] [-max-timeout D]
+//	        [-max-scenarios N] [-max-batch N] [-max-mc-trials N]
+//	        [-request-timeout D] [-max-timeout D]
 //	        [-drain-timeout D] [-model-cache] [-model-cache-dir DIR]
 //
 // Endpoints:
 //
-//	POST /v1/estimate   {"benchmark":"typeset","scenarios":4}  — sync, or
-//	                    {"benchmark":"typeset","async":true}   — 202 + job id
-//	GET  /v1/jobs/{id}  poll an async job
-//	GET  /healthz       503 while the model warms, 200 once ready
-//	GET  /metrics       Prometheus text format
+//	POST /v1/estimate     {"benchmark":"typeset","scenarios":4}  — sync, or
+//	                      {"benchmark":"typeset","async":true}   — 202 + job id
+//	GET  /v1/jobs/{id}    poll an async job
+//	POST /v1/batch        {"scenarios":[{...},{...}]} — 202 + batch id; the
+//	                      suite runs through the dedup/cache layer with
+//	                      bounded-queue pacing (identical entries compute once)
+//	GET  /v1/batches/{id} per-entry status and incremental results
+//	GET  /healthz         503 while the model warms, 200 once ready
+//	GET  /metrics         Prometheus text format
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains:
 // every in-flight estimate runs to completion and its response is delivered
@@ -53,6 +58,10 @@ func main() {
 	cacheSize := flag.Int("cache", 128, "LRU result-cache capacity (reports)")
 	maxScenarios := flag.Int("max-scenarios", 64,
 		"largest scenario fan-out a request may ask for")
+	maxBatch := flag.Int("max-batch", 32,
+		"largest scenario count one POST /v1/batch suite may carry")
+	maxMCTrials := flag.Int("max-mc-trials", 5000,
+		"largest Monte Carlo validation budget (mc_trials) a request may ask for")
 	requestTimeout := flag.Duration("request-timeout", 2*time.Minute,
 		"default per-computation deadline (0 = none)")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute,
@@ -79,6 +88,7 @@ func main() {
 		Limits: server.Limits{
 			DefaultScenarios: harness.DefaultScenarios,
 			MaxScenarios:     *maxScenarios,
+			MaxMCTrials:      *maxMCTrials,
 			Lookup: func(name string) error {
 				_, err := mibench.ByName(name)
 				return err
@@ -86,6 +96,7 @@ func main() {
 		},
 		DefaultTimeout: *requestTimeout,
 		MaxTimeout:     *maxTimeout,
+		MaxBatch:       *maxBatch,
 	})
 	if err != nil {
 		log.Fatal(err)

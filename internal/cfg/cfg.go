@@ -182,6 +182,24 @@ func (pr *Profile) Scale(k int64) {
 	pr.InstCount *= k
 }
 
+// Clone returns a deep copy of the profile's counts (the Graph is shared, it
+// is immutable after Build). Callers that need both the raw and the Scale()d
+// view of one run — e.g. an unscaled Monte Carlo reference next to a scaled
+// estimate — clone before scaling.
+func (pr *Profile) Clone() *Profile {
+	cp := &Profile{
+		Graph:     pr.Graph,
+		ExecCount: make([]int64, len(pr.ExecCount)),
+		EdgeCount: make(map[Edge]int64, len(pr.EdgeCount)),
+		InstCount: pr.InstCount,
+	}
+	copy(cp.ExecCount, pr.ExecCount)
+	for e, n := range pr.EdgeCount {
+		cp.EdgeCount[e] = n
+	}
+	return cp
+}
+
 // SCC computes strongly connected components over the union of static edges
 // and profiled dynamic edges. Components are returned in reverse topological
 // order of the condensation reversed into *topological* order (sources

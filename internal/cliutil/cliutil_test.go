@@ -1,0 +1,90 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestContextTimeout(t *testing.T) {
+	ctx, cancel := Context(20 * time.Millisecond)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("positive timeout should set a deadline")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context never expired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+func TestContextNoTimeout(t *testing.T) {
+	ctx, cancel := Context(0)
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero timeout should not set a deadline")
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatal("context done before cancel")
+	default:
+	}
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not release the context")
+	}
+	// cancel must be safe to call again (it is routinely deferred).
+	cancel()
+}
+
+func TestContextCancelledBySignal(t *testing.T) {
+	ctx, cancel := Context(0)
+	defer cancel()
+	// The context is registered with NotifyContext, so the signal is
+	// intercepted rather than killing the test process.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the context")
+	}
+}
+
+func TestModelCacheFlags(t *testing.T) {
+	// The flags register on the default set (that is the package contract —
+	// every cmd/ tool shares flag.CommandLine), so this test reads defaults
+	// and then flips values via flag.Set rather than re-parsing.
+	read := ModelCacheFlags()
+	enabled, dir := read()
+	if !enabled || dir != "" {
+		t.Fatalf("defaults = (%v, %q), want (true, \"\")", enabled, dir)
+	}
+	if err := flag.Set("model-cache", "false"); err != nil {
+		t.Fatal(err)
+	}
+	if err := flag.Set("model-cache-dir", "/tmp/mc"); err != nil {
+		t.Fatal(err)
+	}
+	enabled, dir = read()
+	if enabled || dir != "/tmp/mc" {
+		t.Errorf("after Set = (%v, %q), want (false, \"/tmp/mc\")", enabled, dir)
+	}
+}
+
+func TestExitCodesAreDistinct(t *testing.T) {
+	// Scripts and CI distinguish usage errors from analysis failures; the
+	// constants are wire protocol, not implementation detail.
+	if ExitFailure != 1 || ExitUsage != 2 {
+		t.Fatalf("exit codes moved: failure=%d usage=%d", ExitFailure, ExitUsage)
+	}
+}

@@ -23,6 +23,8 @@ const (
 	PhaseMarginals Phase = "marginals"
 	// PhaseEstimate is the final Section 5 statistics.
 	PhaseEstimate Phase = "estimate"
+	// PhaseMonteCarlo is the optional sharded Monte Carlo validation run.
+	PhaseMonteCarlo Phase = "montecarlo"
 )
 
 // ScenarioError tags a failure with the benchmark, the scenario index, and

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tsperr/internal/dist"
+	"tsperr/internal/numeric"
+)
+
+// The Equation (14) quadrature memo (initMixture) caches the k-independent
+// Simpson nodes and Gaussian weights. This property test pins its equivalence
+// with a direct, un-memoized composite-Simpson evaluation over seeded random
+// lambda distributions and query points: memoization must change the cost of
+// the CDF, never its value.
+func TestMixtureMemoMatchesDirectSimpson(t *testing.T) {
+	rng := numeric.NewRNG(0x51b50)
+	for i := 0; i < 60; i++ {
+		mean := 0.5 + 200*rng.Float64()
+		std := mean / 3 * rng.Float64()
+		e := &Estimate{LambdaMean: mean, LambdaStd: std}
+
+		g := numeric.Gaussian{Mean: mean, Std: std}
+		lo := math.Max(0, mean-8*std)
+		hi := mean + 8*std
+		for j := 0; j < 8; j++ {
+			k := math.Floor(4 * mean * rng.Float64())
+			direct := numeric.Simpson(func(x float64) float64 {
+				return g.PDF(x) * dist.Poisson{Lambda: x}.CDF(k)
+			}, lo, hi, mixtureIntervals)
+			if lo == 0 {
+				direct += g.CDF(0)
+			}
+			direct = numeric.Clamp(direct, 0, 1)
+			got := e.ErrorCountCDF(k)
+			if d := math.Abs(got - direct); d > 1e-9 {
+				t.Fatalf("case %d/%d: memoized CDF(%v) = %v, direct Simpson %v (diff %v, mean %v std %v)",
+					i, j, k, got, direct, d, mean, std)
+			}
+		}
+	}
+}
+
+// The mixture CDF must behave like a CDF regardless of the lambda
+// distribution: within [0, 1], nondecreasing in k, and degenerate to the pure
+// Poisson law when the lambda spread vanishes.
+func TestMixtureCDFIsACDF(t *testing.T) {
+	rng := numeric.NewRNG(0xcdf)
+	for i := 0; i < 40; i++ {
+		mean := 0.5 + 100*rng.Float64()
+		std := mean / 2 * rng.Float64()
+		e := &Estimate{LambdaMean: mean, LambdaStd: std}
+		prev := 0.0
+		for k := 0.0; k <= 4*mean+5; k++ {
+			c := e.ErrorCountCDF(k)
+			if c < 0 || c > 1 {
+				t.Fatalf("case %d: CDF(%v) = %v out of [0,1]", i, k, c)
+			}
+			if c < prev-1e-12 {
+				t.Fatalf("case %d: CDF not monotone at k=%v: %v < %v", i, k, c, prev)
+			}
+			prev = c
+		}
+		if c := e.ErrorCountCDF(4*mean + 10*math.Sqrt(mean) + 50); c < 0.999 {
+			t.Errorf("case %d: CDF far right tail only %v", i, c)
+		}
+
+		degenerate := &Estimate{LambdaMean: mean, LambdaStd: 0}
+		k := math.Floor(mean)
+		want := dist.Poisson{Lambda: mean}.CDF(k)
+		if d := math.Abs(degenerate.ErrorCountCDF(k) - want); d > 1e-12 {
+			t.Errorf("case %d: zero-spread mixture differs from Poisson by %v", i, d)
+		}
+	}
+}

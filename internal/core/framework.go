@@ -95,6 +95,17 @@ type AnalyzeOpts struct {
 	FailFast bool
 	// Inject is the fault-injection hook (nil in production).
 	Inject InjectFn
+	// MCTrials, when positive, appends a sharded Monte Carlo validation of
+	// the analytic estimate to the report (Report.MC): MCTrials simulated
+	// executions, spread round-robin over the surviving scenarios and split
+	// into fixed-size chunks over the same bounded worker pool.
+	MCTrials int
+	// MCChunkSize is the trials-per-chunk of the validation run
+	// (0 = montecarlo.DefaultChunkSize).
+	MCChunkSize int
+	// MCSeed seeds the validation run (the default 0 is a valid seed; the
+	// run is deterministic either way).
+	MCSeed uint64
 }
 
 const (
@@ -123,12 +134,19 @@ type Report struct {
 	// Failures joins the ScenarioError of every dropped scenario (nil for
 	// a clean run).
 	Failures error
+	// MC carries the Monte Carlo validation of the estimate when
+	// AnalyzeOpts.MCTrials requested one (nil otherwise).
+	MC *MCValidation
 }
 
 // scenarioRaw is the output of one scenario's instrumented simulation.
 type scenarioRaw struct {
 	profile *cfg.Profile
 	feats   *errormodel.ScenarioFeatures
+	// unscaled is the pre-Scale() profile, retained only when a Monte Carlo
+	// validation was requested on a scaled run: the simulation executes the
+	// real (unscaled) program, so its reference estimate must too.
+	unscaled *cfg.Profile
 }
 
 // Analyze runs the full flow on one program with strict failure semantics
@@ -172,9 +190,10 @@ func (f *Framework) AnalyzeWithOpts(ctx context.Context, name string, spec Progr
 	simStart := time.Now()
 	raws := make([]*scenarioRaw, spec.Scenarios)
 	errs := make([]error, spec.Scenarios)
+	keepUnscaled := opts.MCTrials > 0
 	f.runPool(ctx, spec.Scenarios, opts, errs, func(poolCtx context.Context, s int) error {
 		return f.withRetry(poolCtx, opts, func(attempt int) *ScenarioError {
-			raw, serr := f.simScenario(poolCtx, name, spec, cfgCPU, g, s, opts.Inject)
+			raw, serr := f.simScenario(poolCtx, name, spec, cfgCPU, g, s, opts.Inject, keepUnscaled)
 			if serr != nil {
 				serr.Attempts = attempt
 				return serr
@@ -239,6 +258,11 @@ func (f *Framework) AnalyzeWithOpts(ctx context.Context, name string, spec Progr
 	}
 
 	surviving := make([]Scenario, 0, spec.Scenarios)
+	// unscaledProfiles mirrors surviving with each scenario's pre-scaling
+	// profile (nil where Scale() did not run), so a requested Monte Carlo
+	// validation compares against an estimate of the program that is actually
+	// simulated.
+	var unscaledProfiles []*cfg.Profile
 	var failures []error
 	for s := range scenarios {
 		if errs[s] != nil {
@@ -246,6 +270,9 @@ func (f *Framework) AnalyzeWithOpts(ctx context.Context, name string, spec Progr
 			continue
 		}
 		surviving = append(surviving, *scenarios[s])
+		if keepUnscaled {
+			unscaledProfiles = append(unscaledProfiles, raws[s].unscaled)
+		}
 	}
 	rep.Scenarios = surviving
 	if len(failures) > 0 {
@@ -268,13 +295,22 @@ func (f *Framework) AnalyzeWithOpts(ctx context.Context, name string, spec Progr
 		return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseEstimate, Err: err}
 	}
 	rep.Estimate = est
+
+	if opts.MCTrials > 0 {
+		ref, unscaled := mcRefScenarios(surviving, unscaledProfiles)
+		mc, err := f.validateMC(ctx, spec, cfgCPU, g, est, ref, unscaled, opts)
+		if err != nil {
+			return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseMonteCarlo, Err: err}
+		}
+		rep.MC = mc
+	}
 	return rep, nil
 }
 
 // simScenario runs one scenario's instrumented simulation. All failures come
 // back as a phase-tagged ScenarioError; panics are recovered by the caller's
 // retry wrapper via protectScenario.
-func (f *Framework) simScenario(ctx context.Context, name string, spec ProgramSpec, cfgCPU cpu.Config, g *cfg.Graph, s int, inject InjectFn) (raw *scenarioRaw, serr *ScenarioError) {
+func (f *Framework) simScenario(ctx context.Context, name string, spec ProgramSpec, cfgCPU cpu.Config, g *cfg.Graph, s int, inject InjectFn, keepUnscaled bool) (raw *scenarioRaw, serr *ScenarioError) {
 	phase := PhaseSetup
 	defer recoverScenario(name, s, &phase, &serr)
 	fail := func(err error) *ScenarioError {
@@ -309,12 +345,16 @@ func (f *Framework) simScenario(ctx context.Context, name string, spec ProgramSp
 	if _, err := machine.RunContext(ctx, func(d *cpu.DynInst) { pobs(d); fobs(d) }); err != nil {
 		return nil, fail(err)
 	}
+	var unscaled *cfg.Profile
 	if spec.ScaleToInsts > 0 && pr.InstCount > 0 {
 		if k := spec.ScaleToInsts / pr.InstCount; k > 1 {
+			if keepUnscaled {
+				unscaled = pr.Clone()
+			}
 			pr.Scale(k)
 		}
 	}
-	return &scenarioRaw{profile: pr, feats: feats}, nil
+	return &scenarioRaw{profile: pr, feats: feats, unscaled: unscaled}, nil
 }
 
 // marginalScenario solves one scenario's conditionals and marginals.

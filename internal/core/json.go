@@ -30,6 +30,9 @@ type reportJSON struct {
 	FailedScenarios int       `json:"failed_scenarios,omitempty"`
 	Failures        []string  `json:"failures,omitempty"`
 	Estimate        *Estimate `json:"estimate"`
+	// MC is the sharded Monte Carlo validation when one was requested
+	// (AnalyzeOpts.MCTrials > 0); its fields carry their own json tags.
+	MC *MCValidation `json:"montecarlo,omitempty"`
 }
 
 // estimateJSON is the wire form of an Estimate: the lambda distribution, the
@@ -64,6 +67,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		FailedScenarios: r.FailedScenarios,
 		Failures:        failureStrings(r.Failures),
 		Estimate:        r.Estimate,
+		MC:              r.MC,
 	}
 	return json.Marshal(out)
 }

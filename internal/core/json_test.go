@@ -40,6 +40,12 @@ func goldenReport() *Report {
 			B1:         0.5,
 			B2:         0.25,
 		},
+		MC: &MCValidation{
+			Trials: 1500, Chunks: 6, Seed: 11,
+			Mean: 39.5, Std: 7.1, LambdaRef: 40,
+			MaxCDFDistance: 0.031, Bound: 0.107, Within: true,
+			UnscaledReference: true,
+		},
 	}
 }
 

@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"tsperr/internal/numeric"
+)
+
+// Property tests over seeded randomized inputs (the package RNG is
+// deterministic, so failures reproduce).
+
+// Poisson CDFs are stochastically ordered in lambda: for a fixed threshold k,
+// raising lambda can only move probability mass upward, so P(X <= k) must be
+// nonincreasing. Checked separately in the exact-summation regime and the
+// normal-approximation regime (lambda > 5000); across the switchover the two
+// evaluators differ by the approximation error, not by a modeling property.
+func TestPoissonCDFMonotoneInLambda(t *testing.T) {
+	rng := numeric.NewRNG(0xd15c)
+	regimes := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"exact", 1e-3, 4999},
+		{"normal-approx", 5001, 2e6},
+	}
+	for _, reg := range regimes {
+		for i := 0; i < 2000; i++ {
+			l1 := reg.lo + (reg.hi-reg.lo)*rng.Float64()
+			l2 := reg.lo + (reg.hi-reg.lo)*rng.Float64()
+			if l1 > l2 {
+				l1, l2 = l2, l1
+			}
+			// Thresholds around the interesting region of both distributions.
+			k := math.Floor((l1 + l2) / 2 * (0.25 + 1.5*rng.Float64()))
+			c1 := Poisson{Lambda: l1}.CDF(k)
+			c2 := Poisson{Lambda: l2}.CDF(k)
+			if c2 > c1+1e-12 {
+				t.Fatalf("%s case %d: CDF not monotone in lambda: P(X<=%v)=%v at l=%v but %v at l=%v",
+					reg.name, i, k, c1, l1, c2, l2)
+			}
+			if c1 < 0 || c1 > 1 || c2 < 0 || c2 > 1 {
+				t.Fatalf("%s case %d: CDF out of [0,1]: %v, %v", reg.name, i, c1, c2)
+			}
+		}
+	}
+}
+
+// The Le Cam bound (the independent-indicator Chen-Stein specialization) must
+// actually dominate the total variation distance between the Poisson binomial
+// law and its Poisson approximation, and must be monotone under adding
+// indicators — more terms can only add approximation error.
+func TestLeCamBoundDominatesAndMonotone(t *testing.T) {
+	rng := numeric.NewRNG(0x1eca)
+	for i := 0; i < 200; i++ {
+		n := 2 + rng.Intn(40)
+		ps := make([]float64, n)
+		for j := range ps {
+			ps[j] = 0.3 * rng.Float64()
+		}
+		pb := NewPoissonBinomial(ps)
+		po := Poisson{Lambda: pb.Mean()}
+		tv := TotalVariationInt(pb.PMF, po.PMF, n+60)
+		bound := pb.LeCamBound()
+		if bound < 0 {
+			t.Fatalf("case %d: negative bound %v", i, bound)
+		}
+		if tv > bound+1e-12 {
+			t.Fatalf("case %d: d_TV %v exceeds Le Cam bound %v (n=%d)", i, tv, bound, n)
+		}
+		// Appending one more indicator adds exactly p^2 to the bound.
+		grown := NewPoissonBinomial(append(append([]float64{}, ps...), 0.2))
+		if grown.LeCamBound() < bound {
+			t.Fatalf("case %d: bound shrank when adding an indicator: %v -> %v",
+				i, bound, grown.LeCamBound())
+		}
+	}
+}
+
+// Kolmogorov distance is dominated by total variation for integer-supported
+// laws: the CDFs of the Poisson binomial and its Poisson approximation can
+// never be farther apart than the PMF mass that moved. This chains with the
+// Le Cam test above to give d_K <= sum p_i^2, the form the estimator's
+// Chen-Stein bound takes.
+func TestKolmogorovDominatedByTotalVariation(t *testing.T) {
+	rng := numeric.NewRNG(0xc5)
+	for i := 0; i < 200; i++ {
+		n := 2 + rng.Intn(30)
+		ps := make([]float64, n)
+		for j := range ps {
+			ps[j] = 0.4 * rng.Float64()
+		}
+		pb := NewPoissonBinomial(ps)
+		po := Poisson{Lambda: pb.Mean()}
+		tv := TotalVariationInt(pb.PMF, po.PMF, n+60)
+		grid := LinearGrid(0, float64(n+60), n+60)
+		dk := Kolmogorov(pb.CDF, po.CDF, grid)
+		if dk > tv+1e-12 {
+			t.Fatalf("case %d: d_K %v exceeds d_TV %v (n=%d)", i, dk, tv, n)
+		}
+	}
+}
+
+// Kolmogorov distance between a distribution and itself is zero, and the
+// Poisson-vs-Poisson distance grows as the rates separate (on a fixed grid
+// spanning both).
+func TestKolmogorovSeparation(t *testing.T) {
+	rng := numeric.NewRNG(0x60d)
+	for i := 0; i < 200; i++ {
+		base := 1 + 50*rng.Float64()
+		grid := LinearGrid(0, 4*base+20, 400)
+		p := Poisson{Lambda: base}
+		if d := Kolmogorov(p.CDF, p.CDF, grid); d != 0 {
+			t.Fatalf("case %d: self-distance %v", i, d)
+		}
+		near := Poisson{Lambda: base * 1.05}
+		far := Poisson{Lambda: base * 1.5}
+		dNear := Kolmogorov(p.CDF, near.CDF, grid)
+		dFar := Kolmogorov(p.CDF, far.CDF, grid)
+		if dFar < dNear {
+			t.Fatalf("case %d: distance not separating: near %v, far %v (base %v)",
+				i, dNear, dFar, base)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"tsperr/internal/core"
+)
+
+func TestParseSuite(t *testing.T) {
+	s, err := ParseSuite(strings.NewReader(`{
+		"entries": [
+			{"benchmark": "typeset"},
+			{"benchmark": "typeset", "scenarios": 2, "mc_trials": 100, "mc_seed": 7},
+			{"benchmark": "dijkstra", "retries": 1, "min_scenarios": 1, "fail_fast": true}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Entries) != 3 {
+		t.Fatalf("entries = %d", len(s.Entries))
+	}
+	items, err := s.Items(core.AnalyzeOpts{Workers: 4, Retries: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Spec.Scenarios != DefaultScenarios {
+		t.Errorf("default scenarios not applied: %d", items[0].Spec.Scenarios)
+	}
+	if items[0].Opts.Retries != 2 || items[0].Opts.Workers != 4 {
+		t.Errorf("suite defaults not inherited: %+v", items[0].Opts)
+	}
+	if items[1].Spec.Scenarios != 2 || items[1].Opts.MCTrials != 100 || items[1].Opts.MCSeed != 7 {
+		t.Errorf("entry knobs not applied: %+v", items[1])
+	}
+	if items[2].Opts.Retries != 1 || items[2].Opts.MinScenarios != 1 || !items[2].Opts.FailFast {
+		t.Errorf("entry overrides not applied: %+v", items[2].Opts)
+	}
+}
+
+func TestParseSuiteRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown benchmark": `{"entries":[{"benchmark":"nope"}]}`,
+		"unknown field":     `{"entries":[{"benchmark":"typeset","bogus":1}]}`,
+		"empty":             `{"entries":[]}`,
+		"negative knob":     `{"entries":[{"benchmark":"typeset","scenarios":-1}]}`,
+		"not json":          `entries: typeset`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseSuite(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestLoadSuiteMissingFile(t *testing.T) {
+	if _, err := LoadSuite("testdata/definitely-missing.json"); err == nil {
+		t.Error("want error for missing file")
+	}
+}

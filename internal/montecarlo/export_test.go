@@ -1,0 +1,6 @@
+package montecarlo
+
+// ChunkSeed exposes chunkSeed to the external test package (the tests live
+// outside the package so they can build fixtures with internal/core, which
+// imports this package).
+var ChunkSeed = chunkSeed

@@ -58,38 +58,51 @@ func Run(spec Spec) (*Result, error) {
 	rng := numeric.NewRNG(spec.Seed)
 	res := &Result{Counts: make([]float64, spec.Trials)}
 	for t := 0; t < spec.Trials; t++ {
-		s := t % len(spec.Cond)
-		cond := spec.Cond[s]
-		machine, err := cpu.New(spec.Prog, cfgCPU)
-		if err != nil {
-			return nil, err
-		}
-		if spec.Setup != nil {
-			if err := spec.Setup(machine, s); err != nil {
-				return nil, err
-			}
-		}
-		errors := 0.0
-		errState := true // the processor starts flushed: p^in = 1
-		st, err := machine.Run(func(d *cpu.DynInst) {
-			p := cond.PC[d.Index]
-			if errState {
-				p = cond.PE[d.Index]
-			}
-			if rng.Float64() < p {
-				errors++
-				errState = true
-			} else {
-				errState = false
-			}
-		})
+		errors, insts, err := runTrial(spec, cfgCPU, t, rng)
 		if err != nil {
 			return nil, err
 		}
 		res.Counts[t] = errors
-		res.Instructions = st.Instructions
+		res.Instructions = insts
 	}
 	return res, nil
+}
+
+// runTrial simulates one execution for global trial index t (which fixes the
+// scenario as t mod len(Cond)) and returns the sampled error count and the
+// dynamic instruction count. It is shared by the serial Run loop and the
+// sharded chunk workers; the caller owns the RNG, so a chunk's stream is
+// whatever generator it hands in.
+func runTrial(spec Spec, cfgCPU cpu.Config, t int, rng *numeric.RNG) (float64, int64, error) {
+	s := t % len(spec.Cond)
+	cond := spec.Cond[s]
+	machine, err := cpu.New(spec.Prog, cfgCPU)
+	if err != nil {
+		return 0, 0, err
+	}
+	if spec.Setup != nil {
+		if err := spec.Setup(machine, s); err != nil {
+			return 0, 0, err
+		}
+	}
+	errors := 0.0
+	errState := true // the processor starts flushed: p^in = 1
+	st, err := machine.Run(func(d *cpu.DynInst) {
+		p := cond.PC[d.Index]
+		if errState {
+			p = cond.PE[d.Index]
+		}
+		if rng.Float64() < p {
+			errors++
+			errState = true
+		} else {
+			errState = false
+		}
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return errors, st.Instructions, nil
 }
 
 // CDF returns the empirical CDF of the sampled counts.

@@ -1,4 +1,7 @@
-package montecarlo
+// The tests live outside the package: they exercise the sampler against the
+// analytic estimate from internal/core, which itself imports montecarlo for
+// report validation — an in-package test would be an import cycle.
+package montecarlo_test
 
 import (
 	"context"
@@ -10,6 +13,7 @@ import (
 	"tsperr/internal/cpu"
 	"tsperr/internal/errormodel"
 	"tsperr/internal/isa"
+	"tsperr/internal/montecarlo"
 )
 
 const loopSrc = `
@@ -67,7 +71,7 @@ func TestMonteCarloMatchesMarginalMean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Spec{Prog: p, Cond: conds, Trials: 4000, Seed: 7})
+	res, err := montecarlo.Run(montecarlo.Spec{Prog: p, Cond: conds, Trials: 4000, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +90,7 @@ func TestPoissonApproximationWithinBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Spec{Prog: p, Cond: conds, Trials: 6000, Seed: 11})
+	res, err := montecarlo.Run(montecarlo.Spec{Prog: p, Cond: conds, Trials: 6000, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +117,11 @@ func TestDependenceRaisesVariance(t *testing.T) {
 	// b2 term charges for.
 	p, _, _, condsDep := fixture(t, 0.01, 0.5, 1)
 	_, _, _, condsInd := fixture(t, 0.01, 0.01, 1)
-	dep, err := Run(Spec{Prog: p, Cond: condsDep, Trials: 4000, Seed: 3})
+	dep, err := montecarlo.Run(montecarlo.Spec{Prog: p, Cond: condsDep, Trials: 4000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ind, err := Run(Spec{Prog: p, Cond: condsInd, Trials: 4000, Seed: 4})
+	ind, err := montecarlo.Run(montecarlo.Spec{Prog: p, Cond: condsInd, Trials: 4000, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,11 +144,11 @@ func TestDataVariationWidensSpread(t *testing.T) {
 		t.Errorf("data variation should widen lambda: %v vs %v",
 			estMulti.LambdaStd, estOne.LambdaStd)
 	}
-	mMulti, err := Run(Spec{Prog: p, Cond: condsMulti, Trials: 4000, Seed: 9})
+	mMulti, err := montecarlo.Run(montecarlo.Spec{Prog: p, Cond: condsMulti, Trials: 4000, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mOne, err := Run(Spec{Prog: p, Cond: condsOne, Trials: 4000, Seed: 9})
+	mOne, err := montecarlo.Run(montecarlo.Spec{Prog: p, Cond: condsOne, Trials: 4000, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,16 +160,16 @@ func TestDataVariationWidensSpread(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	p, _ := isa.Assemble("h", "halt\n")
-	if _, err := Run(Spec{Prog: p, Trials: 0, Cond: []*errormodel.Conditionals{{}}}); err == nil {
+	if _, err := montecarlo.Run(montecarlo.Spec{Prog: p, Trials: 0, Cond: []*errormodel.Conditionals{{}}}); err == nil {
 		t.Error("zero trials should fail")
 	}
-	if _, err := Run(Spec{Prog: p, Trials: 1}); err == nil {
+	if _, err := montecarlo.Run(montecarlo.Spec{Prog: p, Trials: 1}); err == nil {
 		t.Error("no scenarios should fail")
 	}
 }
 
 func TestEmpiricalCDFBehaviour(t *testing.T) {
-	r := &Result{Counts: []float64{0, 1, 1, 3}}
+	r := &montecarlo.Result{Counts: []float64{0, 1, 1, 3}}
 	cdf := r.CDF()
 	if cdf(-1) != 0 || cdf(0) != 0.25 || cdf(1) != 0.75 || cdf(2) != 0.75 || cdf(3) != 1 {
 		t.Errorf("empirical CDF wrong: %v %v %v %v %v",

@@ -1,0 +1,83 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// Property tests over seeded randomized inputs. The RNG is the package's own
+// SplitMix64, so every run exercises the same cases — failures reproduce.
+
+// NormalQuantile must invert NormalCDF across the usable x range.
+func TestNormalQuantileCDFRoundTrip(t *testing.T) {
+	rng := NewRNG(0x5eed)
+	for i := 0; i < 5000; i++ {
+		x := -6 + 12*rng.Float64()
+		p := NormalCDF(x)
+		got := NormalQuantile(p)
+		if math.Abs(got-x) > 1e-6 {
+			t.Fatalf("case %d: NormalQuantile(NormalCDF(%v)) = %v (diff %v)",
+				i, x, got, got-x)
+		}
+	}
+}
+
+// The inverse must also hold starting from p, including deep tails: the
+// Halley refinement drives NormalCDF(NormalQuantile(p)) back onto p to
+// near-relative precision.
+func TestNormalCDFQuantileRoundTripInP(t *testing.T) {
+	rng := NewRNG(0xface)
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over (1e-12, 0.5], then mirrored to cover (0.5, 1).
+		p := math.Pow(10, -12*rng.Float64()) / 2
+		for _, q := range []float64{p, 1 - p} {
+			x := NormalQuantile(q)
+			small := math.Min(q, 1-q)
+			if d := math.Abs(NormalCDF(x) - q); d > 1e-6*small+1e-15 {
+				t.Fatalf("case %d: NormalCDF(NormalQuantile(%v)) off by %v", i, q, d)
+			}
+		}
+		// Symmetry: Q(1-p) = -Q(p) up to the approximation's own x-space
+		// error plus the rounding of 1-p itself: half an ulp of 1.0 (~1e-16
+		// of mass) maps through the inverse with slope 1/pdf, which dominates
+		// in the deep tails.
+		xp := NormalQuantile(p)
+		cond := 2e-16 / NormalPDF(xp)
+		if d := math.Abs(NormalQuantile(1-p) + xp); d > cond+1e-6 {
+			t.Fatalf("case %d: quantile asymmetry %v at p=%v (rounding floor %v)", i, d, p, cond)
+		}
+	}
+}
+
+// NormalCDF must be monotone nondecreasing and bounded to [0, 1].
+func TestNormalCDFMonotone(t *testing.T) {
+	rng := NewRNG(7)
+	for i := 0; i < 5000; i++ {
+		a := -40 + 80*rng.Float64()
+		b := -40 + 80*rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		ca, cb := NormalCDF(a), NormalCDF(b)
+		if ca < 0 || cb > 1 || ca > cb {
+			t.Fatalf("case %d: CDF(%v)=%v, CDF(%v)=%v not monotone in [0,1]", i, a, ca, b, cb)
+		}
+	}
+}
+
+// The mean/std wrapper must reduce to the standard normal via the affine map.
+func TestGaussianQuantileCDFRoundTrip(t *testing.T) {
+	rng := NewRNG(0xbead)
+	for i := 0; i < 2000; i++ {
+		g := Gaussian{Mean: -50 + 100*rng.Float64(), Std: 1e-3 + 10*rng.Float64()}
+		x := g.Mean + (rng.Float64()*10-5)*g.Std
+		p := g.CDF(x)
+		if p <= 0 || p >= 1 {
+			continue // beyond float resolution of the tail
+		}
+		got := g.Quantile(p)
+		if math.Abs(got-x) > 1e-5*g.Std {
+			t.Fatalf("case %d: %+v Quantile(CDF(%v)) = %v", i, g, x, got)
+		}
+	}
+}

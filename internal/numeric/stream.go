@@ -1,0 +1,82 @@
+package numeric
+
+import "math"
+
+// StreamStats accumulates count, mean, and the centered second moment of a
+// sample in a single pass (Welford's algorithm). Two accumulators can be
+// combined exactly with Merge (Chan, Golub & LeVeque), which lets Monte Carlo
+// chunks computed on different workers be reduced into the same statistics a
+// single serial pass would produce — provided the merge order is fixed, which
+// MergeStats guarantees.
+type StreamStats struct {
+	N    int64
+	Mean float64
+	// M2 is the sum of squared deviations from the running mean.
+	M2 float64
+}
+
+// Add folds one observation into the accumulator.
+func (s *StreamStats) Add(x float64) {
+	s.N++
+	delta := x - s.Mean
+	s.Mean += delta / float64(s.N)
+	s.M2 += delta * (x - s.Mean)
+}
+
+// Merge combines two accumulators as if their samples had been observed in
+// one stream. The result is exact (not an approximation), so merging is
+// associative up to floating-point rounding; for bit-reproducible reductions
+// the combine tree must be fixed, which MergeStats provides.
+func (s StreamStats) Merge(o StreamStats) StreamStats {
+	if s.N == 0 {
+		return o
+	}
+	if o.N == 0 {
+		return s
+	}
+	n := s.N + o.N
+	delta := o.Mean - s.Mean
+	return StreamStats{
+		N:    n,
+		Mean: s.Mean + delta*float64(o.N)/float64(n),
+		M2:   s.M2 + o.M2 + delta*delta*float64(s.N)*float64(o.N)/float64(n),
+	}
+}
+
+// Variance returns the population variance, matching Variance on the raw
+// sample.
+func (s StreamStats) Variance() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.M2 / float64(s.N)
+}
+
+// Std returns the population standard deviation, matching StdDev on the raw
+// sample.
+func (s StreamStats) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// MergeStats reduces per-chunk accumulators with a pairwise binary tree in
+// index order. The tree shape and traversal depend only on len(stats), never
+// on which chunk finished first, so the reduction is bit-reproducible across
+// worker counts and scheduling orders. Pairwise reduction also keeps rounding
+// error O(log n) rather than O(n) for long chunk lists.
+func MergeStats(stats []StreamStats) StreamStats {
+	if len(stats) == 0 {
+		return StreamStats{}
+	}
+	level := make([]StreamStats, len(stats))
+	copy(level, stats)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, level[i].Merge(level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}

@@ -1,0 +1,134 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamStatsMatchesBatchMoments(t *testing.T) {
+	rng := NewRNG(42)
+	xs := make([]float64, 1000)
+	var s StreamStats
+	for i := range xs {
+		xs[i] = 10*rng.Float64() - 3
+		s.Add(xs[i])
+	}
+	if s.N != int64(len(xs)) {
+		t.Fatalf("N = %d, want %d", s.N, len(xs))
+	}
+	if d := math.Abs(s.Mean - Mean(xs)); d > 1e-12 {
+		t.Errorf("mean %v vs batch %v", s.Mean, Mean(xs))
+	}
+	if d := math.Abs(s.Variance() - Variance(xs)); d > 1e-9 {
+		t.Errorf("variance %v vs batch %v", s.Variance(), Variance(xs))
+	}
+	if d := math.Abs(s.Std() - StdDev(xs)); d > 1e-9 {
+		t.Errorf("std %v vs batch %v", s.Std(), StdDev(xs))
+	}
+}
+
+func TestStreamStatsMergeExact(t *testing.T) {
+	// Split one sample at every possible cut point: the merged accumulator
+	// must agree with the single-stream one within rounding.
+	rng := NewRNG(7)
+	xs := make([]float64, 257)
+	var whole StreamStats
+	for i := range xs {
+		xs[i] = rng.Norm()
+		whole.Add(xs[i])
+	}
+	for cut := 0; cut <= len(xs); cut += 16 {
+		var a, b StreamStats
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		m := a.Merge(b)
+		if m.N != whole.N {
+			t.Fatalf("cut %d: N = %d, want %d", cut, m.N, whole.N)
+		}
+		if d := math.Abs(m.Mean - whole.Mean); d > 1e-12 {
+			t.Errorf("cut %d: mean off by %v", cut, d)
+		}
+		if d := math.Abs(m.Variance() - whole.Variance()); d > 1e-10 {
+			t.Errorf("cut %d: variance off by %v", cut, d)
+		}
+	}
+}
+
+func TestStreamStatsMergeEmpty(t *testing.T) {
+	var empty StreamStats
+	var s StreamStats
+	s.Add(2)
+	s.Add(4)
+	if got := empty.Merge(s); got != s {
+		t.Errorf("empty.Merge(s) = %+v, want %+v", got, s)
+	}
+	if got := s.Merge(empty); got != s {
+		t.Errorf("s.Merge(empty) = %+v, want %+v", got, s)
+	}
+	if got := empty.Merge(empty); got != (StreamStats{}) {
+		t.Errorf("empty merge = %+v", got)
+	}
+	if empty.Variance() != 0 || empty.Std() != 0 {
+		t.Errorf("empty accumulator should have zero moments")
+	}
+}
+
+func TestMergeStatsOrderIsFixed(t *testing.T) {
+	// MergeStats must be a pure function of the slice contents: the pairwise
+	// tree depends only on the index order, so any permutation of chunk
+	// *completion* (which never reorders the slice) is irrelevant by
+	// construction. What we pin here is that the reduction equals the
+	// explicit left-to-right tree evaluated by hand, bit for bit.
+	rng := NewRNG(99)
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		chunks := make([]StreamStats, n)
+		for c := range chunks {
+			for k := 0; k < 10+c; k++ {
+				chunks[c].Add(rng.Float64() * 100)
+			}
+		}
+		want := pairwiseRef(chunks)
+		got := MergeStats(chunks)
+		//tsperrlint:ignore floatcmp the pairwise reduction is pinned bit-identical to the reference tree, not approximate
+		if got != want {
+			t.Errorf("n=%d: MergeStats = %+v, want %+v", n, got, want)
+		}
+	}
+}
+
+// pairwiseRef is an independent recursive implementation of the fixed
+// pairwise tree.
+func pairwiseRef(stats []StreamStats) StreamStats {
+	switch len(stats) {
+	case 0:
+		return StreamStats{}
+	case 1:
+		return stats[0]
+	}
+	var next []StreamStats
+	for i := 0; i < len(stats); i += 2 {
+		if i+1 < len(stats) {
+			next = append(next, stats[i].Merge(stats[i+1]))
+		} else {
+			next = append(next, stats[i])
+		}
+	}
+	return pairwiseRef(next)
+}
+
+func TestMergeStatsDoesNotMutateInput(t *testing.T) {
+	var a, b StreamStats
+	a.Add(1)
+	a.Add(2)
+	b.Add(10)
+	before := []StreamStats{a, b}
+	in := []StreamStats{a, b}
+	MergeStats(in)
+	if in[0] != before[0] || in[1] != before[1] {
+		t.Errorf("MergeStats mutated its input: %+v vs %+v", in, before)
+	}
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzRequestHash pins the canonical-hashing contract of Request.Key:
+//
+//   - scheduling knobs (workers, timeout_ms, async) must NOT change the key —
+//     requests differing only in how they are scheduled dedup onto one
+//     computation;
+//   - every result-determining field (benchmark, scenarios, retries,
+//     min_scenarios, fail_fast, mc_trials) and the model fingerprint MUST
+//     change the key — two different results must never collide;
+//   - JSON field order and whitespace must not matter (the key is computed
+//     from the decoded struct, not the wire bytes).
+func FuzzRequestHash(f *testing.F) {
+	f.Add("typeset", 4, 2, 1, true, 500, "fp-a", 8, int64(1000), true)
+	f.Add("dijkstra", 1, 0, 0, false, 0, "", 0, int64(0), false)
+	f.Add("pgp.encode", 64, 8, 64, true, 5000, "fp-b", 64, int64(600000), true)
+	f.Add("", -3, -1, 99, false, -7, "fp\nwith\nnewlines", -2, int64(-5), false)
+	f.Add("bench=1\nscenarios", 2, 1, 1, true, 1, "fp=x", 3, int64(7), false)
+
+	f.Fuzz(func(t *testing.T, benchmark string, scenarios, retries, minScenarios int,
+		failFast bool, mcTrials int, fingerprint string,
+		workers int, timeoutMS int64, async bool) {
+		q := Request{
+			Benchmark:    benchmark,
+			Scenarios:    scenarios,
+			Retries:      retries,
+			MinScenarios: minScenarios,
+			FailFast:     failFast,
+			MCTrials:     mcTrials,
+			Workers:      workers,
+			TimeoutMS:    timeoutMS,
+			Async:        async,
+		}
+		key := q.Key(fingerprint)
+		if len(key) != 64 {
+			t.Fatalf("key %q is not a sha256 hex digest", key)
+		}
+
+		// Scheduling knobs must collide onto the same key.
+		sched := q
+		sched.Workers = workers + 17
+		sched.TimeoutMS = timeoutMS + 12345
+		sched.Async = !async
+		if got := sched.Key(fingerprint); got != key {
+			t.Errorf("scheduling knobs changed the key: %s vs %s", got, key)
+		}
+
+		// A decode round-trip (the wire path) must reproduce the key: the
+		// canonical form depends on field values, not encoding accidents.
+		// Invalid UTF-8 is exempt — json.Marshal coerces it to U+FFFD, and the
+		// real wire path can only ever deliver valid UTF-8 strings.
+		if utf8.ValidString(benchmark) {
+			buf, err := json.Marshal(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rt Request
+			if err := json.Unmarshal(buf, &rt); err != nil {
+				t.Fatal(err)
+			}
+			if got := rt.Key(fingerprint); got != key {
+				t.Errorf("decode round-trip changed the key: %s vs %s", got, key)
+			}
+		}
+
+		// Every result-determining mutation must move the key.
+		mutations := map[string]Request{
+			"benchmark":     {Benchmark: benchmark + "x", Scenarios: scenarios, Retries: retries, MinScenarios: minScenarios, FailFast: failFast, MCTrials: mcTrials},
+			"scenarios":     {Benchmark: benchmark, Scenarios: scenarios + 1, Retries: retries, MinScenarios: minScenarios, FailFast: failFast, MCTrials: mcTrials},
+			"retries":       {Benchmark: benchmark, Scenarios: scenarios, Retries: retries + 1, MinScenarios: minScenarios, FailFast: failFast, MCTrials: mcTrials},
+			"min_scenarios": {Benchmark: benchmark, Scenarios: scenarios, Retries: retries, MinScenarios: minScenarios + 1, FailFast: failFast, MCTrials: mcTrials},
+			"fail_fast":     {Benchmark: benchmark, Scenarios: scenarios, Retries: retries, MinScenarios: minScenarios, FailFast: !failFast, MCTrials: mcTrials},
+			"mc_trials":     {Benchmark: benchmark, Scenarios: scenarios, Retries: retries, MinScenarios: minScenarios, FailFast: failFast, MCTrials: mcTrials + 1},
+		}
+		for field, m := range mutations {
+			if got := m.Key(fingerprint); got == key {
+				t.Errorf("mutating %s did not change the key", field)
+			}
+		}
+		if got := q.Key(fingerprint + "y"); got == key {
+			t.Error("mutating the fingerprint did not change the key")
+		}
+
+		// The canonical form must be injective across field boundaries: a
+		// benchmark name that embeds the serialized form of another field
+		// (e.g. "typeset\nscenarios=2") must not produce the same digest as
+		// the request that legitimately has those values. Line-based framing
+		// with %q-free printf is safe only because every write is
+		// newline-terminated and values cannot smuggle a terminator into a
+		// *different* field position without shifting every later line; probe
+		// the classic collision shape anyway.
+		if strings.Contains(benchmark, "\n") {
+			alt := q
+			alt.Benchmark = strings.ReplaceAll(benchmark, "\n", " ")
+			if alt.Benchmark != benchmark && alt.Key(fingerprint) == key {
+				t.Error("newline-in-benchmark collided with its flattened form")
+			}
+		}
+	})
+}

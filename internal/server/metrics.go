@@ -15,6 +15,8 @@ import (
 type metrics struct {
 	estimateRequests atomic.Uint64
 	jobRequests      atomic.Uint64
+	batchRequests    atomic.Uint64
+	batchGetRequests atomic.Uint64
 	healthRequests   atomic.Uint64
 	metricsRequests  atomic.Uint64
 
@@ -27,7 +29,12 @@ type metrics struct {
 	failures      atomic.Uint64
 	panics        atomic.Uint64
 
+	batchesStarted  atomic.Uint64
+	batchesFinished atomic.Uint64
+
 	latency histogram
+	// batchLatency measures whole-suite wall time, admission to last entry.
+	batchLatency histogram
 }
 
 // latencyBounds are the histogram bucket upper bounds in seconds. The low
@@ -64,8 +71,15 @@ type gauges struct {
 	inflight     int
 	cacheEntries int
 	jobsStored   int
-	ready        bool
-	uptime       time.Duration
+	// batchesStored counts retained batches; batchesRunning those with
+	// entries still pending or in flight.
+	batchesStored  int
+	batchesRunning int
+	// mcChunksInflight is the process-wide count of Monte Carlo chunks
+	// currently executing (montecarlo.InFlightChunks).
+	mcChunksInflight int64
+	ready            bool
+	uptime           time.Duration
 }
 
 // render writes the Prometheus text exposition. Order is fixed (no map
@@ -81,6 +95,8 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# HELP tsperrd_requests_total HTTP requests by endpoint.\n# TYPE tsperrd_requests_total counter\n")
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"estimate\"} %d\n", m.estimateRequests.Load())
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"jobs\"} %d\n", m.jobRequests.Load())
+	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"batch\"} %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"batches\"} %d\n", m.batchGetRequests.Load())
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"healthz\"} %d\n", m.healthRequests.Load())
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"metrics\"} %d\n", m.metricsRequests.Load())
 
@@ -92,11 +108,16 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	counter("tsperrd_bad_requests_total", "Requests rejected by validation.", m.badRequests.Load())
 	counter("tsperrd_failures_total", "Computations that finished with an error.", m.failures.Load())
 	counter("tsperrd_panics_total", "Worker panics recovered by the compute queue.", m.panics.Load())
+	counter("tsperrd_batches_started_total", "Batch suites admitted.", m.batchesStarted.Load())
+	counter("tsperrd_batches_finished_total", "Batch suites whose every entry reached a terminal state.", m.batchesFinished.Load())
 
 	gauge("tsperrd_queue_depth", "Jobs pending or running on the compute queue.", float64(g.queueDepth))
 	gauge("tsperrd_inflight_computations", "Deduplicated computations currently in flight.", float64(g.inflight))
 	gauge("tsperrd_cache_entries", "Reports held by the LRU result cache.", float64(g.cacheEntries))
 	gauge("tsperrd_jobs_stored", "Async jobs currently retained.", float64(g.jobsStored))
+	gauge("tsperrd_batches_stored", "Batches currently retained.", float64(g.batchesStored))
+	gauge("tsperrd_batches_running", "Batches with entries still in flight.", float64(g.batchesRunning))
+	gauge("tsperrd_mc_chunks_inflight", "Monte Carlo chunks executing right now.", float64(g.mcChunksInflight))
 	ready := 0.0
 	if g.ready {
 		ready = 1.0
@@ -104,14 +125,20 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	gauge("tsperrd_ready", "1 once the shared framework is warm.", ready)
 	gauge("tsperrd_uptime_seconds", "Seconds since the server started.", g.uptime.Seconds())
 
-	fmt.Fprintf(w, "# HELP tsperrd_request_seconds Estimate-request latency.\n# TYPE tsperrd_request_seconds histogram\n")
+	renderHistogram(w, "tsperrd_request_seconds", "Estimate-request latency.", &m.latency)
+	renderHistogram(w, "tsperrd_batch_seconds", "Batch-suite latency, admission to last entry.", &m.batchLatency)
+}
+
+// renderHistogram writes one cumulative fixed-bucket histogram.
+func renderHistogram(w io.Writer, name, help string, h *histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	var cum uint64
 	for i, b := range latencyBounds {
-		cum += m.latency.buckets[i].Load()
-		fmt.Fprintf(w, "tsperrd_request_seconds_bucket{le=\"%g\"} %d\n", b, cum)
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
 	}
-	cum += m.latency.buckets[len(latencyBounds)].Load()
-	fmt.Fprintf(w, "tsperrd_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "tsperrd_request_seconds_sum %g\n", float64(m.latency.sumUS.Load())/1e6)
-	fmt.Fprintf(w, "tsperrd_request_seconds_count %d\n", m.latency.count.Load())
+	cum += h.buckets[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumUS.Load())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
 }

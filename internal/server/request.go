@@ -40,6 +40,10 @@ type Request struct {
 	Retries      int  `json:"retries,omitempty"`
 	MinScenarios int  `json:"min_scenarios,omitempty"`
 	FailFast     bool `json:"fail_fast,omitempty"`
+	// MCTrials, when positive, appends a sharded Monte Carlo validation to
+	// the report (core.AnalyzeOpts.MCTrials). It changes the report, so it is
+	// part of the request hash.
+	MCTrials int `json:"mc_trials,omitempty"`
 	// TimeoutMS bounds this computation's wall time, capped by the server's
 	// -max-timeout. Zero selects the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -79,6 +83,9 @@ type Limits struct {
 	MaxRetries int
 	// MaxWorkers bounds per-computation concurrency.
 	MaxWorkers int
+	// MaxMCTrials bounds the Monte Carlo validation budget a request may ask
+	// for.
+	MaxMCTrials int
 	// Lookup, when non-nil, vets the benchmark name at admission (the
 	// daemon wires mibench.ByName); nil accepts any name and lets the
 	// analyze function fail it.
@@ -114,6 +121,9 @@ func (q *Request) validate(limits Limits) error {
 	if q.MinScenarios < 0 || q.MinScenarios > q.Scenarios {
 		return fmt.Errorf("min_scenarios %d out of range [0, scenarios=%d]", q.MinScenarios, q.Scenarios)
 	}
+	if q.MCTrials < 0 || q.MCTrials > limits.MaxMCTrials {
+		return fmt.Errorf("mc_trials %d out of range [0, %d]", q.MCTrials, limits.MaxMCTrials)
+	}
 	if q.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms %d must be >= 0", q.TimeoutMS)
 	}
@@ -131,6 +141,10 @@ func (q *Request) Key(fingerprint string) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "fp=%s\nbench=%s\nscenarios=%d\nretries=%d\nmin=%d\nfailfast=%t\n",
 		fingerprint, q.Benchmark, q.Scenarios, q.Retries, q.MinScenarios, q.FailFast)
+	// mc=0 (the overwhelmingly common case) is hashed explicitly rather than
+	// omitted, keeping the canonical form total: every result-determining
+	// field always contributes exactly one line.
+	fmt.Fprintf(h, "mc=%d\n", q.MCTrials)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -142,6 +156,7 @@ func (q *Request) analyzeOpts() core.AnalyzeOpts {
 		Retries:      q.Retries,
 		MinScenarios: q.MinScenarios,
 		FailFast:     q.FailFast,
+		MCTrials:     q.MCTrials,
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tsperr/internal/core"
+	"tsperr/internal/montecarlo"
 	"tsperr/internal/pool"
 )
 
@@ -46,6 +47,12 @@ type Config struct {
 	// JobRetention caps stored async jobs (default 256); when every
 	// retained job is still pending, new async requests get 503.
 	JobRetention int
+	// MaxBatch caps the scenario count of one POST /v1/batch suite
+	// (default 32).
+	MaxBatch int
+	// BatchRetention caps stored batches (default 64); when every retained
+	// batch is still running, new batch requests get 503.
+	BatchRetention int
 }
 
 // flight is one deduplicated computation. The first request for a key
@@ -108,6 +115,9 @@ type Server struct {
 	// async job store; guarded by mu.
 	jobs     map[string]*job
 	jobOrder []string
+	// batches and batchOrder hold the batch store; guarded by mu.
+	batches    map[string]*batch
+	batchOrder []string
 	// closed marks the server as draining: no new computations; guarded by
 	// mu.
 	closed bool
@@ -144,6 +154,15 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.JobRetention <= 0 {
 		cfg.JobRetention = 256
 	}
+	if cfg.Limits.MaxMCTrials <= 0 {
+		cfg.Limits.MaxMCTrials = 5000
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.BatchRetention <= 0 {
+		cfg.BatchRetention = 64
+	}
 	if ctx == nil {
 		return nil, errors.New("server: nil ctx")
 	}
@@ -157,6 +176,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		flights:  make(map[string]*flight),
 		cache:    newLRU(cfg.CacheSize),
 		jobs:     make(map[string]*job),
+		batches:  make(map[string]*batch),
 	}
 	s.queue = pool.NewQueue(lifeCtx, cfg.Workers, cfg.QueueDepth, func(*pool.PanicError) {
 		s.met.panics.Add(1)
@@ -207,6 +227,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchGet)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -531,13 +553,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.metricsRequests.Add(1)
 	s.mu.Lock()
+	running := 0
+	for _, b := range s.batches {
+		if b.remaining > 0 {
+			running++
+		}
+	}
 	g := gauges{
-		queueDepth:   s.queue.Depth(),
-		inflight:     len(s.flights),
-		cacheEntries: s.cache.len(),
-		jobsStored:   len(s.jobs),
-		ready:        s.ready(),
-		uptime:       time.Since(s.start),
+		queueDepth:       s.queue.Depth(),
+		inflight:         len(s.flights),
+		cacheEntries:     s.cache.len(),
+		jobsStored:       len(s.jobs),
+		batchesStored:    len(s.batches),
+		batchesRunning:   running,
+		mcChunksInflight: montecarlo.InFlightChunks(),
+		ready:            s.ready(),
+		uptime:           time.Since(s.start),
 	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -545,12 +576,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // newJobID returns a 16-hex-digit random job handle.
-func newJobID() string {
+func newJobID() string { return newID("job") }
+
+// newID returns a prefixed 16-hex-digit random handle.
+func newID(prefix string) string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand never fails on supported platforms; a zero id still
 		// works, it is just guessable.
-		return "job-0000000000000000"
+		return prefix + "-0000000000000000"
 	}
-	return "job-" + hex.EncodeToString(b[:])
+	return prefix + "-" + hex.EncodeToString(b[:])
 }
