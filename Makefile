@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint check fuzz cover smoke bench clean
+.PHONY: all build test lint check fuzz cover smoke smoke-cluster bench clean
 
 all: build
 
@@ -52,6 +52,12 @@ cover:
 # 16-request dedup burst, and a SIGTERM drain (mirrors the CI smoke job).
 smoke:
 	./scripts/tsperrd-smoke.sh
+
+# `make smoke-cluster` runs the distributed chaos smoke: a coordinator plus
+# two workers, one SIGKILLed mid-run; the surviving nodes must return a
+# complete validation byte-identical to a single-node run, then drain cleanly.
+smoke-cluster:
+	./scripts/tsperrd-cluster-smoke.sh
 
 # `make bench` records the full benchmark suite as go-test JSON events in
 # BENCH_<date>.json (benchstat-friendly after extracting the output lines:

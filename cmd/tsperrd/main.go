@@ -8,6 +8,20 @@
 //	        [-max-scenarios N] [-max-batch N] [-max-mc-trials N]
 //	        [-request-timeout D] [-max-timeout D]
 //	        [-drain-timeout D] [-model-cache] [-model-cache-dir DIR]
+//	        [-role single|coordinator|worker] [-peers URL,URL,...]
+//	        [-probe-interval D] [-chunk-timeout D] [-hedge-after D]
+//	        [-peer-concurrency N]
+//
+// Cluster roles:
+//
+//	single       (default) everything runs in this process
+//	worker       additionally serves POST /v1/cluster/chunk so coordinators
+//	             can fan Monte Carlo chunks onto this node
+//	coordinator  fans Monte Carlo validations across -peers (worker daemons),
+//	             routes plain estimates to their consistent-hash owner for
+//	             cluster-wide dedup, and degrades to local execution when
+//	             peers die; also serves chunks, so coordinators can peer with
+//	             each other
 //
 // Endpoints:
 //
@@ -18,7 +32,9 @@
 //	                      suite runs through the dedup/cache layer with
 //	                      bounded-queue pacing (identical entries compute once)
 //	GET  /v1/batches/{id} per-entry status and incremental results
-//	GET  /healthz         503 while the model warms, 200 once ready
+//	GET  /healthz         503 while the model warms, 200 once ready (liveness)
+//	GET  /readyz          readiness: warm AND, on a coordinator, a quorum of
+//	                      healthy peers
 //	GET  /metrics         Prometheus text format
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains:
@@ -36,11 +52,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"tsperr/internal/cell"
 	"tsperr/internal/cliutil"
+	"tsperr/internal/cluster"
 	"tsperr/internal/errormodel"
 	"tsperr/internal/harness"
 	"tsperr/internal/mibench"
@@ -68,6 +86,17 @@ func main() {
 		"cap on the per-request timeout_ms knob (0 = no cap)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for in-flight estimates")
+	role := flag.String("role", "single", "cluster role: single, coordinator, or worker")
+	peersFlag := flag.String("peers", "",
+		"comma-separated peer base URLs, e.g. http://10.0.0.2:8080 (coordinator role)")
+	probeInterval := flag.Duration("probe-interval", 0,
+		"healthy-peer probe period (0 = 2s default)")
+	chunkTimeout := flag.Duration("chunk-timeout", 0,
+		"remote Monte Carlo chunk deadline before the chunk is stolen back (0 = 30s default)")
+	hedgeAfter := flag.Duration("hedge-after", 0,
+		"speculatively re-dispatch a chunk still in flight after this long (0 = chunk-timeout/2)")
+	peerConcurrency := flag.Int("peer-concurrency", 0,
+		"chunks kept in flight per healthy peer (0 = 2 default)")
 	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -76,12 +105,56 @@ func main() {
 	}
 	harness.SetModelCache(modelCache())
 
-	srv, err := server.New(context.Background(), server.Config{
-		Analyze: harness.AnalyzeWithOpts,
-		// The same content address the model cache files under: options plus
-		// the cell library. Request keys therefore never collide across
-		// operating points or library revisions.
-		Fingerprint: modelcache.Key(errormodel.DefaultOptions(), cell.Fingerprint()),
+	// The same content address the model cache files under: options plus
+	// the cell library. Request keys therefore never collide across
+	// operating points or library revisions — and cluster nodes with
+	// different models refuse each other's chunks instead of mixing bits.
+	fingerprint := modelcache.Key(errormodel.DefaultOptions(), cell.Fingerprint())
+
+	var coord *cluster.Coordinator
+	var chunkSource cluster.SpecSource
+	switch *role {
+	case "single":
+		if *peersFlag != "" {
+			fmt.Fprintln(os.Stderr, "tsperrd: -peers requires -role coordinator")
+			os.Exit(cliutil.ExitUsage)
+		}
+	case "worker":
+		if *peersFlag != "" {
+			fmt.Fprintln(os.Stderr, "tsperrd: -peers requires -role coordinator")
+			os.Exit(cliutil.ExitUsage)
+		}
+		chunkSource = harness.MCSpec
+	case "coordinator":
+		var peers []string
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) == 0 {
+			fmt.Fprintln(os.Stderr, "tsperrd: -role coordinator requires -peers")
+			os.Exit(cliutil.ExitUsage)
+		}
+		coord = cluster.New(cluster.Config{
+			Peers:           peers,
+			Fingerprint:     fingerprint,
+			ProbeInterval:   *probeInterval,
+			ChunkTimeout:    *chunkTimeout,
+			HedgeAfter:      *hedgeAfter,
+			PeerConcurrency: *peerConcurrency,
+		})
+		// Coordinators serve chunks too, so symmetric deployments (every
+		// node a coordinator peering with the others) need no worker role.
+		chunkSource = harness.MCSpec
+	default:
+		fmt.Fprintf(os.Stderr, "tsperrd: unknown -role %q (single, coordinator, worker)\n", *role)
+		os.Exit(cliutil.ExitUsage)
+	}
+
+	cfg := server.Config{
+		Analyze:     harness.AnalyzeWithOpts,
+		Fingerprint: fingerprint,
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
 		CacheSize:   *cacheSize,
@@ -97,9 +170,18 @@ func main() {
 		DefaultTimeout: *requestTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxBatch:       *maxBatch,
-	})
+		ChunkSource:    chunkSource,
+	}
+	if coord != nil {
+		cfg.Cluster = coord
+	}
+	srv, err := server.New(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if coord != nil {
+		coord.Start(context.Background())
+		log.Printf("coordinating %d peer(s); quorum %d", len(coord.PeerStatuses()), coord.Quorum())
 	}
 
 	// Warm the shared framework off the serving path so the listener is up
@@ -148,6 +230,9 @@ func main() {
 		os.Exit(cliutil.ExitFailure)
 	}
 	srv.Close()
+	if coord != nil {
+		coord.Stop()
+	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

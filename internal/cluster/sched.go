@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"tsperr/internal/montecarlo"
+)
+
+// sched is the work-stealing chunk scheduler of one distributed Monte Carlo
+// run. Chunks move pending -> in flight -> delivered; a failed or suspiciously
+// slow in-flight chunk is re-queued so any other runner (remote or local)
+// steals it, and delivery is first-writer-wins so a hedged duplicate is
+// simply dropped. Correctness never depends on who executes a chunk —
+// montecarlo.RunChunk is a pure function of (spec, chunkSize, index) — so the
+// scheduler is free to re-dispatch at will.
+//
+// A mutex + condition variable (rather than a channel pipeline) keeps
+// unbounded re-queueing deadlock-free: requeue never blocks, and every state
+// change that could unblock a runner broadcasts.
+type sched struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds pending chunk indices; guarded by mu. An index may appear
+	// more than once after a hedge — next skips already-delivered entries.
+	queue []int
+	// delivered marks chunks with an accepted result; guarded by mu.
+	delivered []bool
+	// started records when each in-flight chunk was last handed out (zero
+	// when not in flight); guarded by mu.
+	started []time.Time
+	// results holds the accepted chunk results; guarded by mu.
+	results []montecarlo.ChunkResult
+	// remaining counts undelivered chunks; guarded by mu.
+	remaining int
+	// err is the first fatal error (local execution failure or context
+	// cancellation); guarded by mu.
+	err error
+}
+
+func newSched(n int) *sched {
+	queue := make([]int, n)
+	for c := range queue {
+		queue[c] = c
+	}
+	s := &sched{
+		queue:     queue,
+		delivered: make([]bool, n),
+		started:   make([]time.Time, n),
+		results:   make([]montecarlo.ChunkResult, n),
+		remaining: n,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// next blocks until a chunk is available, handing it out, or the run is over
+// (all delivered or fatally failed), returning ok == false.
+func (s *sched) next() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil || s.remaining == 0 {
+			return 0, false
+		}
+		for len(s.queue) > 0 {
+			c := s.queue[0]
+			s.queue = s.queue[1:]
+			if s.delivered[c] {
+				continue
+			}
+			s.started[c] = time.Now()
+			return c, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// requeue returns an undelivered chunk to the pending queue — the
+// work-stealing path after a remote failure. It reports whether the chunk was
+// actually re-queued (false when a hedged twin already delivered it).
+func (s *sched) requeue(c int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.delivered[c] {
+		return false
+	}
+	s.started[c] = time.Time{}
+	s.queue = append(s.queue, c)
+	s.cond.Broadcast()
+	return true
+}
+
+// deliver accepts a chunk result, first writer wins. The duplicate from a
+// hedged re-dispatch is dropped (returns false).
+func (s *sched) deliver(c int, res montecarlo.ChunkResult) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.delivered[c] {
+		return false
+	}
+	s.delivered[c] = true
+	s.results[c] = res
+	s.remaining--
+	if s.remaining == 0 {
+		s.cond.Broadcast()
+	}
+	return true
+}
+
+// fail records a fatal error and releases every blocked runner. Once all
+// chunks have been delivered the run's outcome is settled, so a late
+// cancellation (the caller tearing down its context watcher) is ignored.
+func (s *sched) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.remaining == 0 || err == nil {
+		return
+	}
+	s.err = err
+	s.cond.Broadcast()
+}
+
+// hedge re-queues every chunk that has been in flight longer than after,
+// resetting its clock so one slow chunk is not re-dispatched on every sweep.
+// It returns how many chunks were hedged.
+func (s *sched) hedge(after time.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	now := time.Now()
+	for c := range s.started {
+		if s.delivered[c] || s.started[c].IsZero() {
+			continue
+		}
+		if now.Sub(s.started[c]) < after {
+			continue
+		}
+		s.started[c] = now
+		s.queue = append(s.queue, c)
+		n++
+	}
+	if n > 0 {
+		s.cond.Broadcast()
+	}
+	return n
+}
+
+// outcome returns the accepted results, or the fatal error. Fatal beats
+// complete only when chunks are still missing.
+func (s *sched) outcome() ([]montecarlo.ChunkResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.remaining == 0 {
+		return s.results, nil
+	}
+	return nil, s.err
+}

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"context"
+
+	"tsperr/internal/montecarlo"
+)
+
+// HTTP headers of the intra-cluster protocol.
+const (
+	// HeaderForwarded marks a request a coordinator routed to this node; the
+	// receiver executes locally and never re-routes, so a misconfigured mesh
+	// cannot forward a request in circles.
+	HeaderForwarded = "X-Tsperrd-Forwarded"
+	// HeaderFingerprint carries the sender's model fingerprint; the receiver
+	// rejects a mismatch with 409 so results never mix across operating
+	// points or cell-library revisions.
+	HeaderFingerprint = "X-Tsperrd-Fingerprint"
+	// HeaderChunk carries the Monte Carlo chunk index of a chunk request; the
+	// fault-injection transport uses it to target faults at specific chunks.
+	HeaderChunk = "X-Tsperrd-Chunk"
+)
+
+// ChunkRequest is the body of POST /v1/cluster/chunk: one Monte Carlo chunk
+// of a named benchmark's validation run. The worker rebuilds the experiment
+// spec from (Benchmark, Scenarios) against its own warm framework — the
+// pipeline is bit-deterministic given the model fingerprint, so the rebuilt
+// conditionals match the coordinator's exactly — then executes trials
+// [Index*ChunkSize, min((Index+1)*ChunkSize, Trials)) with the chunk's
+// derived RNG stream.
+type ChunkRequest struct {
+	Benchmark string `json:"benchmark"`
+	Scenarios int    `json:"scenarios"`
+	Trials    int    `json:"trials"`
+	Seed      uint64 `json:"seed"`
+	ChunkSize int    `json:"chunk_size"`
+	Index     int    `json:"index"`
+}
+
+// SpecSource rebuilds the Monte Carlo spec for a benchmark's validation run:
+// program, per-scenario setup, and the analytically derived conditionals.
+// Trials and Seed are left zero — the chunk handler fills them from the
+// request. The daemon wires harness.MCSpec; tests substitute fixtures.
+type SpecSource func(ctx context.Context, benchmark string, scenarios int) (montecarlo.Spec, error)

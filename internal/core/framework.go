@@ -11,7 +11,9 @@ import (
 	"tsperr/internal/cpu"
 	"tsperr/internal/errormodel"
 	"tsperr/internal/isa"
+	"tsperr/internal/montecarlo"
 	"tsperr/internal/pool"
+	"tsperr/internal/retry"
 )
 
 // Framework ties the whole flow of Figures 1 and 2 together: netlist
@@ -106,6 +108,42 @@ type AnalyzeOpts struct {
 	// MCSeed seeds the validation run (the default 0 is a valid seed; the
 	// run is deterministic either way).
 	MCSeed uint64
+	// MCRun, when non-nil, replaces the local sharded execution of the Monte
+	// Carlo validation — the cluster coordinator injects its chunk fan-out
+	// runner here. The runner must return results bit-identical to
+	// montecarlo.RunSharded on the job's spec: distribution is a scheduling
+	// choice, never a semantic one. Jobs with LocalOnly set must not leave
+	// the process.
+	MCRun MCRunner
+}
+
+// MCRunner executes one Monte Carlo validation job; the default (nil) runner
+// is montecarlo.RunSharded on the job's spec and shard options.
+type MCRunner func(ctx context.Context, job MCJob) (*montecarlo.ShardedResult, error)
+
+// MCJob is everything an alternative Monte Carlo runner needs: the resolved
+// local spec for any chunks it executes in-process, plus the analytic
+// context (benchmark name, requested scenario count, model-independent seed
+// and budget) a remote worker needs to rebuild the identical spec on its
+// side.
+type MCJob struct {
+	// Benchmark is the canonical benchmark name the analytic run resolved.
+	Benchmark string
+	// Scenarios is the scenario fan-out the spec's conditionals were derived
+	// from.
+	Scenarios int
+	// ChunkSize is the resolved trials-per-chunk split (never zero).
+	ChunkSize int
+	// LocalOnly marks jobs distribution must not touch: a degraded analytic
+	// run (a remote rebuild would derive conditionals from the full scenario
+	// set, not the survivors) or a fault-injected one (the injection schedule
+	// exists only in this process).
+	LocalOnly bool
+	// Spec is the fully resolved experiment; Spec.Trials and Spec.Seed carry
+	// the budget and seed.
+	Spec montecarlo.Spec
+	// Shard is the local shard configuration (chunk size, worker bound).
+	Shard montecarlo.ShardOpts
 }
 
 const (
@@ -137,6 +175,14 @@ type Report struct {
 	// MC carries the Monte Carlo validation of the estimate when
 	// AnalyzeOpts.MCTrials requested one (nil otherwise).
 	MC *MCValidation
+
+	// scenarioCount and wireFailures preserve the wire-schema scenario count
+	// and flattened failure strings across a JSON round trip: a coordinator
+	// proxying a worker's report cannot reconstruct the Scenario values or the
+	// joined error tree, but its re-marshal must still emit the worker's exact
+	// bytes. MarshalJSON falls back to them when the rich fields are empty.
+	scenarioCount int
+	wireFailures  []string
 }
 
 // scenarioRaw is the output of one scenario's instrumented simulation.
@@ -298,7 +344,7 @@ func (f *Framework) AnalyzeWithOpts(ctx context.Context, name string, spec Progr
 
 	if opts.MCTrials > 0 {
 		ref, unscaled := mcRefScenarios(surviving, unscaledProfiles)
-		mc, err := f.validateMC(ctx, spec, cfgCPU, g, est, ref, unscaled, opts)
+		mc, err := f.validateMC(ctx, name, spec, cfgCPU, g, est, ref, unscaled, rep.Degraded, opts)
 		if err != nil {
 			return nil, &ScenarioError{Benchmark: name, Scenario: -1, Phase: PhaseMonteCarlo, Err: err}
 		}
@@ -415,45 +461,37 @@ func (f *Framework) runPool(ctx context.Context, n int, opts AnalyzeOpts, errs [
 	pool.Run(ctx, n, opts.Workers, opts.FailFast, errs, work)
 }
 
-// withRetry runs one scenario attempt, retrying transient failures up to
-// opts.Retries times with bounded exponential backoff. Context
-// cancellations and deadline expiries are terminal immediately.
-func (f *Framework) withRetry(ctx context.Context, opts AnalyzeOpts, attempt func(n int) *ScenarioError) error {
-	for n := 1; ; n++ {
-		serr := attempt(n)
-		if serr == nil {
-			return nil
-		}
-		if n > opts.Retries ||
-			errors.Is(serr, context.Canceled) || errors.Is(serr, context.DeadlineExceeded) {
-			return serr
-		}
-		if d := retryDelay(opts.RetryBackoff, n); d > 0 {
-			t := time.NewTimer(d)
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
-				serr.Err = errors.Join(serr.Err, ctx.Err())
-				return serr
-			}
-		}
-	}
-}
-
-// retryDelay returns the bounded exponential backoff before retry n (1-based).
-func retryDelay(base time.Duration, n int) time.Duration {
-	if base < 0 {
-		return 0
-	}
-	if base == 0 {
+// retryPolicy maps AnalyzeOpts onto the shared backoff helper: zero
+// RetryBackoff selects the small default, negative disables delays entirely
+// (tests), and every schedule clamps at retryBackoffCap. Scenario retries
+// stay un-jittered — the delays are per-scenario and never synchronized, and
+// a jitter draw would make run timing seed-dependent for no decorrelation
+// benefit.
+func retryPolicy(opts AnalyzeOpts) retry.Policy {
+	base := opts.RetryBackoff
+	switch {
+	case base < 0:
+		base = 0
+	case base == 0:
 		base = defaultRetryBackoff
 	}
-	d := base << uint(n-1)
-	if d > retryBackoffCap || d <= 0 {
-		d = retryBackoffCap
-	}
-	return d
+	return retry.Policy{Base: base, Cap: retryBackoffCap}
+}
+
+// withRetry runs one scenario attempt, retrying transient failures up to
+// opts.Retries times with the shared capped-exponential backoff
+// (internal/retry). Context cancellations and deadline expiries are terminal
+// immediately, including when they interrupt the backoff sleep itself.
+func (f *Framework) withRetry(ctx context.Context, opts AnalyzeOpts, attempt func(n int) *ScenarioError) error {
+	return retry.Do(ctx, retryPolicy(opts), 0, opts.Retries+1, func(n int) error {
+		// Return the typed error through a plain error variable only when
+		// non-nil: a nil *ScenarioError stuffed into an error interface would
+		// read as a failure.
+		if serr := attempt(n); serr != nil {
+			return serr
+		}
+		return nil
+	})
 }
 
 // gate applies the failure policy between pipeline phases: a clean pass

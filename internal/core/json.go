@@ -56,20 +56,79 @@ type estimateJSON struct {
 
 // MarshalJSON renders the report's stable wire schema.
 func (r *Report) MarshalJSON() ([]byte, error) {
+	scenarios := len(r.Scenarios)
+	if scenarios == 0 {
+		scenarios = r.scenarioCount
+	}
+	failures := failureStrings(r.Failures)
+	if failures == nil {
+		failures = r.wireFailures
+	}
 	out := reportJSON{
 		Name:            r.Name,
 		Instructions:    r.Instructions,
 		BasicBlocks:     r.BasicBlocks,
 		TrainingSec:     durationSec(r.Training),
 		SimulationSec:   durationSec(r.Simulation),
-		Scenarios:       len(r.Scenarios),
+		Scenarios:       scenarios,
 		Degraded:        r.Degraded,
 		FailedScenarios: r.FailedScenarios,
-		Failures:        failureStrings(r.Failures),
+		Failures:        failures,
 		Estimate:        r.Estimate,
 		MC:              r.MC,
 	}
 	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the wire schema back into a Report. The projection is
+// lossy by design — the CFG graph and per-scenario solver state never leave
+// the producing process — so the decoded Report carries the summary fields
+// only: Scenarios stays empty (the count lands in the unexported round-trip
+// memo) and Failures stays nil (the flattened strings likewise). Re-marshaling
+// the decoded Report emits the original bytes, which is what lets a cluster
+// coordinator proxy a worker's report without perturbing it.
+func (r *Report) UnmarshalJSON(b []byte) error {
+	var in reportJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	*r = Report{
+		Name:            in.Name,
+		Instructions:    in.Instructions,
+		BasicBlocks:     in.BasicBlocks,
+		Training:        secDuration(in.TrainingSec),
+		Simulation:      secDuration(in.SimulationSec),
+		Estimate:        in.Estimate,
+		Degraded:        in.Degraded,
+		FailedScenarios: in.FailedScenarios,
+		MC:              in.MC,
+		scenarioCount:   in.Scenarios,
+		wireFailures:    in.Failures,
+	}
+	return nil
+}
+
+// UnmarshalJSON decodes the estimate's wire schema. The lambda distribution
+// parameters, instruction total, and approximation bounds are the complete
+// inputs of every derived quantity (the Equation 14 quadrature memo is built
+// from LambdaMean/LambdaStd on demand), so a decoded estimate answers CDF and
+// quantile queries — and re-marshals — bit-identically to the original.
+// LambdaSamples is not part of the wire schema and stays nil.
+func (e *Estimate) UnmarshalJSON(b []byte) error {
+	var in estimateJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	*e = Estimate{
+		LambdaMean: in.LambdaMean,
+		LambdaStd:  in.LambdaStd,
+		TotalInsts: in.TotalInsts,
+		DKLambda:   in.DKLambda,
+		DKCount:    in.DKCount,
+		B1:         in.B1,
+		B2:         in.B2,
+	}
+	return nil
 }
 
 // MarshalJSON renders the estimate's wire schema, including the derived
@@ -98,6 +157,13 @@ func (e *Estimate) MarshalJSON() ([]byte, error) {
 // artifacts.
 func durationSec(d time.Duration) float64 {
 	return float64(d.Round(time.Microsecond)) / float64(time.Second)
+}
+
+// secDuration inverts durationSec. The float product can land a fraction of a
+// nanosecond off the original microsecond multiple; rounding to microseconds
+// restores it exactly, so durationSec(secDuration(s)) == s.
+func secDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
 }
 
 // failureStrings flattens a joined failure tree into one line per scenario,

@@ -122,6 +122,68 @@ func TestReportJSONDegradationFields(t *testing.T) {
 	}
 }
 
+// TestReportJSONRoundTrip pins the proxy invariant the cluster layer leans
+// on: decode a report's wire bytes into a Report, re-marshal, and the bytes
+// are identical — scenario count, failure lines, durations, estimate, and
+// Monte Carlo block all survive even though the decoded Report has no
+// Scenario values or error tree.
+func TestReportJSONRoundTrip(t *testing.T) {
+	for _, rep := range []*Report{goldenReport(), func() *Report {
+		r := goldenReport()
+		r.Degraded = false
+		r.FailedScenarios = 0
+		r.Failures = nil
+		r.MC = nil
+		return r
+	}()} {
+		first, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded Report
+		if err := json.Unmarshal(first, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		if len(decoded.Scenarios) != 0 {
+			t.Fatalf("decode fabricated %d Scenario values", len(decoded.Scenarios))
+		}
+		second, err := json.Marshal(&decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("round trip drifted.\nfirst:\n%s\nsecond:\n%s", first, second)
+		}
+	}
+}
+
+// A decoded estimate must answer the derived queries identically to the
+// original: the wire schema carries the complete inputs of the Equation (14)
+// quadrature.
+func TestEstimateJSONRoundTripQueries(t *testing.T) {
+	orig := goldenReport().Estimate
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Estimate
+	if err := json.Unmarshal(raw, &dec); err != nil {
+		t.Fatal(err)
+	}
+	//tsperrlint:ignore floatcmp the decoded estimate must be bit-identical, not approximate
+	if dec.MeanErrorRate() != orig.MeanErrorRate() {
+		t.Errorf("decoded mean error rate diverged from original")
+	}
+	//tsperrlint:ignore floatcmp the decoded estimate must be bit-identical, not approximate
+	if dec.ErrorRateQuantile(0.95) != orig.ErrorRateQuantile(0.95) {
+		t.Errorf("decoded quantile diverged from original")
+	}
+	//tsperrlint:ignore floatcmp the decoded estimate must be bit-identical, not approximate
+	if dec.ErrorCountCDF(42) != orig.ErrorCountCDF(42) {
+		t.Errorf("decoded count CDF diverged from original")
+	}
+}
+
 // The estimate encoding must agree with the computed accessors, so service
 // clients can trust the flattened numbers.
 func TestEstimateJSONMatchesAccessors(t *testing.T) {

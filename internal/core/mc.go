@@ -44,7 +44,7 @@ type MCValidation struct {
 // simulation executes the real program, so when scaling inflated the estimate
 // an unscaled reference estimate is solved for the comparison, and otherwise
 // the already computed estimate is reused.
-func (f *Framework) validateMC(ctx context.Context, spec ProgramSpec, cfgCPU cpu.Config, g *cfg.Graph, est *Estimate, ref []Scenario, unscaled bool, opts AnalyzeOpts) (*MCValidation, error) {
+func (f *Framework) validateMC(ctx context.Context, name string, spec ProgramSpec, cfgCPU cpu.Config, g *cfg.Graph, est *Estimate, ref []Scenario, unscaled, degraded bool, opts AnalyzeOpts) (*MCValidation, error) {
 	refEst := est
 	if unscaled {
 		var err error
@@ -57,14 +57,36 @@ func (f *Framework) validateMC(ctx context.Context, spec ProgramSpec, cfgCPU cpu
 	for i := range ref {
 		conds[i] = ref[i].Cond
 	}
-	res, err := montecarlo.RunSharded(ctx, montecarlo.Spec{
+	mcSpec := montecarlo.Spec{
 		Prog:      spec.Prog,
 		Setup:     spec.Setup,
 		Cond:      conds,
 		Trials:    opts.MCTrials,
 		Seed:      opts.MCSeed,
 		CPUConfig: cfgCPU,
-	}, montecarlo.ShardOpts{ChunkSize: opts.MCChunkSize, Workers: opts.Workers})
+	}
+	shard := montecarlo.ShardOpts{ChunkSize: opts.MCChunkSize, Workers: opts.Workers}
+	run := montecarlo.RunSharded
+	if opts.MCRun != nil {
+		chunkSize := opts.MCChunkSize
+		if chunkSize <= 0 {
+			chunkSize = montecarlo.DefaultChunkSize
+		}
+		job := MCJob{
+			Benchmark: name,
+			Scenarios: spec.Scenarios,
+			ChunkSize: chunkSize,
+			// A degraded run's conditionals cover the survivors only and a
+			// fault-injection schedule exists only in this process; a remote
+			// rebuild would diverge, so such jobs must stay local.
+			LocalOnly: degraded || opts.Inject != nil,
+		}
+		run = func(ctx context.Context, s montecarlo.Spec, o montecarlo.ShardOpts) (*montecarlo.ShardedResult, error) {
+			job.Spec, job.Shard = s, o
+			return opts.MCRun(ctx, job)
+		}
+	}
+	res, err := run(ctx, mcSpec, shard)
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,13 @@ const (
 	Simulation Point = "simulation"
 	// Marginals fires before the per-scenario marginal solve.
 	Marginals Point = "marginals"
+
+	// NetRequest fires in the cluster transport before a request leaves the
+	// process; NetResponse fires after the response arrives. For both, the
+	// rule's Scenario field selects a Monte Carlo chunk index (carried in the
+	// request's chunk header; -1 matches every request).
+	NetRequest  Point = "net_request"
+	NetResponse Point = "net_response"
 )
 
 // Mode selects what an armed rule does when it fires.
@@ -46,6 +53,11 @@ const (
 	// Delay sleeps for Rule.Delay (context-aware), then proceeds normally;
 	// used to hold scenarios in flight while a test cancels the run.
 	Delay
+	// Truncate, on a NetResponse rule, lets the request complete and then
+	// cuts the response body in half — the partial-response fault a worker
+	// dying mid-write produces. Only the network Transport interprets it;
+	// pipeline hook points treat it as a no-op.
+	Truncate
 )
 
 func (m Mode) String() string {
@@ -56,6 +68,8 @@ func (m Mode) String() string {
 		return "panic"
 	case Delay:
 		return "delay"
+	case Truncate:
+		return "truncate"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -136,14 +150,15 @@ func New(seed uint64, rules ...Rule) *Injector {
 	}
 }
 
-// Fire evaluates the hook point for a scenario: it returns an injected
-// error, panics, or delays according to the first matching armed rule, and
-// returns nil when nothing fires. Delay respects ctx and surfaces ctx.Err()
-// if cancelled mid-sleep.
-func (in *Injector) Fire(ctx context.Context, p Point, scenario int) error {
+// Match performs the rule-firing bookkeeping for a hook point — first armed
+// rule wins, Times budgets and Prob draws consumed — and returns the fired
+// rule without executing its behavior. Fire is Match plus the standard
+// fail/panic/delay semantics; injection sites with richer behaviors (the
+// network Transport's truncation) call Match and act themselves.
+func (in *Injector) Match(p Point, scenario int) (Rule, bool) {
 	in.mu.Lock()
+	defer in.mu.Unlock()
 	in.calls[p]++
-	var hit *Rule
 	for i := range in.rules {
 		r := &in.rules[i]
 		if r.Point != p || (r.Scenario != -1 && r.Scenario != scenario) {
@@ -156,13 +171,21 @@ func (in *Injector) Fire(ctx context.Context, p Point, scenario int) error {
 			continue
 		}
 		in.fired[i]++
-		hit = r
-		break
+		return *r, true
 	}
-	in.mu.Unlock()
-	if hit == nil {
+	return Rule{}, false
+}
+
+// Fire evaluates the hook point for a scenario: it returns an injected
+// error, panics, or delays according to the first matching armed rule, and
+// returns nil when nothing fires. Delay respects ctx and surfaces ctx.Err()
+// if cancelled mid-sleep.
+func (in *Injector) Fire(ctx context.Context, p Point, scenario int) error {
+	r, ok := in.Match(p, scenario)
+	if !ok {
 		return nil
 	}
+	hit := &r
 	switch hit.Mode {
 	case Fail:
 		if hit.Err != nil {

@@ -1,0 +1,99 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// chunkHeader mirrors cluster.HeaderChunk without importing the cluster
+// package (faultinject sits below it in the dependency order).
+const chunkHeader = "X-Tsperrd-Chunk"
+
+// Transport wraps an http.RoundTripper with deterministic network faults for
+// cluster chaos tests: injected latency, connection resets (before the
+// request or after the response), and partial responses. Rules target the
+// NetRequest and NetResponse points; the Scenario slot selects a Monte Carlo
+// chunk index via the request's chunk header (requests without one — probes,
+// proxied estimates — match only Scenario == -1 rules).
+type Transport struct {
+	// Base performs the real round trip (nil selects
+	// http.DefaultTransport).
+	Base http.RoundTripper
+	// Injector holds the armed fault rules (nil disables injection).
+	Injector *Injector
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.Injector == nil {
+		return base.RoundTrip(req)
+	}
+	scenario := -2 // matches only Scenario == -1 (wildcard) rules
+	if h := req.Header.Get(chunkHeader); h != "" {
+		if v, err := strconv.Atoi(h); err == nil {
+			scenario = v
+		}
+	}
+	if r, ok := t.Injector.Match(NetRequest, scenario); ok {
+		switch r.Mode {
+		case Fail:
+			return nil, fmt.Errorf("%w: connection reset before %s %s", ErrInjected, req.Method, req.URL.Path)
+		case Panic:
+			panic(PanicValue{Point: NetRequest, Scenario: scenario})
+		case Delay:
+			if err := sleepCtx(req, r.Delay); err != nil {
+				return nil, err
+			}
+		}
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if r, ok := t.Injector.Match(NetResponse, scenario); ok {
+		switch r.Mode {
+		case Fail:
+			resp.Body.Close()
+			return nil, fmt.Errorf("%w: connection reset during response of %s %s", ErrInjected, req.Method, req.URL.Path)
+		case Panic:
+			resp.Body.Close()
+			panic(PanicValue{Point: NetResponse, Scenario: scenario})
+		case Delay:
+			if err := sleepCtx(req, r.Delay); err != nil {
+				resp.Body.Close()
+				return nil, err
+			}
+		case Truncate:
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				return nil, rerr
+			}
+			resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
+			resp.ContentLength = int64(len(body) / 2)
+		}
+	}
+	return resp, nil
+}
+
+// sleepCtx delays a round trip, honoring the request's context.
+func sleepCtx(req *http.Request, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-req.Context().Done():
+		return req.Context().Err()
+	}
+}

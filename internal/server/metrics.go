@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"tsperr/internal/cluster"
 )
 
 // metrics holds the service counters, exported in Prometheus text format at
@@ -18,7 +20,9 @@ type metrics struct {
 	batchRequests    atomic.Uint64
 	batchGetRequests atomic.Uint64
 	healthRequests   atomic.Uint64
+	readyRequests    atomic.Uint64
 	metricsRequests  atomic.Uint64
+	chunkRequests    atomic.Uint64
 
 	computations  atomic.Uint64
 	dedupJoins    atomic.Uint64
@@ -28,6 +32,9 @@ type metrics struct {
 	badRequests   atomic.Uint64
 	failures      atomic.Uint64
 	panics        atomic.Uint64
+	// fingerprintRejects counts cluster requests refused because the caller's
+	// model fingerprint disagrees with this node's.
+	fingerprintRejects atomic.Uint64
 
 	batchesStarted  atomic.Uint64
 	batchesFinished atomic.Uint64
@@ -80,6 +87,16 @@ type gauges struct {
 	mcChunksInflight int64
 	ready            bool
 	uptime           time.Duration
+	// cluster is the coordinator snapshot (nil on single-node daemons):
+	// per-peer health plus the fan-out counters.
+	cluster *clusterGauges
+}
+
+// clusterGauges is the coordinator state sampled at render time.
+type clusterGauges struct {
+	peers  []cluster.PeerStatus
+	stats  cluster.Stats
+	quorum int
 }
 
 // render writes the Prometheus text exposition. Order is fixed (no map
@@ -98,7 +115,9 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"batch\"} %d\n", m.batchRequests.Load())
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"batches\"} %d\n", m.batchGetRequests.Load())
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"healthz\"} %d\n", m.healthRequests.Load())
+	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"readyz\"} %d\n", m.readyRequests.Load())
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"metrics\"} %d\n", m.metricsRequests.Load())
+	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"cluster_chunk\"} %d\n", m.chunkRequests.Load())
 
 	counter("tsperrd_computations_total", "Estimations actually executed (after dedup and cache).", m.computations.Load())
 	counter("tsperrd_dedup_joins_total", "Requests that joined an identical in-flight computation.", m.dedupJoins.Load())
@@ -110,6 +129,7 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	counter("tsperrd_panics_total", "Worker panics recovered by the compute queue.", m.panics.Load())
 	counter("tsperrd_batches_started_total", "Batch suites admitted.", m.batchesStarted.Load())
 	counter("tsperrd_batches_finished_total", "Batch suites whose every entry reached a terminal state.", m.batchesFinished.Load())
+	counter("tsperrd_fingerprint_rejects_total", "Cluster requests refused for a model fingerprint mismatch.", m.fingerprintRejects.Load())
 
 	gauge("tsperrd_queue_depth", "Jobs pending or running on the compute queue.", float64(g.queueDepth))
 	gauge("tsperrd_inflight_computations", "Deduplicated computations currently in flight.", float64(g.inflight))
@@ -124,6 +144,27 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	}
 	gauge("tsperrd_ready", "1 once the shared framework is warm.", ready)
 	gauge("tsperrd_uptime_seconds", "Seconds since the server started.", g.uptime.Seconds())
+
+	if c := g.cluster; c != nil {
+		counter("tsperrd_cluster_remote_chunks_total", "Monte Carlo chunks executed by peers.", c.stats.RemoteChunks)
+		counter("tsperrd_cluster_local_chunks_total", "Monte Carlo chunks executed locally under cluster fan-out.", c.stats.LocalChunks)
+		counter("tsperrd_cluster_stolen_chunks_total", "Chunks re-queued after a peer failed them mid-run.", c.stats.StolenChunks)
+		counter("tsperrd_cluster_hedged_chunks_total", "Chunks hedge-re-dispatched after exceeding the hedge deadline.", c.stats.HedgedChunks)
+		counter("tsperrd_cluster_proxied_estimates_total", "Estimate requests answered by the owning peer.", c.stats.ProxiedEstimates)
+		counter("tsperrd_cluster_proxy_fallbacks_total", "Routed estimates that fell back to local execution.", c.stats.ProxyFallbacks)
+		counter("tsperrd_cluster_fingerprint_mismatches_total", "Peer responses rejected for a model fingerprint mismatch.", c.stats.FingerprintMismatches)
+		gauge("tsperrd_cluster_quorum", "Healthy-peer quorum required for readiness.", float64(c.quorum))
+		fmt.Fprintf(w, "# HELP tsperrd_peer_healthy Per-peer health (1 healthy, 0 not).\n# TYPE tsperrd_peer_healthy gauge\n")
+		// c.peers arrives in configuration order (no map iteration), so
+		// scrapes diff cleanly.
+		for _, p := range c.peers {
+			v := 0
+			if p.Healthy {
+				v = 1
+			}
+			fmt.Fprintf(w, "tsperrd_peer_healthy{peer=%q} %d\n", p.Addr, v)
+		}
+	}
 
 	renderHistogram(w, "tsperrd_request_seconds", "Estimate-request latency.", &m.latency)
 	renderHistogram(w, "tsperrd_batch_seconds", "Batch-suite latency, admission to last entry.", &m.batchLatency)

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"time"
 
+	"tsperr/internal/cluster"
 	"tsperr/internal/core"
 )
 
@@ -50,6 +51,11 @@ type Request struct {
 	// Async, when set, returns a job id immediately (202); poll
 	// GET /v1/jobs/{id} for the result.
 	Async bool `json:"async,omitempty"`
+
+	// forwarded marks a request a cluster coordinator routed here
+	// (cluster.HeaderForwarded): it executes locally and is never re-routed,
+	// so a misconfigured mesh cannot bounce a request in circles.
+	forwarded bool
 }
 
 // maxRequestBody bounds the decode of one request body; estimation requests
@@ -70,6 +76,7 @@ func parseRequest(r *http.Request, limits Limits) (*Request, error) {
 	if err := req.validate(limits); err != nil {
 		return nil, err
 	}
+	req.forwarded = r.Header.Get(cluster.HeaderForwarded) != ""
 	return &req, nil
 }
 
@@ -158,6 +165,16 @@ func (q *Request) analyzeOpts() core.AnalyzeOpts {
 		FailFast:     q.FailFast,
 		MCTrials:     q.MCTrials,
 	}
+}
+
+// proxyBody is the request as re-marshaled for routing to a peer: the same
+// result-determining fields (so the peer computes the identical key and its
+// own dedup layer kicks in), forced synchronous — the coordinator's flight is
+// the thing being awaited, not a job on the peer.
+func (q *Request) proxyBody() Request {
+	p := *q
+	p.Async = false
+	return p
 }
 
 // timeout resolves the effective computation deadline: the request's ask

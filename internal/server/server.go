@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"tsperr/internal/cluster"
 	"tsperr/internal/core"
 	"tsperr/internal/montecarlo"
 	"tsperr/internal/pool"
@@ -53,6 +54,14 @@ type Config struct {
 	// BatchRetention caps stored batches (default 64); when every retained
 	// batch is still running, new batch requests get 503.
 	BatchRetention int
+	// Cluster, when non-nil, attaches the distributed layer: Monte Carlo
+	// validation chunks fan out across the peers and plain estimates route
+	// by consistent hash for cluster-wide dedup (coordinator role).
+	Cluster Cluster
+	// ChunkSource, when non-nil, mounts POST /v1/cluster/chunk so this node
+	// executes Monte Carlo chunks for cluster coordinators (worker role).
+	// The daemon wires harness.MCSpec.
+	ChunkSource cluster.SpecSource
 }
 
 // flight is one deduplicated computation. The first request for a key
@@ -230,7 +239,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchGet)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.ChunkSource != nil {
+		mux.HandleFunc("POST /v1/cluster/chunk", s.handleClusterChunk)
+	}
 	return mux
 }
 
@@ -316,18 +329,20 @@ func (s *Server) join(req *Request, key string, j *job) (*core.Report, *flight, 
 	} else {
 		f.refs = 1
 	}
-	benchmark, scenarios, opts := req.Benchmark, req.Scenarios, req.analyzeOpts()
+	// Copy the request so the computation owns an immutable snapshot — the
+	// handler's *Request does not outlive the response.
+	reqCopy := *req
 	submitted := s.queue.TrySubmit(func(context.Context) {
-		// Retire the flight even if Analyze panics, so waiters are released
-		// instead of blocking on done forever; the repanic lets the queue's
-		// recovery account for it (the panics counter).
+		// Retire the flight even if the computation panics, so waiters are
+		// released instead of blocking on done forever; the repanic lets the
+		// queue's recovery account for it (the panics counter).
 		defer func() {
 			if r := recover(); r != nil {
 				s.complete(key, f, nil, fmt.Errorf("internal error: panic in analyze: %v", r))
 				panic(r)
 			}
 		}()
-		rep, err := s.cfg.Analyze(fctx, benchmark, scenarios, opts)
+		rep, err := s.execute(fctx, &reqCopy, key)
 		s.complete(key, f, rep, err)
 	})
 	if !submitted {
@@ -389,6 +404,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if !s.ready() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "model warming up, retry shortly"})
+		return
+	}
+	// A forwarded request carrying a different model fingerprint must not be
+	// answered: the coordinator's cache would silently mix operating points.
+	if fp := r.Header.Get(cluster.HeaderFingerprint); fp != "" && fp != s.cfg.Fingerprint {
+		s.met.fingerprintRejects.Add(1)
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "model fingerprint mismatch"})
 		return
 	}
 	req, err := parseRequest(r, s.cfg.Limits)
@@ -571,6 +593,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		uptime:           time.Since(s.start),
 	}
 	s.mu.Unlock()
+	if c := s.cfg.Cluster; c != nil {
+		g.cluster = &clusterGauges{
+			peers:  c.PeerStatuses(),
+			stats:  c.Stats(),
+			quorum: c.Quorum(),
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.render(w, g)
 }
