@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint check fuzz cover smoke smoke-cluster bench clean
+.PHONY: all build test lint check fuzz cover smoke smoke-cluster bench pprof clean
 
 all: build
 
@@ -66,6 +66,16 @@ BENCH_OUT := BENCH_$(shell date +%Y-%m-%d).json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -json . | tee $(BENCH_OUT)
+
+# `make pprof` captures CPU and allocation profiles of the warm end-to-end
+# stringsearch estimate (BenchmarkEndToEndWarm drives the simulate -> activity
+# -> DTA hot path). Inspect with:
+#   go tool pprof -top cpu.prof
+#   go tool pprof -top -sample_index=alloc_objects mem.prof
+pprof:
+	$(GO) test -run '^$$' -bench 'BenchmarkEndToEndWarm$$' -benchtime 1000x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "wrote cpu.prof / mem.prof; try: $(GO) tool pprof -top cpu.prof"
 
 clean:
 	$(GO) clean ./...

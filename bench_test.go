@@ -355,6 +355,122 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	}
 }
 
+// benchSetWord writes a 32-bit word into a dense primary-input slice.
+func benchSetWord(vals []bool, gates [32]netlist.GateID, w uint32) {
+	for i := 0; i < 32; i++ {
+		vals[gates[i]] = (w>>uint(i))&1 == 1
+	}
+}
+
+// BenchmarkEndToEndWarm measures the warm per-request latency of the full
+// tsperr pipeline on stringsearch — instrumented simulation, (memoized)
+// control characterization, marginals, and the Poisson-mixture estimate.
+// This is the ROADMAP's hot-path number: everything model-setup related is
+// amortized by the shared framework and the first untimed request.
+func BenchmarkEndToEndWarm(b *testing.B) {
+	if _, err := harness.SharedFramework(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := harness.Analyze(context.Background(), "stringsearch", 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Analyze(context.Background(), "stringsearch", 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerCycleDTA measures the per-cycle DTA kernel: one gate-level
+// activity-simulation cycle of the adder followed by the stage-DTS lookup it
+// feeds. The stimulus rotates through a small pattern set, so after the first
+// rounds the analyzer answers from its activation-signature memo — the
+// steady-state cost of Algorithm 1 inside a characterization loop.
+func BenchmarkPerCycleDTA(b *testing.B) {
+	f, err := harness.SharedFramework()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := f.Machine
+	sim, err := activity.NewSimulator(m.Adder.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]bool, m.Adder.N.NumGates())
+	eps := m.Adder.N.DataEndpoints(0)
+	tr := &activity.Trace{NumGates: m.Adder.N.NumGates()}
+	pats := [...][2]uint32{
+		{0xFFFFFFFF, 1}, {0, 0}, {0x0000FFFF, 1}, {0xAAAAAAAA, 0x55555555},
+		{1, 1}, {0x00FF00FF, 0xFF00FF00}, {0xFFFF0000, 0x10000}, {7, 3},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pats[i%len(pats)]
+		benchSetWord(vals, m.Adder.A, p[0])
+		benchSetWord(vals, m.Adder.B, p[1])
+		tr.Sets = tr.Sets[:0]
+		tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+		_, _ = m.AdderDTA.StageDTS(eps, 0, tr)
+	}
+}
+
+// BenchmarkStageDTSMemoHit isolates the StageDTS memo-hit path: the trace and
+// endpoint set are fixed, the first probe populates the activation-signature
+// memo, and every timed iteration must answer from it. The allocs/op column
+// is the guarded number — the hit path is supposed to be allocation-free.
+func BenchmarkStageDTSMemoHit(b *testing.B) {
+	f, err := harness.SharedFramework()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := f.Machine
+	sim, err := activity.NewSimulator(m.Adder.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]bool, m.Adder.N.NumGates())
+	tr := &activity.Trace{NumGates: m.Adder.N.NumGates()}
+	tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+	benchSetWord(vals, m.Adder.A, 0xFFFFFFFF)
+	benchSetWord(vals, m.Adder.B, 1)
+	tr.Sets = append(tr.Sets, sim.CycleDense(vals))
+	eps := m.Adder.N.DataEndpoints(0)
+	if _, ok := m.AdderDTA.StageDTS(eps, 1, tr); !ok {
+		b.Fatal("full-chain stimulus must activate a path")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.AdderDTA.StageDTS(eps, 1, tr); !ok {
+			b.Fatal("memoized stage DTS disappeared")
+		}
+	}
+}
+
+// BenchmarkPeriodSweepTraining measures datapath re-training while the
+// working period alternates between the working and PoFF points — the shape
+// of an operating-point bisection or a `tsperr -batch` sweep. The endpoint
+// path sets and activation signatures are period-independent, so how much of
+// the per-period work the analyzers reuse shows up directly here.
+func BenchmarkPeriodSweepTraining(b *testing.B) {
+	m, err := errormodel.NewMachine(errormodel.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	periods := [2]float64{m.WorkingPeriodPs, m.PoFFPeriodPs}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetWorkingPeriod(periods[i%2])
+		if _, err := m.TrainDatapath(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPoissonMixtureCDF measures the Equation (14) quadrature.
 func BenchmarkPoissonMixtureCDF(b *testing.B) {
 	if _, err := harness.SharedFramework(); err != nil {

@@ -8,6 +8,8 @@
 package activity
 
 import (
+	"sync"
+
 	"tsperr/internal/cell"
 	"tsperr/internal/netlist"
 )
@@ -78,7 +80,45 @@ type Simulator struct {
 	first   bool
 }
 
-// NewSimulator builds a simulator; the netlist must validate.
+// simScratch bundles the per-gate-count working slices of one simulator so
+// they recycle as a unit.
+type simScratch struct {
+	values, prev, state, inDense []bool
+	inBuf                        []bool
+}
+
+// simPools recycles simulator scratch per gate count. Datapath training and
+// control characterization build many short-lived simulators over the same
+// handful of netlists, so the dense slices are reused across them (zeroed on
+// reuse, matching the power-on state of a fresh allocation) instead of
+// reallocated per stimulus.
+var simPools sync.Map // map[int]*sync.Pool
+
+func getScratch(m int) *simScratch {
+	p, ok := simPools.Load(m)
+	if !ok {
+		p, _ = simPools.LoadOrStore(m, &sync.Pool{})
+	}
+	if sc, ok := p.(*sync.Pool).Get().(*simScratch); ok {
+		clear(sc.values)
+		clear(sc.prev)
+		clear(sc.state)
+		clear(sc.inDense)
+		clear(sc.inBuf)
+		return sc
+	}
+	return &simScratch{
+		values:  make([]bool, m),
+		prev:    make([]bool, m),
+		state:   make([]bool, m),
+		inDense: make([]bool, m),
+		inBuf:   make([]bool, 3),
+	}
+}
+
+// NewSimulator builds a simulator; the netlist must validate. The working
+// slices come from a per-size slab pool; call Release when the simulator is
+// done to recycle them.
 func NewSimulator(n *netlist.Netlist) (*Simulator, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
@@ -87,17 +127,32 @@ func NewSimulator(n *netlist.Netlist) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := n.NumGates()
+	sc := getScratch(n.NumGates())
 	return &Simulator{
 		n:       n,
 		topo:    topo,
-		values:  make([]bool, m),
-		prev:    make([]bool, m),
-		state:   make([]bool, m),
-		inBuf:   make([]bool, 3),
-		inDense: make([]bool, m),
+		values:  sc.values,
+		prev:    sc.prev,
+		state:   sc.state,
+		inBuf:   sc.inBuf,
+		inDense: sc.inDense,
 		first:   true,
 	}, nil
+}
+
+// Release returns the simulator's scratch slices to the slab pool. The
+// simulator must not be used afterwards; the returned activation BitSets are
+// freshly allocated per cycle and remain valid.
+func (s *Simulator) Release() {
+	if s.values == nil {
+		return
+	}
+	sc := &simScratch{values: s.values, prev: s.prev, state: s.state,
+		inDense: s.inDense, inBuf: s.inBuf}
+	s.values, s.prev, s.state, s.inDense, s.inBuf = nil, nil, nil, nil, nil
+	if p, ok := simPools.Load(len(sc.values)); ok {
+		p.(*sync.Pool).Put(sc)
+	}
 }
 
 // Reset clears all state, returning the simulator to power-on (all zeros).

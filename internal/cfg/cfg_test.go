@@ -192,6 +192,7 @@ func TestIndirectJumpEdgesFromProfile(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Profile must discover the return edge jr -> halt block.
+	pr.Finish()
 	if pr.EdgeCount[Edge{jrBlock, g.BlockOf[1]}] != 1 {
 		t.Errorf("return edge not profiled: %v", pr.EdgeCount)
 	}

@@ -316,7 +316,11 @@ func TestDistributedBitIdenticalToSerial(t *testing.T) {
 }
 
 func TestWorkerKilledMidRunIsStolenBitIdentical(t *testing.T) {
-	spec := testSpec(t, 2, 400, 7)
+	// Enough chunks that the dying worker's runner reliably comes back for a
+	// second claim while work remains: with only 20 chunks, the local worker
+	// can drain the whole job before the second request lands (simulation is
+	// fast enough since the interpreter overhaul), and the kill never fires.
+	spec := testSpec(t, 2, 4000, 7)
 	const chunkSize = 20
 	serial, err := montecarlo.RunSharded(context.Background(), spec, montecarlo.ShardOpts{ChunkSize: chunkSize})
 	if err != nil {

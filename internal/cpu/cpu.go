@@ -53,6 +53,11 @@ type Config struct {
 	LoadUseStall int64
 	// BranchPenalty is the number of fetch bubbles after a taken branch.
 	BranchPenalty int64
+	// SkipToggles leaves DynInst.Toggle and DynInst.ToggleFlush unspecified,
+	// saving four population counts per retired instruction. Set it when no
+	// observer consumes the toggle features (the error-rate pipeline uses
+	// only the depth features); everything else is unaffected.
+	SkipToggles bool
 }
 
 // DefaultConfig returns the standard machine configuration.
@@ -106,16 +111,24 @@ type Stats struct {
 
 // CPU is a TS-V8 machine instance.
 type CPU struct {
-	cfg  Config
-	prog *isa.Program
-	regs [32]uint32
-	mem  []uint32
+	cfg     Config
+	prog    *isa.Program
+	code    []decoded // threaded-dispatch table, built once at New
+	memMask uint32
+	regs    [32]uint32
+	mem     []uint32
 
 	prevA, prevB uint32
 	prevCarries  uint32
+
+	// dynBuf is the retirement batch buffer, allocated on first use and
+	// reused across runs (see RunBatched).
+	dynBuf []DynInst
 }
 
-// New builds a machine for a program.
+// New builds a machine for a program. The program is predecoded into the
+// dispatch table once here; the data memory comes from a per-size slab pool
+// (see Release).
 func New(prog *isa.Program, cfg Config) (*CPU, error) {
 	if cfg.MemWords <= 0 || cfg.MemWords&(cfg.MemWords-1) != 0 {
 		return nil, fmt.Errorf("cpu: MemWords must be a positive power of two, got %d", cfg.MemWords)
@@ -123,15 +136,19 @@ func New(prog *isa.Program, cfg Config) (*CPU, error) {
 	if cfg.MaxInsts <= 0 {
 		return nil, fmt.Errorf("cpu: MaxInsts must be positive")
 	}
-	return &CPU{cfg: cfg, prog: prog, mem: make([]uint32, cfg.MemWords)}, nil
+	return &CPU{
+		cfg:     cfg,
+		prog:    prog,
+		code:    decodeProgram(prog),
+		memMask: uint32(cfg.MemWords - 1),
+		mem:     getMem(cfg.MemWords),
+	}, nil
 }
 
 // Reset clears registers and memory.
 func (c *CPU) Reset() {
 	c.regs = [32]uint32{}
-	for i := range c.mem {
-		c.mem[i] = 0
-	}
+	clear(c.mem)
 	c.prevA, c.prevB = 0, 0
 	c.prevCarries = 0
 }
@@ -170,19 +187,26 @@ func CarriesMask(a, b uint32, carryIn bool) uint32 {
 }
 
 // LongestRun returns the length of the longest run of consecutive set bits.
+// It skips from run to run with trailing-zero counts — align the next run to
+// bit 0, measure it as the trailing zeros of the complement, shift it out —
+// so the cost is a handful of operations per run rather than per bit. The
+// function sits on the per-instruction feature path, where carry masks have
+// very few runs: an equality comparison (a + ^a + 1) carries out of every
+// position (one 32-bit run), and arithmetic on small operands leaves one or
+// two short chains. A naive erase-one-bit loop would spin 32 times exactly
+// on the most common branch instructions.
 func LongestRun(mask uint32) int {
-	best, run := 0, 0
-	for i := 0; i < 32; i++ {
-		if mask&(1<<uint(i)) != 0 {
-			run++
-			if run > best {
-				best = run
-			}
-		} else {
-			run = 0
+	n := 0
+	x := mask
+	for x != 0 {
+		x >>= uint(bits.TrailingZeros32(x))
+		r := bits.TrailingZeros32(^x) // run length; 32 when x is all ones
+		if r > n {
+			n = r
 		}
+		x >>= uint(r)
 	}
-	return best
+	return n
 }
 
 // CarryChainLen returns the length of the longest carry-propagation chain in
@@ -243,135 +267,191 @@ func (c *CPU) Run(obs Observer) (Stats, error) {
 // instruction limit and the context race; whichever fires first determines
 // the returned error (ErrInstLimit vs. ctx.Err()), never a hang.
 func (c *CPU) RunContext(ctx context.Context, obs Observer) (Stats, error) {
+	if obs == nil {
+		return c.RunBatched(ctx, nil)
+	}
+	return c.RunBatched(ctx, func(ds []DynInst) {
+		for i := range ds {
+			obs(&ds[i])
+		}
+	})
+}
+
+// BatchObserver receives retired instructions in retirement order, in
+// batches of up to batchLen. The backing slice is reused across calls;
+// implementations must copy anything they keep. Every retired instruction is
+// delivered exactly once, including ahead of an error return, so batch
+// consumers see the same stream a per-instruction Observer would.
+type BatchObserver func([]DynInst)
+
+// batchLen sizes the retirement buffer: large enough to amortize the
+// observer dispatch to nothing, small enough (8 KiB) to stay L1-resident
+// between the simulator writing it and the observers reading it back.
+const batchLen = 128
+
+// RunBatched is the core interpreter loop; RunContext adapts per-instruction
+// observers onto it. Batching exists for the hot consumers (profile and
+// feature accumulation) whose per-instruction work is a handful of memory
+// operations — delivering them a slice turns three indirect calls per
+// retired instruction into plain loop iterations.
+func (c *CPU) RunBatched(ctx context.Context, batch BatchObserver) (Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	buf := c.dynBuf
+	if buf == nil {
+		buf = make([]DynInst, batchLen)
+		c.dynBuf = buf
+	}
+	if batch == nil {
+		// No consumer: retire through a single scratch slot, never flushed.
+		buf = buf[:1]
+	}
+	n := 0
 	var st Stats
+	code := c.code
+	regs := &c.regs
+	maxInsts := c.cfg.MaxInsts
+	loadUseStall, branchPenalty := c.cfg.LoadUseStall, c.cfg.BranchPenalty
+	skipToggles := c.cfg.SkipToggles
+	// The rolling datapath state lives in locals for the duration of the run
+	// (each exit path writes it back, keeping sequential runs on one machine
+	// continuous), so the feature extraction below stays register-resident.
+	prevA, prevB, prevCarries := c.prevA, c.prevB, c.prevCarries
+	var insts, cycles int64
 	pc := 0
-	var d DynInst
 	var lastWasLoad bool
 	var lastRd uint8
-	for pc >= 0 && pc < len(c.prog.Insts) {
-		if st.Instructions >= c.cfg.MaxInsts {
-			return st, fmt.Errorf("%w: limit %d (runaway program?)", ErrInstLimit, c.cfg.MaxInsts)
-		}
-		if st.Instructions%ctxCheckInterval == 0 {
+	// budget counts instructions until the next poll point; it folds the
+	// instruction-limit and context checks into one countdown so the loop
+	// body pays a single predictable branch for both.
+	budget := int64(0)
+	for pc >= 0 && pc < len(code) {
+		if budget == 0 {
+			if n > 0 {
+				batch(buf[:n])
+				n = 0
+			}
+			st.Instructions, st.Cycles = insts, cycles
+			c.prevA, c.prevB, c.prevCarries = prevA, prevB, prevCarries
+			if insts >= maxInsts {
+				return st, fmt.Errorf("%w: limit %d (runaway program?)", ErrInstLimit, maxInsts)
+			}
 			if err := ctx.Err(); err != nil {
-				return st, fmt.Errorf("cpu: run aborted after %d instructions: %w", st.Instructions, err)
+				return st, fmt.Errorf("cpu: run aborted after %d instructions: %w", insts, err)
+			}
+			budget = ctxCheckInterval
+			if rem := maxInsts - insts; rem < budget {
+				budget = rem
 			}
 		}
-		in := &c.prog.Insts[pc]
-		a := c.regs[in.Rs1]
-		var b uint32
-		if in.ReadsRs2() {
-			b = c.regs[in.Rs2]
-		} else {
-			b = uint32(in.Imm)
+		budget--
+		dc := &code[pc]
+		if dc.flags&fBad != 0 {
+			if n > 0 {
+				batch(buf[:n])
+			}
+			st.Instructions, st.Cycles = insts, cycles
+			c.prevA, c.prevB, c.prevCarries = prevA, prevB, prevCarries
+			return st, fmt.Errorf("cpu: unimplemented op %v at %d", dc.op, pc)
+		}
+		a := regs[dc.rs1]
+		b := dc.imm
+		if dc.flags&fReadsRs2 != 0 {
+			b = regs[dc.rs2]
 		}
 
-		d = DynInst{Index: pc, Op: in.Op, A: a, B: b}
+		res, taken := dc.exec(c, dc, a, b, pc)
+		// Field writes instead of a composite literal: every DynInst field is
+		// assigned on every path below (Depth/DepthFlush in the class switch,
+		// toggles unconditionally), so nothing needs re-zeroing per retire.
+		d := &buf[n]
+		d.Index = pc
+		d.Op = dc.op
+		d.A, d.B = a, b
+		d.Result = res
+		d.Taken = taken
+		if dc.flags&fWritesRd != 0 {
+			regs[dc.rd] = res
+		}
 		next := pc + 1
-		switch in.Op {
-		case isa.OpNop:
-		case isa.OpHalt:
-			st.Halted = true
-		case isa.OpAdd, isa.OpAddi:
-			d.Result = a + b
-		case isa.OpSub:
-			d.Result = a - b
-		case isa.OpAnd, isa.OpAndi:
-			d.Result = a & b
-		case isa.OpOr, isa.OpOri:
-			d.Result = a | b
-		case isa.OpXor, isa.OpXori:
-			d.Result = a ^ b
-		case isa.OpSll, isa.OpSlli:
-			d.Result = a << (b & 31)
-		case isa.OpSrl, isa.OpSrli:
-			d.Result = a >> (b & 31)
-		case isa.OpSra, isa.OpSrai:
-			d.Result = uint32(int32(a) >> (b & 31))
-		case isa.OpSlt, isa.OpSlti:
-			if int32(a) < int32(b) {
-				d.Result = 1
-			}
-		case isa.OpMul:
-			d.Result = a * b
-		case isa.OpLui:
-			d.Result = uint32(in.Imm) << 16
-		case isa.OpLw:
-			addr := a + uint32(in.Imm)
-			d.Result = c.Mem(addr)
-		case isa.OpSw:
-			addr := a + uint32(in.Imm)
-			c.SetMem(addr, c.regs[in.Rs2])
-			d.Result = addr
-		case isa.OpBeq:
-			d.Taken = a == b
-		case isa.OpBne:
-			d.Taken = a != b
-		case isa.OpBlt:
-			d.Taken = int32(a) < int32(b)
-		case isa.OpBge:
-			d.Taken = int32(a) >= int32(b)
-		case isa.OpJal:
-			d.Result = uint32(pc + 1)
-			d.Taken = true
-		case isa.OpJr:
-			d.Taken = true
-		default:
-			return st, fmt.Errorf("cpu: unimplemented op %v at %d", in.Op, pc)
-		}
-
-		if in.WritesRd() {
-			c.regs[in.Rd] = d.Result
-		}
-		if d.Taken {
-			switch in.Op {
-			case isa.OpJr:
-				next = int(c.regs[in.Rs1])
-			default:
-				next = in.Target
+		if taken {
+			if dc.flags&fJr != 0 {
+				next = int(a)
+			} else {
+				next = int(dc.target)
 			}
 		}
 
-		// Activity features.
-		if AdderClass(in.Op) {
-			ea, eb, cin := adderOperands(in.Op, a, b)
-			carries := CarriesMask(ea, eb, cin)
-			d.Depth = LongestRun(carries ^ c.prevCarries)
+		// Activity features, by decode-time class.
+		switch dc.class {
+		case classAdder, classAdderInv:
+			eb, cin := b, false
+			if dc.class == classAdderInv {
+				eb, cin = ^b, true
+			}
+			carries := CarriesMask(a, eb, cin)
+			d.Depth = LongestRun(carries ^ prevCarries)
 			d.DepthFlush = LongestRun(carries)
-			c.prevCarries = carries
-		} else {
-			d.Depth = shallowDepth(in.Op, a, b)
+			prevCarries = carries
+		case classShift:
+			d.Depth = bits.OnesCount32(b&31) + 1
 			d.DepthFlush = d.Depth
-			c.prevCarries = 0 // the ALU computed something else; carry state gone
+			prevCarries = 0 // the ALU computed something else; carry state gone
+		case classMul:
+			lo := a
+			if b < a {
+				lo = b
+			}
+			d.Depth = 32 - bits.LeadingZeros32(lo|1)
+			d.DepthFlush = d.Depth
+			prevCarries = 0
+		case classLogic:
+			d.Depth = 1
+			d.DepthFlush = 1
+			prevCarries = 0
+		default:
+			d.Depth = 0
+			d.DepthFlush = 0
+			prevCarries = 0
 		}
-		d.Toggle = bits.OnesCount32(c.prevA^a) + bits.OnesCount32(c.prevB^b)
-		d.ToggleFlush = bits.OnesCount32(a) + bits.OnesCount32(b)
-		c.prevA, c.prevB = a, b
+		if !skipToggles {
+			d.Toggle = bits.OnesCount32(prevA^a) + bits.OnesCount32(prevB^b)
+			d.ToggleFlush = bits.OnesCount32(a) + bits.OnesCount32(b)
+		}
+		prevA, prevB = a, b
 
 		// Cycle accounting: 1 cycle per instruction, plus hazards.
-		st.Cycles++
+		cycles++
 		if lastWasLoad && lastRd != 0 &&
-			((in.ReadsRs1() && in.Rs1 == lastRd) || (in.ReadsRs2() && in.Rs2 == lastRd)) {
-			st.Cycles += c.cfg.LoadUseStall
+			((dc.flags&fReadsRs1 != 0 && dc.rs1 == lastRd) || (dc.flags&fReadsRs2 != 0 && dc.rs2 == lastRd)) {
+			cycles += loadUseStall
 		}
-		if d.Taken {
-			st.Cycles += c.cfg.BranchPenalty
+		if taken {
+			cycles += branchPenalty
 		}
-		lastWasLoad = in.Op.IsLoad()
-		lastRd = in.Rd
+		lastWasLoad = dc.flags&fLoad != 0
+		lastRd = dc.rd
 
-		st.Instructions++
-		if obs != nil {
-			obs(&d)
+		insts++
+		if batch != nil {
+			n++
+			if n == len(buf) {
+				batch(buf)
+				n = 0
+			}
 		}
-		if st.Halted {
+		if dc.flags&fHalt != 0 {
+			st.Halted = true
 			break
 		}
 		pc = next
 	}
+	if n > 0 {
+		batch(buf[:n])
+	}
+	st.Instructions, st.Cycles = insts, cycles
+	c.prevA, c.prevB, c.prevCarries = prevA, prevB, prevCarries
 	// Drain the pipeline.
 	st.Cycles += NumStages - 1
 	return st, nil

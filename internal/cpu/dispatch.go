@@ -1,0 +1,219 @@
+package cpu
+
+import (
+	"sync"
+
+	"tsperr/internal/isa"
+)
+
+// The interpreter is threaded-dispatch: the program is decoded once into a
+// flat []decoded table (operand register numbers, resolved immediate, control
+// target, per-instruction flags, a depth-feature class, and an opcode-indexed
+// semantic function), and the run loop executes through the function pointer
+// instead of re-matching nested switch chains per retired instruction. All
+// per-op predicates (ReadsRs2, WritesRd, adder class, shallow-depth class)
+// are folded into the decode, so the hot loop touches only the decoded entry.
+
+// execFn implements the execute stage of one opcode. The operands a, b are
+// already resolved (b is the Rs2 register value or the immediate, matching
+// the operand the EX stage sees); the function returns the produced value
+// (ALU result, loaded value, or effective address for stores) and whether a
+// branch was taken, in registers, so the interpreter loop never reloads them
+// through memory. pc is the retiring instruction's index (jal links pc+1).
+type execFn func(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool)
+
+// Per-instruction flags, fixed at decode time.
+const (
+	fReadsRs1 = 1 << iota // hazard check consumes Rs1
+	fReadsRs2             // operand b is the Rs2 register (else the immediate)
+	fWritesRd             // retire writes Rd (already false for r0)
+	fLoad                 // memory load (feeds the load-use stall check)
+	fJr                   // taken target is the Rs1 register value
+	fHalt                 // stop after retiring this instruction
+	fBad                  // unknown opcode: executing it is an error
+)
+
+// Depth-feature classes (Definition 3.2 / Section 4.1), fixed at decode time.
+const (
+	classNone     = iota // no datapath activation feature
+	classAdder           // carry chain of a+b
+	classAdderInv        // carry chain of a+^b+1 (sub/compare/branch forms)
+	classShift           // active barrel-shifter layers
+	classMul             // array rows carried by the smaller operand
+	classLogic           // single-level logic
+)
+
+// decoded is one predecoded instruction. The layout is kept small so the
+// whole table of a kernel stays cache-resident during simulation.
+type decoded struct {
+	exec         execFn
+	imm          uint32 // immediate as the EX-stage b operand
+	target       int32  // resolved control-flow target
+	rd, rs1, rs2 uint8
+	flags, class uint8
+	op           isa.Op
+}
+
+func execNop(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return 0, false }
+func execAdd(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return a + b, false }
+func execSub(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return a - b, false }
+func execAnd(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return a & b, false }
+func execOr(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool)  { return a | b, false }
+func execXor(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return a ^ b, false }
+func execSll(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return a << (b & 31), false }
+func execSrl(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return a >> (b & 31), false }
+func execSra(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) {
+	return uint32(int32(a) >> (b & 31)), false
+}
+func execSlt(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) {
+	if int32(a) < int32(b) {
+		return 1, false
+	}
+	return 0, false
+}
+func execMul(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return a * b, false }
+func execLui(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return dc.imm << 16, false }
+func execLw(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) {
+	return c.mem[(a+dc.imm)&c.memMask], false
+}
+func execSw(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) {
+	addr := a + dc.imm
+	c.mem[addr&c.memMask] = b
+	return addr, false
+}
+func execBeq(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return 0, a == b }
+func execBne(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return 0, a != b }
+func execBlt(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) {
+	return 0, int32(a) < int32(b)
+}
+func execBge(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) {
+	return 0, int32(a) >= int32(b)
+}
+func execJal(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) {
+	return uint32(pc + 1), true
+}
+func execJr(c *CPU, dc *decoded, a, b uint32, pc int) (uint32, bool) { return 0, true }
+
+// opExec maps opcodes to their semantic functions; a nil slot is an
+// unimplemented opcode and fails at execution time, like the old switch.
+var opExec = [isa.NumOps]execFn{
+	isa.OpNop:  execNop,
+	isa.OpHalt: execNop,
+	isa.OpAdd:  execAdd, isa.OpAddi: execAdd,
+	isa.OpSub: execSub,
+	isa.OpAnd: execAnd, isa.OpAndi: execAnd,
+	isa.OpOr: execOr, isa.OpOri: execOr,
+	isa.OpXor: execXor, isa.OpXori: execXor,
+	isa.OpSll: execSll, isa.OpSlli: execSll,
+	isa.OpSrl: execSrl, isa.OpSrli: execSrl,
+	isa.OpSra: execSra, isa.OpSrai: execSra,
+	isa.OpSlt: execSlt, isa.OpSlti: execSlt,
+	isa.OpMul: execMul,
+	isa.OpLui: execLui,
+	isa.OpLw:  execLw,
+	isa.OpSw:  execSw,
+	isa.OpBeq: execBeq, isa.OpBne: execBne,
+	isa.OpBlt: execBlt, isa.OpBge: execBge,
+	isa.OpJal: execJal,
+	isa.OpJr:  execJr,
+}
+
+// depthClass returns the decode-time depth-feature class of an opcode.
+func depthClass(op isa.Op) uint8 {
+	switch op {
+	case isa.OpAdd, isa.OpAddi, isa.OpLw, isa.OpSw:
+		return classAdder
+	case isa.OpSub, isa.OpSlt, isa.OpSlti, isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		return classAdderInv
+	case isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlli, isa.OpSrli, isa.OpSrai:
+		return classShift
+	case isa.OpMul:
+		return classMul
+	case isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpLui:
+		return classLogic
+	}
+	return classNone
+}
+
+// decodeInst builds the dispatch entry of one instruction.
+func decodeInst(in *isa.Inst) decoded {
+	dc := decoded{
+		imm:    uint32(in.Imm),
+		target: int32(in.Target),
+		rd:     in.Rd, rs1: in.Rs1, rs2: in.Rs2,
+		class: depthClass(in.Op),
+		op:    in.Op,
+	}
+	if int(in.Op) < len(opExec) {
+		dc.exec = opExec[in.Op]
+	}
+	if dc.exec == nil {
+		dc.exec = execNop
+		dc.flags |= fBad
+	}
+	if in.ReadsRs1() {
+		dc.flags |= fReadsRs1
+	}
+	if in.ReadsRs2() {
+		dc.flags |= fReadsRs2
+	}
+	if in.WritesRd() {
+		dc.flags |= fWritesRd
+	}
+	if in.Op.IsLoad() {
+		dc.flags |= fLoad
+	}
+	if in.Op == isa.OpJr {
+		dc.flags |= fJr
+	}
+	if in.Op == isa.OpHalt {
+		dc.flags |= fHalt
+	}
+	return dc
+}
+
+// decodeProgram builds the dispatch table of a program.
+func decodeProgram(p *isa.Program) []decoded {
+	code := make([]decoded, len(p.Insts))
+	for i := range p.Insts {
+		code[i] = decodeInst(&p.Insts[i])
+	}
+	return code
+}
+
+// memPools recycles data-memory slabs per size class. MemWords is validated
+// to be a power of two, so the handful of distinct sizes in use each get one
+// pool; a recycled slab is zeroed before reuse, which is cheaper than paging
+// in a fresh allocation and keeps per-scenario GC pressure flat.
+var memPools sync.Map // map[int]*sync.Pool
+
+func getMem(words int) []uint32 {
+	p, ok := memPools.Load(words)
+	if !ok {
+		p, _ = memPools.LoadOrStore(words, &sync.Pool{})
+	}
+	if m, ok := p.(*sync.Pool).Get().([]uint32); ok {
+		clear(m)
+		return m
+	}
+	return make([]uint32, words)
+}
+
+func putMem(m []uint32) {
+	if len(m) == 0 {
+		return
+	}
+	if p, ok := memPools.Load(len(m)); ok {
+		p.(*sync.Pool).Put(m)
+	}
+}
+
+// Release returns the machine's data memory to the slab pool. The CPU must
+// not be used afterwards; callers that run one scenario per machine (the
+// framework's scenario loop, Monte Carlo workers) call it when the run
+// retires.
+func (c *CPU) Release() {
+	m := c.mem
+	c.mem = nil
+	putMem(m)
+}

@@ -7,16 +7,29 @@
 // and the result is the statistical minimum over the collected activated
 // paths, exactly as Section 3 describes.
 //
-// The analyzer is safe for concurrent use and memoizes two layers of
-// repeated work: the per-endpoint critical-path enumeration (computed once
-// per endpoint, shared by every cycle), and full StageDTS results keyed by
-// the endpoint set plus the activation signature of its candidate paths —
-// two cycles that activate the same subset of candidate paths have, by
-// construction, the same DTS form, so the expensive statistical-minimum
-// reduction runs once per distinct signature.
+// The analyzer is safe for concurrent use and memoizes three layers of
+// repeated work:
+//
+//   - per-endpoint critical-path enumeration, computed once per endpoint and
+//     shared by every cycle, together with the two criticality orderings the
+//     Algorithm 1 scans use (the orderings are period-independent, see below);
+//   - full StageDTS reductions, keyed by an interned endpoint-set identity
+//     plus a packed activation bitset of its candidate paths — two cycles
+//     that activate the same subset of candidate paths have, by
+//     construction, the same DTS form, so the expensive statistical-minimum
+//     reduction runs once per distinct signature, and the memo probe itself
+//     is allocation-free for signatures up to stageKeyBits paths;
+//   - the clock period enters only at the very end: path slack is
+//     SL(p) = T - delay(p), so the memo stores the statistical minimum of the
+//     *negated delays* (period-free) and re-applies +T per operating period.
+//     Criticality orderings, Clark pairing (driven by correlations, which
+//     live in the sensitivities) and the reduction structure are invariant
+//     under the common shift, so retargeting the engine's ClockPeriod reuses
+//     every enumeration and reduction instead of rebuilding the analyzer.
 package dta
 
 import (
+	"encoding/binary"
 	"sort"
 	"sync"
 
@@ -26,37 +39,83 @@ import (
 	"tsperr/internal/variation"
 )
 
-// pathSlack couples an enumerated path with its canonical slack form.
+// pathSlack couples an enumerated path with the canonical form of its
+// *negated delay*: the slack at clock period T is neg + T, so neg is the
+// period-independent part. p01/p99 are percentiles of neg; shifting by T
+// moves both by the same constant, so ordering paths by these values is
+// identical to ordering by the corresponding slack percentiles at any T.
 type pathSlack struct {
-	path  netlist.Path
-	slack variation.Canon
-	p01   float64 // 1st percentile of slack (worst case)
-	p99   float64 // 99th percentile of slack (best case)
+	path netlist.Path
+	neg  variation.Canon
+	p01  float64 // 1st percentile of neg (worst case)
+	p99  float64 // 99th percentile of neg (best case)
 }
 
 // epPaths is the lazily computed candidate-path set of one endpoint. The
 // once guard lets concurrent callers share a single enumeration without
-// holding the analyzer lock during the (expensive) path search.
+// holding the analyzer lock during the (expensive) path search. ordWorst and
+// ordBest are the two criticality orderings of Algorithm 1, precomputed here
+// because they are period-independent.
 type epPaths struct {
-	once sync.Once
-	ps   []pathSlack
+	once     sync.Once
+	ps       []pathSlack
+	ordWorst []int32 // path indices by p01 ascending (most critical worst-case first)
+	ordBest  []int32 // path indices by p99 ascending (most critical best-case first)
 }
 
-// stageResult is one memoized StageDTS outcome.
-type stageResult struct {
-	form variation.Canon
-	ok   bool
+// stageKeyWords and stageKeyBits size the packed activation signature of the
+// allocation-free stage-memo key; endpoint sets whose candidate paths exceed
+// stageKeyBits fall back to a byte-string key.
+const (
+	stageKeyWords = 8
+	stageKeyBits  = stageKeyWords * 64
+)
+
+// stageKey identifies one StageDTS computation: the interned endpoint-set id
+// (which fixes the endpoint sequence and hence the meaning of every bit) and
+// the activation bits of the candidate paths in endpoint-major, path-index
+// order. It is a comparable value type, so probing the memo allocates nothing.
+type stageKey struct {
+	set int32
+	w   [stageKeyWords]uint64
+}
+
+func (k *stageKey) bit(pos int) bool { return k.w[pos>>6]>>(uint(pos)&63)&1 == 1 }
+
+// stageEntry is one memoized StageDTS outcome. neg/ok are the period-free
+// reduction (statistical minimum of the activated negated delays); period and
+// slack cache the period-applied form for the operating point that last
+// queried this entry. All fields are guarded by the owning Analyzer's mu.
+type stageEntry struct {
+	neg    variation.Canon
+	ok     bool
+	period float64
+	slack  variation.Canon
 }
 
 // stageMemoLimit bounds the StageDTS memo; a characterization run over a
 // large program can see many distinct activation signatures, and dropping
 // the memo wholesale on overflow keeps memory bounded without affecting
-// results (entries are pure functions of their key).
+// results (entries are pure functions of their key and the period).
 const stageMemoLimit = 1 << 16
+
+// setPtrLimit bounds the pointer-identity alias table of the endpoint-set
+// interner; callers that pass freshly allocated slices every probe fall back
+// to the content lookup instead of growing the table without bound.
+const setPtrLimit = 1 << 12
+
+// setRef is the pointer identity of an endpoint slice. Holding the element
+// pointer in the map keeps the backing array reachable, so an address is
+// never recycled while it is a key.
+type setRef struct {
+	ptr *netlist.GateID
+	n   int
+}
 
 // Analyzer caches per-endpoint critical-path sets for a netlist and engine,
 // plus memoized stage DTS reductions. All methods are safe for concurrent
-// use by multiple goroutines.
+// use by multiple goroutines. Endpoint slices passed to StageDTS are
+// retained for interning and must not be mutated afterwards.
 type Analyzer struct {
 	Engine *sta.Engine
 	// K is the number of most-critical paths enumerated per endpoint per
@@ -66,8 +125,17 @@ type Analyzer struct {
 	mu sync.Mutex
 	// cache memoizes per-endpoint path enumerations; guarded by mu.
 	cache map[netlist.GateID]*epPaths
-	// stage memoizes stage-level DTS reductions; guarded by mu.
-	stage map[string]stageResult
+	// setsByPtr and setsByContent intern endpoint sets: the pointer table is
+	// the fast path, the content table the ground truth; guarded by mu.
+	setsByPtr     map[setRef]int32
+	setsByContent map[string]int32
+	// stage and stageBig memoize stage-level DTS reductions for packed and
+	// oversized activation signatures respectively; guarded by mu.
+	stage    map[stageKey]*stageEntry
+	stageBig map[string]*stageEntry
+	// allSets lazily caches the unfiltered per-stage endpoint sets used by
+	// InstDTS with a nil filter; guarded by mu.
+	allSets [][]netlist.GateID
 }
 
 // New builds an analyzer. k must be positive.
@@ -77,15 +145,18 @@ func New(e *sta.Engine, k int) *Analyzer {
 	}
 	return &Analyzer{
 		Engine: e, K: k,
-		cache: map[netlist.GateID]*epPaths{},
-		stage: map[string]stageResult{},
+		cache:         map[netlist.GateID]*epPaths{},
+		setsByPtr:     map[setRef]int32{},
+		setsByContent: map[string]int32{},
+		stage:         map[stageKey]*stageEntry{},
+		stageBig:      map[string]*stageEntry{},
 	}
 }
 
 // endpointPaths returns the cached candidate paths of an endpoint,
 // enumerating them on first use. Concurrent callers for the same endpoint
 // block on the entry's once instead of duplicating the search.
-func (a *Analyzer) endpointPaths(ep netlist.GateID) []pathSlack {
+func (a *Analyzer) endpointPaths(ep netlist.GateID) *epPaths {
 	a.mu.Lock()
 	e, ok := a.cache[ep]
 	if !ok {
@@ -95,16 +166,62 @@ func (a *Analyzer) endpointPaths(ep netlist.GateID) []pathSlack {
 	a.mu.Unlock()
 	e.once.Do(func() {
 		for _, p := range a.Engine.CriticalPaths(ep, a.K) {
-			s := a.Engine.PathSlack(p)
+			n := a.Engine.PathDelay(p).Neg()
 			e.ps = append(e.ps, pathSlack{
-				path:  p,
-				slack: s,
-				p01:   s.Percentile(0.01),
-				p99:   s.Percentile(0.99),
+				path: p,
+				neg:  n,
+				p01:  n.Percentile(0.01),
+				p99:  n.Percentile(0.99),
 			})
 		}
+		e.ordWorst = make([]int32, len(e.ps))
+		e.ordBest = make([]int32, len(e.ps))
+		for i := range e.ps {
+			e.ordWorst[i] = int32(i)
+			e.ordBest[i] = int32(i)
+		}
+		sort.SliceStable(e.ordWorst, func(x, y int) bool {
+			return e.ps[e.ordWorst[x]].p01 < e.ps[e.ordWorst[y]].p01
+		})
+		sort.SliceStable(e.ordBest, func(x, y int) bool {
+			return e.ps[e.ordBest[x]].p99 < e.ps[e.ordBest[y]].p99
+		})
 	})
-	return e.ps
+	return e
+}
+
+// internSet maps an endpoint slice to a stable small integer id, by pointer
+// identity when possible and by content otherwise. Two slices with equal
+// contents get the same id, so memo entries survive callers that rebuild
+// their endpoint sets.
+func (a *Analyzer) internSet(eps []netlist.GateID) int32 {
+	if len(eps) == 0 {
+		return 0
+	}
+	ref := setRef{&eps[0], len(eps)}
+	a.mu.Lock()
+	if id, ok := a.setsByPtr[ref]; ok {
+		a.mu.Unlock()
+		return id
+	}
+	a.mu.Unlock()
+
+	b := make([]byte, 4*len(eps))
+	for i, ep := range eps {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(ep))
+	}
+	content := string(b)
+	a.mu.Lock()
+	id, ok := a.setsByContent[content]
+	if !ok {
+		id = int32(len(a.setsByContent) + 1)
+		a.setsByContent[content] = id
+	}
+	if len(a.setsByPtr) < setPtrLimit {
+		a.setsByPtr[ref] = id
+	}
+	a.mu.Unlock()
+	return id
 }
 
 // activated reports whether every gate of the path is in VCD(t)
@@ -118,96 +235,173 @@ func activated(p netlist.Path, tr *activity.Trace, t int) bool {
 	return true
 }
 
-// StageDTS is Algorithm 1 restricted to an endpoint set: it returns the
-// canonical DTS form of the given endpoints at cycle t, and false when no
-// path is activated (the stage imposes no timing constraint that cycle).
-// Results are memoized on the activation signature of the candidate paths,
-// so repeated cycles with identical activation patterns cost one map probe.
-func (a *Analyzer) StageDTS(eps []netlist.GateID, t int, tr *activity.Trace) (variation.Canon, bool) {
-	// Gather candidate paths and their activation bits; together with the
-	// endpoint identities (and order, which fixes the reduction order) they
-	// fully determine the result.
-	type epAct struct {
-		ps  []pathSlack
-		act []bool
-	}
-	all := make([]epAct, 0, len(eps))
-	key := make([]byte, 0, 8*len(eps))
-	for _, ep := range eps {
-		ps := a.endpointPaths(ep)
-		act := make([]bool, len(ps))
-		var bits byte
-		key = append(key, byte(ep), byte(ep>>8), byte(ep>>16), byte(ep>>24))
-		for i := range ps {
-			if activated(ps[i].path, tr, t) {
-				act[i] = true
-				bits |= 1 << (uint(i) & 7)
-			}
-			if i&7 == 7 {
-				key = append(key, bits)
-				bits = 0
-			}
-		}
-		if len(ps)&7 != 0 {
-			key = append(key, bits)
-		}
-		all = append(all, epAct{ps: ps, act: act})
-	}
-	k := string(key)
-	a.mu.Lock()
-	if r, ok := a.stage[k]; ok {
-		a.mu.Unlock()
-		return r.form, r.ok
-	}
-	a.mu.Unlock()
-
+// reduce runs the two Algorithm 1 criticality scans per endpoint over the
+// activation bits exposed by actAt (positions advance per endpoint in path
+// order, matching the key packing) and returns the statistical minimum of
+// the collected activated negated-delay forms.
+func (a *Analyzer) reduce(eps []netlist.GateID, actAt func(int) bool) *stageEntry {
 	var ap []variation.Canon
-	for _, ea := range all {
-		ps, act := ea.ps, ea.act
-		if len(ps) == 0 {
+	pos := 0
+	for _, ep := range eps {
+		e := a.endpointPaths(ep)
+		n := len(e.ps)
+		if n == 0 {
 			continue
 		}
+		base := pos
+		pos += n
 		// Two scans: worst-case (1st percentile) and best-case (99th
 		// percentile) criticality orderings; each contributes the first
 		// activated path, ensuring AP contains every path that could be the
 		// true most-critical one over process variation.
-		idx := make([]int, len(ps))
-		for i := range idx {
-			idx[i] = i
-		}
-		found := map[int]bool{}
-		for pass := 0; pass < 2; pass++ {
-			if pass == 0 {
-				sort.SliceStable(idx, func(x, y int) bool { return ps[idx[x]].p01 < ps[idx[y]].p01 })
-			} else {
-				sort.SliceStable(idx, func(x, y int) bool { return ps[idx[x]].p99 < ps[idx[y]].p99 })
-			}
-			for _, i := range idx {
-				if act[i] {
-					found[i] = true
-					break
-				}
+		i0, i1 := -1, -1
+		for _, i := range e.ordWorst {
+			if actAt(base + int(i)) {
+				i0 = int(i)
+				break
 			}
 		}
-		for i := range ps {
-			if found[i] {
-				ap = append(ap, ps[i].slack)
+		for _, i := range e.ordBest {
+			if actAt(base + int(i)) {
+				i1 = int(i)
+				break
 			}
+		}
+		if i0 < 0 {
+			continue
+		}
+		lo, hi := i0, i1
+		if hi == lo {
+			hi = -1
+		}
+		if hi >= 0 && hi < lo {
+			lo, hi = hi, lo
+		}
+		ap = append(ap, e.ps[lo].neg)
+		if hi >= 0 {
+			ap = append(ap, e.ps[hi].neg)
 		}
 	}
-	var res stageResult
+	ent := &stageEntry{}
 	if len(ap) > 0 {
 		if mn, err := sta.StatMin(ap); err == nil {
-			res = stageResult{form: mn, ok: true}
+			ent.neg, ent.ok = mn, true
 		}
 	}
-	a.mu.Lock()
-	if len(a.stage) >= stageMemoLimit {
-		a.stage = map[string]stageResult{}
+	return ent
+}
+
+// finishEntry returns the period-applied form of a memo entry, refreshing
+// the cached slack when the operating period moved. Callers hold a.mu.
+func finishEntry(e *stageEntry, period float64) (variation.Canon, bool) {
+	//tsperrlint:ignore floatcmp the period is an exact configuration value, not a computed quantity
+	if e.period != period {
+		if e.ok {
+			e.slack = e.neg.AddConst(period)
+		}
+		e.period = period
 	}
-	a.stage[k] = res
+	return e.slack, e.ok
+}
+
+// StageDTS is Algorithm 1 restricted to an endpoint set: it returns the
+// canonical DTS form of the given endpoints at cycle t, and false when no
+// path is activated (the stage imposes no timing constraint that cycle).
+// Results are memoized on the activation signature of the candidate paths,
+// so repeated cycles with identical activation patterns cost one map probe —
+// allocation-free for signatures that fit the packed key.
+func (a *Analyzer) StageDTS(eps []netlist.GateID, t int, tr *activity.Trace) (variation.Canon, bool) {
+	key := stageKey{set: a.internSet(eps)}
+	pos := 0
+	for _, ep := range eps {
+		e := a.endpointPaths(ep)
+		if pos+len(e.ps) > stageKeyBits {
+			return a.stageDTSBig(eps, t, tr)
+		}
+		for i := range e.ps {
+			if activated(e.ps[i].path, tr, t) {
+				key.w[pos>>6] |= 1 << (uint(pos) & 63)
+			}
+			pos++
+		}
+	}
+
+	period := a.Engine.ClockPeriod
+	a.mu.Lock()
+	if e, ok := a.stage[key]; ok {
+		f, ok2 := finishEntry(e, period)
+		a.mu.Unlock()
+		return f, ok2
+	}
 	a.mu.Unlock()
-	return res.form, res.ok
+
+	ent := a.reduce(eps, key.bit)
+	a.mu.Lock()
+	if prev, ok := a.stage[key]; ok {
+		ent = prev // a concurrent miss won the race; both computed the same value
+	} else {
+		if len(a.stage)+len(a.stageBig) >= stageMemoLimit {
+			a.stage = map[stageKey]*stageEntry{}
+			a.stageBig = map[string]*stageEntry{}
+		}
+		a.stage[key] = ent
+	}
+	f, ok := finishEntry(ent, period)
+	a.mu.Unlock()
+	return f, ok
+}
+
+// stageDTSBig is the StageDTS fallback for endpoint sets whose candidate
+// paths overflow the packed key: the signature becomes a byte string and the
+// probe allocates, but the memoized reduction is shared all the same.
+func (a *Analyzer) stageDTSBig(eps []netlist.GateID, t int, tr *activity.Trace) (variation.Canon, bool) {
+	var act []bool
+	for _, ep := range eps {
+		e := a.endpointPaths(ep)
+		for i := range e.ps {
+			act = append(act, activated(e.ps[i].path, tr, t))
+		}
+	}
+	key := make([]byte, 4, 4+len(act)/8+1)
+	binary.LittleEndian.PutUint32(key, uint32(a.internSet(eps)))
+	var bits byte
+	for i, on := range act {
+		if on {
+			bits |= 1 << (uint(i) & 7)
+		}
+		if i&7 == 7 {
+			key = append(key, bits)
+			bits = 0
+		}
+	}
+	if len(act)&7 != 0 {
+		key = append(key, bits)
+	}
+	k := string(key)
+
+	period := a.Engine.ClockPeriod
+	a.mu.Lock()
+	if e, ok := a.stageBig[k]; ok {
+		f, ok2 := finishEntry(e, period)
+		a.mu.Unlock()
+		return f, ok2
+	}
+	a.mu.Unlock()
+
+	ent := a.reduce(eps, func(pos int) bool { return act[pos] })
+	a.mu.Lock()
+	if prev, ok := a.stageBig[k]; ok {
+		ent = prev
+	} else {
+		if len(a.stage)+len(a.stageBig) >= stageMemoLimit {
+			a.stage = map[stageKey]*stageEntry{}
+			a.stageBig = map[string]*stageEntry{}
+		}
+		a.stageBig[k] = ent
+	}
+	f, ok := finishEntry(ent, period)
+	a.mu.Unlock()
+	return f, ok
 }
 
 // StageDTSAll runs StageDTS over all endpoints of a pipeline stage.
@@ -215,16 +409,27 @@ func (a *Analyzer) StageDTSAll(stage, t int, tr *activity.Trace) (variation.Cano
 	return a.StageDTS(a.Engine.N.Endpoints(stage), t, tr)
 }
 
-// InstDTS is Algorithm 2: the DTS of the instruction that occupies stage 0
-// at cycle t is the minimum over stages s of the stage DTS at cycle t+s.
-// keep filters the endpoints considered (e.g. control endpoints only).
-func (a *Analyzer) InstDTS(t int, tr *activity.Trace, keep func(*netlist.Gate) bool) (variation.Canon, bool) {
+// StageSets returns the per-stage endpoint sets accepted by keep (nil keeps
+// everything), in stage order. Callers on hot paths compute this once and
+// pass it to InstDTSSets so the per-call set construction — and the interner
+// slow path it would trigger — happens once instead of per instruction.
+func (a *Analyzer) StageSets(keep func(*netlist.Gate) bool) [][]netlist.GateID {
 	if keep == nil {
 		keep = func(*netlist.Gate) bool { return true }
 	}
+	sets := make([][]netlist.GateID, a.Engine.N.Stages)
+	for s := range sets {
+		sets[s] = a.Engine.N.EndpointsOf(s, keep)
+	}
+	return sets
+}
+
+// InstDTSSets is Algorithm 2 over precomputed per-stage endpoint sets: the
+// DTS of the instruction that occupies stage 0 at cycle t is the minimum
+// over stages s of the stage DTS at cycle t+s.
+func (a *Analyzer) InstDTSSets(t int, tr *activity.Trace, sets [][]netlist.GateID) (variation.Canon, bool) {
 	var forms []variation.Canon
-	for s := 0; s < a.Engine.N.Stages; s++ {
-		eps := a.Engine.N.EndpointsOf(s, keep)
+	for s, eps := range sets {
 		if len(eps) == 0 {
 			continue
 		}
@@ -240,6 +445,28 @@ func (a *Analyzer) InstDTS(t int, tr *activity.Trace, keep func(*netlist.Gate) b
 		return variation.Canon{}, false
 	}
 	return mn, true
+}
+
+// InstDTS is Algorithm 2 with an endpoint filter: keep selects the endpoints
+// considered (e.g. control endpoints only), nil keeps everything. The
+// unfiltered sets are cached on the analyzer; filtered calls rebuild the
+// sets per call, so hot callers should use StageSets + InstDTSSets.
+func (a *Analyzer) InstDTS(t int, tr *activity.Trace, keep func(*netlist.Gate) bool) (variation.Canon, bool) {
+	var sets [][]netlist.GateID
+	if keep == nil {
+		a.mu.Lock()
+		sets = a.allSets
+		a.mu.Unlock()
+		if sets == nil {
+			sets = a.StageSets(nil)
+			a.mu.Lock()
+			a.allSets = sets
+			a.mu.Unlock()
+		}
+	} else {
+		sets = a.StageSets(keep)
+	}
+	return a.InstDTSSets(t, tr, sets)
 }
 
 // ErrorProbability converts an instruction DTS form into the probability of

@@ -197,6 +197,30 @@ func TestStageDTSMemo(t *testing.T) {
 	}
 }
 
+// TestStageDTSMemoHitZeroAlloc pins the packed-key fast path: once a stage
+// signature is memoized, re-querying it (same activation pattern, same
+// period) must not allocate — the key is built on the stack and the cached
+// canonical form is returned as-is.
+func TestStageDTSMemoHitZeroAlloc(t *testing.T) {
+	ops := [][2]uint32{{0, 0}, {0xFFFF, 1}, {0, 0}, {0xFFFF, 1}}
+	a, tr, ad := adderFixture(t, 2500, ops)
+	eps := ad.N.Endpoints(0)
+	if _, ok := a.StageDTS(eps, 1, tr); !ok {
+		t.Fatal("expected activated paths at cycle 1")
+	}
+	hit := true
+	allocs := testing.AllocsPerRun(100, func() {
+		_, ok := a.StageDTS(eps, 3, tr)
+		hit = hit && ok
+	})
+	if !hit {
+		t.Fatal("memo hit lost the activation result")
+	}
+	if allocs != 0 {
+		t.Errorf("StageDTS memo hit allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
 // TestAnalyzerConcurrent drives one analyzer from many goroutines (run under
 // -race in make check) and checks every goroutine observes identical values.
 func TestAnalyzerConcurrent(t *testing.T) {

@@ -3,6 +3,7 @@ package errormodel
 import (
 	"tsperr/internal/cfg"
 	"tsperr/internal/cpu"
+	"tsperr/internal/isa"
 )
 
 // ScenarioFeatures accumulates per-static-instruction datapath failure
@@ -19,6 +20,13 @@ type ScenarioFeatures struct {
 	// Results records a representative EX result value per static
 	// instruction, needed by the control characterization stimulus.
 	Results []uint32
+
+	// lut points at the datapath model's per-op depth tables; it is resolved
+	// once at collector creation so Observe indexes it without the once-guard.
+	lut *[isa.NumOps]*[maxDepthFeature + 1]float64
+	// lutMin mirrors DatapathModel.lutMin: the per-op minimum depth with a
+	// nonzero failure probability, gating the row probes with a byte compare.
+	lutMin *[isa.NumOps]uint8
 }
 
 // InstanceMoments returns the instance count and the first four power sums
@@ -42,18 +50,74 @@ func NewFeatureCollector(numInsts int, dp *DatapathModel) (*ScenarioFeatures, cp
 		sumFailC4: make([]float64, numInsts),
 		Results:   make([]uint32, numInsts),
 	}
-	obs := func(d *cpu.DynInst) {
-		f.Count[d.Index]++
-		p := dp.FailProb(d.Op, d.Depth)
+	// The observer runs once per retired instruction; evaluate the model
+	// through its depth LUT directly, hoisting the once-guard out of the loop.
+	dp.lutOnce.Do(dp.buildLUT)
+	f.lut = &dp.lut
+	f.lutMin = &dp.lutMin
+	return f, f.Observe
+}
+
+// Observe accumulates one retired instruction. It is the static-dispatch hot
+// path behind the Observer returned by NewFeatureCollector; the framework's
+// fused observer calls it directly.
+func (f *ScenarioFeatures) Observe(d *cpu.DynInst) {
+	f.Count[d.Index]++
+	f.Results[d.Index] = d.Result
+	// Most dynamic instances carry probability exactly 0 (shallow depth,
+	// untrained class); a byte compare against the op's minimum nonzero
+	// depth skips both row probes then. Skipping the power-sum updates is
+	// bit-exact because x + 0 == x for the non-negative accumulators.
+	md := int(f.lutMin[d.Op])
+	if d.Depth < md && d.DepthFlush < md {
+		return
+	}
+	row := f.lut[d.Op]
+	if row == nil {
+		return
+	}
+	if p := row[lutDepth(d.Depth)]; p != 0 {
 		f.sumFailC[d.Index] += p
 		p2 := p * p
 		f.sumFailC2[d.Index] += p2
 		f.sumFailC3[d.Index] += p2 * p
 		f.sumFailC4[d.Index] += p2 * p2
-		f.sumFailE[d.Index] += dp.FailProb(d.Op, d.DepthFlush)
-		f.Results[d.Index] = d.Result
 	}
-	return f, obs
+	if q := row[lutDepth(d.DepthFlush)]; q != 0 {
+		f.sumFailE[d.Index] += q
+	}
+}
+
+// ObserveBatch accumulates a batch of retired instructions, equivalent to
+// calling Observe on each in order. The accumulator slices are hoisted out
+// of the loop, so the common all-zero-probability instruction costs two
+// array updates and a table probe.
+func (f *ScenarioFeatures) ObserveBatch(ds []cpu.DynInst) {
+	count, results, lut, lutMin := f.Count, f.Results, f.lut, f.lutMin
+	for i := range ds {
+		d := &ds[i]
+		idx := d.Index
+		count[idx]++
+		results[idx] = d.Result
+		md := int(lutMin[d.Op])
+		if d.Depth < md && d.DepthFlush < md {
+			continue
+		}
+		row := lut[d.Op]
+		if row == nil {
+			continue
+		}
+		if p := row[lutDepth(d.Depth)]; p != 0 {
+			f.sumFailC[idx] += p
+			p2 := p * p
+			f.sumFailC2[idx] += p2
+			f.sumFailC3[idx] += p2 * p
+			f.sumFailC4[idx] += p2 * p2
+		}
+		if q := row[lutDepth(d.DepthFlush)]; q != 0 {
+			f.sumFailE[idx] += q
+		}
+	}
 }
 
 // Conditionals holds the per-static-instruction conditional error

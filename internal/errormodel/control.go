@@ -9,7 +9,6 @@ import (
 	"tsperr/internal/cpu"
 	"tsperr/internal/dta"
 	"tsperr/internal/isa"
-	"tsperr/internal/netlist"
 	"tsperr/internal/pool"
 )
 
@@ -62,6 +61,7 @@ func (m *Machine) controlStimulus(seq []isa.Inst, seqIdx []int, results []uint32
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Release()
 	tr := &activity.Trace{NumGates: m.Ctrl.N.NumGates()}
 	total := len(seq) + cpu.NumStages // drain so late stages see the tail
 	vals := make([]bool, m.Ctrl.N.NumGates())
@@ -156,7 +156,7 @@ func (m *Machine) ClearStimulusMemo() {
 // instDTSFail returns the control-endpoint instruction error probability for
 // the instruction fetched at cycle t of the trace.
 func (m *Machine) instDTSFail(t int, tr *activity.Trace) float64 {
-	form, ok := m.CtrlDTA.InstDTS(t, tr, func(g *netlist.Gate) bool { return !g.Data })
+	form, ok := m.CtrlDTA.InstDTSSets(t, tr, m.ctrlSets)
 	if !ok {
 		return 0
 	}

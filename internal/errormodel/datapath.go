@@ -2,6 +2,7 @@ package errormodel
 
 import (
 	"context"
+	"sync"
 
 	"tsperr/internal/activity"
 	"tsperr/internal/dta"
@@ -32,6 +33,18 @@ type DatapathModel struct {
 	// operand has d significant bits (d rows of the array carry).
 	MulSlack []variation.Canon
 	MulFail  []float64
+
+	// lut flattens the per-class clamping rules of failProbClassify into one
+	// depth-indexed table per opcode, built lazily on first FailProb call
+	// (after training or cache restore). FailProb runs once or twice per
+	// retired instruction, so it must be a pair of loads, not a switch.
+	lutOnce sync.Once
+	lut     [isa.NumOps]*[maxDepthFeature + 1]float64
+	// lutMin[op] is the smallest depth whose LUT entry is nonzero (255 when
+	// the whole row is zero or absent). Every column below it is zero by
+	// definition, so a single byte compare rules out the overwhelmingly
+	// common zero-probability instructions before any row probe.
+	lutMin [isa.NumOps]uint8
 }
 
 // setWordDense writes a 32-bit word into a dense primary-input slice.
@@ -110,6 +123,7 @@ func (m *Machine) trainAdderDepth(dp *DatapathModel, eps []netlist.GateID, d int
 	if err != nil {
 		return err
 	}
+	defer sim.Release()
 	vals := make([]bool, m.Adder.N.NumGates())
 	setWordDense(vals, m.Adder.A, 0)
 	setWordDense(vals, m.Adder.B, 0)
@@ -139,6 +153,7 @@ func (m *Machine) trainShiftLayers(dp *DatapathModel, eps []netlist.GateID, k in
 	if err != nil {
 		return err
 	}
+	defer sim.Release()
 	vals := make([]bool, m.Shifter.N.NumGates())
 	setWordDense(vals, m.Shifter.In, 0)
 	for i := 0; i < 5; i++ {
@@ -168,6 +183,7 @@ func (m *Machine) trainMulWidth(dp *DatapathModel, eps []netlist.GateID, d int) 
 	if err != nil {
 		return err
 	}
+	defer sim.Release()
 	vals := make([]bool, m.Mult.N.NumGates())
 	setMulWordDense(vals, m.Mult.A, 0)
 	setMulWordDense(vals, m.Mult.B, 0)
@@ -195,6 +211,7 @@ func (m *Machine) trainLogic(dp *DatapathModel, eps []netlist.GateID) error {
 	if err != nil {
 		return err
 	}
+	defer sim.Release()
 	vals := make([]bool, m.Logic.N.NumGates())
 	setWordDense(vals, m.Logic.A, 0)
 	setWordDense(vals, m.Logic.B, 0)
@@ -212,10 +229,15 @@ func (m *Machine) trainLogic(dp *DatapathModel, eps []netlist.GateID) error {
 	return nil
 }
 
-// FailProb returns the datapath timing-error probability of an instruction
-// whose activated-depth feature is depth. Monotonicity in depth is inherited
-// from the trained tables.
-func (dp *DatapathModel) FailProb(op isa.Op, depth int) float64 {
+// maxDepthFeature bounds the activated-depth feature: carry chains and toggle
+// runs on a 32-bit datapath never exceed 32, and the per-class tables saturate
+// below that. LUT columns cover [0, maxDepthFeature] and failProbSlow clamps
+// anything larger, so a single upper clamp makes the LUT exact.
+const maxDepthFeature = 32
+
+// failProbSlow is the reference per-class classification; it seeds the LUT
+// and anchors the LUT-equivalence test.
+func (dp *DatapathModel) failProbSlow(op isa.Op, depth int) float64 {
 	if depth <= 0 {
 		return 0
 	}
@@ -250,4 +272,54 @@ func (dp *DatapathModel) FailProb(op isa.Op, depth int) float64 {
 	default:
 		return 0
 	}
+}
+
+// buildLUT materializes failProbSlow into per-op depth tables. Ops with no
+// datapath model keep a nil row, which the fast path reads as probability 0.
+func (dp *DatapathModel) buildLUT() {
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		var row [maxDepthFeature + 1]float64
+		min := 255
+		for d := 0; d <= maxDepthFeature; d++ {
+			row[d] = dp.failProbSlow(op, d)
+			if row[d] != 0 && min == 255 {
+				min = d
+			}
+		}
+		dp.lutMin[op] = uint8(min)
+		if min < 255 {
+			dp.lut[op] = &row
+		}
+	}
+}
+
+// lutDepth clamps a depth feature into the LUT column range. Column 0 holds
+// probability 0, matching failProbSlow's depth <= 0 contract, so callers can
+// index a row directly with the clamped value.
+func lutDepth(d int) int {
+	if d < 0 {
+		return 0
+	}
+	if d > maxDepthFeature {
+		return maxDepthFeature
+	}
+	return d
+}
+
+// FailProb returns the datapath timing-error probability of an instruction
+// whose activated-depth feature is depth. Monotonicity in depth is inherited
+// from the trained tables.
+func (dp *DatapathModel) FailProb(op isa.Op, depth int) float64 {
+	dp.lutOnce.Do(dp.buildLUT)
+	if depth <= 0 || int(op) >= len(dp.lut) {
+		return 0
+	}
+	row := dp.lut[op]
+	if row == nil {
+		return 0
+	}
+	if depth > maxDepthFeature {
+		depth = maxDepthFeature
+	}
+	return row[depth]
 }

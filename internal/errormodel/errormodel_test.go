@@ -65,6 +65,34 @@ func TestNewMachineRejectsBadOptions(t *testing.T) {
 	}
 }
 
+// TestFailProbLUTMatchesSlow proves the depth-indexed LUT (and the lutMin
+// byte gate in front of it) is bit-identical to the reference per-class
+// classification for every opcode and every depth, including clamping beyond
+// the table edge and the depth <= 0 contract.
+func TestFailProbLUTMatchesSlow(t *testing.T) {
+	m := testMachine(t)
+	dp, err := m.TrainDatapath(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		for d := -2; d <= maxDepthFeature+8; d++ {
+			want := dp.failProbSlow(op, d)
+			//tsperrlint:ignore floatcmp the LUT is a memoized copy of the slow path; it must be bit-identical
+			if got := dp.FailProb(op, d); got != want {
+				t.Fatalf("FailProb(%v, %d) = %v, want %v", op, d, got, want)
+			}
+		}
+		// The byte gate must never skip a nonzero column: every depth below
+		// lutMin[op] has probability exactly 0.
+		for d := 0; d < int(dp.lutMin[op]) && d <= maxDepthFeature; d++ {
+			if p := dp.failProbSlow(op, d); p != 0 {
+				t.Fatalf("lutMin[%v] = %d but depth %d has probability %v", op, dp.lutMin[op], d, p)
+			}
+		}
+	}
+}
+
 func TestTrainDatapathMonotone(t *testing.T) {
 	m := testMachine(t)
 	dp, err := m.TrainDatapath(context.Background())

@@ -98,6 +98,12 @@ type Machine struct {
 	// current operating point (see control.go); guarded by stimMu.
 	stimMu sync.Mutex
 	stim   map[string]*stimEntry
+
+	// ctrlSets holds the per-stage control-only endpoint sets of the control
+	// network, computed once so the per-instruction DTS queries of the
+	// characterization skip per-call set construction (immutable after
+	// newMachine).
+	ctrlSets [][]netlist.GateID
 }
 
 // NewMachine generates the netlists and calibrates each unit's delay scale
@@ -216,28 +222,26 @@ func newMachine(ctx context.Context, opts Options, scales map[string]float64) (*
 	if err := pool.FirstError(errs); err != nil {
 		return nil, err
 	}
+	m.ctrlSets = m.CtrlDTA.StageSets(func(g *netlist.Gate) bool { return !g.Data })
 	return m, nil
 }
 
 // WorkingFreqMHz returns the speculative operating frequency.
 func (m *Machine) WorkingFreqMHz() float64 { return 1e6 / m.WorkingPeriodPs }
 
-// SetWorkingPeriod re-targets all engines and analyzers at a new clock
-// period, used by the operating-point sweep example.
+// SetWorkingPeriod re-targets all engines at a new clock period, used by the
+// operating-point sweep example. The DTA analyzers survive the retarget: the
+// clock period enters their memoized reductions only as a final additive
+// constant (see package dta), so path enumerations and stage reductions are
+// reused across operating points. Only the stimulus memo — which stores
+// probabilities, genuinely period-dependent — is dropped. Must not be called
+// concurrently with analysis.
 func (m *Machine) SetWorkingPeriod(periodPs float64) {
 	m.WorkingPeriodPs = periodPs
 	m.ClearStimulusMemo() // memoized probabilities are per operating point
-	for _, pair := range []struct {
-		eng *sta.Engine
-		ana **dta.Analyzer
-	}{
-		{m.CtrlEngine, &m.CtrlDTA},
-		{m.AdderEngine, &m.AdderDTA},
-		{m.ShifterEngine, &m.ShifterDTA},
-		{m.LogicEngine, &m.LogicDTA},
-		{m.MultEngine, &m.MultDTA},
+	for _, eng := range []*sta.Engine{
+		m.CtrlEngine, m.AdderEngine, m.ShifterEngine, m.LogicEngine, m.MultEngine,
 	} {
-		pair.eng.ClockPeriod = periodPs
-		*pair.ana = dta.New(pair.eng, m.Opts.KPaths)
+		eng.ClockPeriod = periodPs
 	}
 }

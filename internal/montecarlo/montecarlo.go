@@ -80,6 +80,7 @@ func runTrial(spec Spec, cfgCPU cpu.Config, t int, rng *numeric.RNG) (float64, i
 	if err != nil {
 		return 0, 0, err
 	}
+	defer machine.Release()
 	if spec.Setup != nil {
 		if err := spec.Setup(machine, s); err != nil {
 			return 0, 0, err

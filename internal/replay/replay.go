@@ -74,6 +74,7 @@ func Run(prog *isa.Program, setup func(*cpu.CPU, int) error, scenario int,
 	if err != nil {
 		return Breakdown{}, err
 	}
+	defer machine.Release()
 	if setup != nil {
 		if err := setup(machine, scenario); err != nil {
 			return Breakdown{}, err
