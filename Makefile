@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint check fuzz cover smoke smoke-cluster bench pprof clean
+.PHONY: all build test lint lint-fix-check check fuzz cover smoke smoke-cluster bench pprof clean
 
 all: build
 
@@ -17,12 +17,21 @@ build:
 test:
 	$(GO) test ./...
 
-# `make lint` runs the project-specific static analysis (DESIGN.md §9):
-# the tsperrlint pass suite over every package including test files, and
-# the structural lint over every generated pipeline netlist.
+# `make lint` runs the project-specific static analysis (DESIGN.md §9/§14):
+# the tsperrlint pass suite over every package including test files, the
+# structural lint over every generated pipeline netlist, and the
+# suppression-budget ratchet (lint.budget: directive counts only go down).
 lint:
 	$(GO) run ./cmd/tsperrlint -tests ./...
 	$(GO) run ./cmd/tsperrlint -netlist
+	$(GO) run ./cmd/tsperrlint -ignores -budget lint.budget ./... >/dev/null
+
+# `make lint-fix-check` asserts the tree is triage-clean: all seven
+# analyzers report nothing (no outstanding fix-ups) and the suppression
+# inventory is within budget. CI runs it; run it before sending a PR that
+# touches determinism-, slab- or batch-sensitive code.
+lint-fix-check: lint
+	@echo "lint-fix-check: triage clean — 0 findings, suppressions within budget"
 
 check: lint fuzz
 	$(GO) vet ./...

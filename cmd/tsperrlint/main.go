@@ -1,12 +1,17 @@
 // Command tsperrlint is the repository's static-analysis driver. It runs
 // the internal/lint pass suite (mapiterorder, ctxflow, guardedfield,
-// floatcmp) in two modes, plus the netlist structural linter:
+// floatcmp, detsource, slabalias, batchonce) in two modes, plus the
+// netlist structural linter and the suppression inventory:
 //
 //	tsperrlint ./...                  standalone, over package patterns
+//	tsperrlint -json ./...            same, machine-readable output
 //	go vet -vettool=$(which tsperrlint) ./...   as a vet tool
 //	tsperrlint -netlist               structural lint of generated netlists
+//	tsperrlint -ignores ./...         inventory //tsperrlint:ignore directives
+//	tsperrlint -ignores -budget lint.budget ./...   enforce the ratchet
 //
-// Exit status: 0 clean, 1 usage or load failure, 2 findings.
+// Exit status: 0 clean, 1 usage or load failure, 2 findings (or budget
+// violations).
 package main
 
 import (
@@ -32,14 +37,15 @@ import (
 // version is the toolID reported to the go command. `go vet` requires a
 // three-field `name version hash` line whose third field is not "devel";
 // it keys the vet result cache, so bump it when analyzer behavior changes.
-const version = "tsperrlint-0.1.0"
+const version = "tsperrlint-0.2.0"
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tsperrlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: tsperrlint [flags] [package patterns | vet.cfg]\n")
 		fs.PrintDefaults()
@@ -49,7 +55,10 @@ func run(args []string) int {
 		flagsFlag = fs.Bool("flags", false, "print the tool's flag schema as JSON and exit (go vet handshake)")
 		analyzers = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		tests     = fs.Bool("tests", false, "also analyze in-package _test.go files (standalone mode)")
+		jsonOut   = fs.Bool("json", false, "emit diagnostics as a JSON array (standalone mode)")
 		netMode   = fs.Bool("netlist", false, "run the structural netlist linter over all generated units instead of Go analysis")
+		ignores   = fs.Bool("ignores", false, "inventory //tsperrlint:ignore directives (always includes test files) instead of reporting findings")
+		budget    = fs.String("budget", "", "with -ignores: enforce the suppression budget file; exceeding a count is a violation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -58,23 +67,26 @@ func run(args []string) int {
 	if *vFlag != "" {
 		// Third field must differ from "devel" or the go command rejects
 		// the tool as uncacheable.
-		fmt.Printf("tsperrlint version %s\n", version)
+		fmt.Fprintf(stdout, "tsperrlint version %s\n", version)
 		return 0
 	}
 	if *flagsFlag {
 		// No flags are exposed through the vet driver; the empty schema
 		// keeps `go vet -vettool` happy.
-		fmt.Println("[]")
+		fmt.Fprintln(stdout, "[]")
 		return 0
 	}
 
 	if *netMode {
-		return runNetlistLint(os.Stdout)
+		return runNetlistLint(stdout, stderr)
+	}
+	if *ignores {
+		return runIgnores(fs.Args(), *budget, stdout, stderr)
 	}
 
 	sel, err := lint.ByName(*analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
 
@@ -82,38 +94,159 @@ func run(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runUnitchecker(rest[0], sel)
 	}
-	return runStandalone(rest, sel, *tests)
+	return runStandalone(rest, sel, *tests, *jsonOut, stdout, stderr)
 }
 
 // ---- standalone mode ----
 
-func runStandalone(patterns []string, sel []*lint.Analyzer, tests bool) int {
+// jsonDiagnostic is the machine-readable diagnostic schema emitted by
+// -json, consumed by CI annotations; the field set is pinned by the golden
+// test in main_test.go.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func runStandalone(patterns []string, sel []*lint.Analyzer, tests, jsonOut bool, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := lint.Load(".", patterns, tests)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	cwd, _ := os.Getwd()
-	count := 0
+	var all []lint.Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := lint.RunAnalyzers(pkg, sel)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		for _, d := range diags {
-			count++
-			fmt.Println(relativize(cwd, d).String())
+			all = append(all, relativize(cwd, d))
 		}
 	}
-	if count > 0 {
-		fmt.Fprintf(os.Stderr, "tsperrlint: %d finding(s)\n", count)
+	if jsonOut {
+		out := make([]jsonDiagnostic, 0, len(all))
+		for _, d := range all {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(stderr, "tsperrlint: %d finding(s)\n", len(all))
 		return 2
 	}
 	return 0
+}
+
+// ---- suppression inventory and budget ----
+
+// runIgnores lists every //tsperrlint:ignore directive in the matched
+// packages (test files always included — most suppressions live there) and,
+// with a budget file, enforces the ratchet: each analyzer's directive count
+// must stay at or below its budgeted count, and analyzers missing from the
+// budget get none. Counts are per analyzer name, so a multi-name directive
+// spends from each budget it names.
+func runIgnores(patterns []string, budgetFile string, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns, true)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	cwd, _ := os.Getwd()
+	counts := map[string]int{}
+	for _, pkg := range pkgs {
+		for _, d := range lint.ParseDirectives(pkg.Fset, pkg.Files) {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			if d.Err != "" {
+				fmt.Fprintf(stdout, "%s:%d: MALFORMED: %s\n", file, d.Pos.Line, d.Err)
+				counts["malformed"]++
+				continue
+			}
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", file, d.Pos.Line, strings.Join(d.Names, ","), d.Reason)
+			for _, n := range d.Names {
+				counts[n]++
+			}
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(stdout, "total %-14s %d\n", n, counts[n])
+	}
+	if budgetFile == "" {
+		return 0
+	}
+	budgets, err := readBudget(budgetFile)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	violations := 0
+	for _, n := range names {
+		if counts[n] > budgets[n] {
+			violations++
+			fmt.Fprintf(stderr, "tsperrlint: suppression budget exceeded for %s: %d directive(s), budget %d — remove a suppression (the budget only ratchets down)\n",
+				n, counts[n], budgets[n])
+		}
+	}
+	if violations > 0 {
+		return 2
+	}
+	return 0
+}
+
+// readBudget parses the budget file: `analyzer count` lines, #-comments
+// and blank lines ignored.
+func readBudget(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsperrlint: reading budget: %w", err)
+	}
+	out := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var n int
+		if _, err := fmt.Sscanf(line, "%s %d", &name, &n); err != nil {
+			return nil, fmt.Errorf("tsperrlint: %s:%d: bad budget line %q (want `analyzer count`)", path, i+1, line)
+		}
+		out[name] = n
+	}
+	return out, nil
 }
 
 // relativize shortens absolute diagnostic paths for terminal output.
@@ -257,7 +390,7 @@ func runUnitchecker(cfgPath string, sel []*lint.Analyzer) int {
 
 // runNetlistLint generates every pipeline unit and runs the structural
 // linter over each, printing severity-tagged findings.
-func runNetlistLint(w io.Writer) int {
+func runNetlistLint(w, stderr io.Writer) int {
 	units := []struct {
 		name string
 		n    *netlist.Netlist
@@ -279,7 +412,7 @@ func runNetlistLint(w io.Writer) int {
 		fmt.Fprintf(w, "netlist %-10s %5d gates, %d finding(s)\n", u.name, u.n.NumGates(), len(fs))
 	}
 	if count > 0 {
-		fmt.Fprintf(os.Stderr, "tsperrlint: %d structural finding(s)\n", count)
+		fmt.Fprintf(stderr, "tsperrlint: %d structural finding(s)\n", count)
 		return 2
 	}
 	return 0

@@ -266,7 +266,6 @@ func (pr *Profile) IncomingEdges(block int) []Edge {
 		in := make([][]Edge, len(pr.Graph.Blocks))
 		for e := range pr.EdgeCount {
 			if e.To >= 0 && e.To < len(in) {
-				//tsperrlint:ignore mapiterorder every bucket is sorted by From below, erasing the map iteration order
 				in[e.To] = append(in[e.To], e)
 			}
 		}

@@ -162,7 +162,6 @@ func assertBitIdentical(t *testing.T, got, want *montecarlo.ShardedResult) {
 	if got.Instructions != want.Instructions {
 		t.Fatalf("instructions: got %d, want %d", got.Instructions, want.Instructions)
 	}
-	//tsperrlint:ignore floatcmp distributed statistics are asserted bit-identical, not approximate
 	if got.Stats != want.Stats {
 		t.Fatalf("stats: got %+v, want %+v", got.Stats, want.Stats)
 	}
@@ -285,7 +284,6 @@ func TestSchedStealHedgeAndFirstWriterWins(t *testing.T) {
 	if err != nil {
 		t.Fatalf("outcome after late fail: %v", err)
 	}
-	//tsperrlint:ignore floatcmp first-writer-wins is asserted on the exact stored sample
 	if res[0].Counts[0] != 1 {
 		t.Fatalf("chunk 0 result overwritten by hedged duplicate: %v", res[0].Counts)
 	}

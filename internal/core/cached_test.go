@@ -13,7 +13,6 @@ import (
 // datapathTablesEqual compares the trained (exported, serialized) tables of
 // two datapath models, ignoring the lazily built lookup-table state.
 func datapathTablesEqual(a, b *errormodel.DatapathModel) bool {
-	//tsperrlint:ignore floatcmp a cache restore must reproduce the trained tables bit-identically
 	return reflect.DeepEqual(a.AdderSlack, b.AdderSlack) &&
 		reflect.DeepEqual(a.AdderFail, b.AdderFail) &&
 		reflect.DeepEqual(a.ShiftSlack, b.ShiftSlack) &&

@@ -19,7 +19,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
 	"sort"
 	"strings"
 )
@@ -45,6 +44,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	flows map[*ast.FuncDecl]*FuncFlow // FlowOf memo (dataflow.go)
 }
 
 // Reportf records a diagnostic at pos.
@@ -65,7 +65,7 @@ type Analyzer struct {
 
 // All returns the full pass suite in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIterOrder, CtxFlow, GuardedField, FloatCmp}
+	return []*Analyzer{MapIterOrder, CtxFlow, GuardedField, FloatCmp, DetSource, SlabAlias, BatchOnce}
 }
 
 // ByName resolves a comma-separated analyzer selection; an empty selection
@@ -90,43 +90,11 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// ignoreRe matches the suppression directive. It must carry the analyzer
-// name (or "all") and a non-empty reason, mirroring //lint:ignore:
-//
-//	//tsperrlint:ignore floatcmp exact tie-break is intentional
-var ignoreRe = regexp.MustCompile(`^//tsperrlint:ignore\s+([\w,]+)\s+\S`)
-
-// suppressions maps file:line to the set of analyzer names suppressed on
-// that line (a directive suppresses its own line and the line below it,
-// so it works both as a trailing and as a preceding comment).
-func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
-	sup := map[string]map[string]bool{}
-	add := func(pos token.Position, names string) {
-		for _, n := range strings.Split(names, ",") {
-			for _, line := range []int{pos.Line, pos.Line + 1} {
-				key := fmt.Sprintf("%s:%d", pos.Filename, line)
-				if sup[key] == nil {
-					sup[key] = map[string]bool{}
-				}
-				sup[key][strings.TrimSpace(n)] = true
-			}
-		}
-	}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if m := ignoreRe.FindStringSubmatch(c.Text); m != nil {
-					add(fset.Position(c.Pos()), m[1])
-				}
-			}
-		}
-	}
-	return sup
-}
-
 // RunAnalyzers applies the analyzers to one loaded package and returns the
 // surviving diagnostics sorted by position. Findings on lines carrying a
-// matching //tsperrlint:ignore directive are dropped.
+// matching //tsperrlint:ignore directive are dropped; directive-hygiene
+// findings (ignores.go) are appended after the filter, so a malformed or
+// stale directive cannot suppress its own report.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -142,15 +110,17 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 		}
 	}
-	sup := suppressions(pkg.Fset, pkg.Files)
-	kept := diags[:0]
+	dirs := ParseDirectives(pkg.Fset, pkg.Files)
+	sup := suppressionMap(dirs)
+	var kept []Diagnostic
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
-		if s := sup[key]; s != nil && (s[d.Analyzer] || s["all"]) {
+		if s := sup[key]; s != nil && s[d.Analyzer] {
 			continue
 		}
 		kept = append(kept, d)
 	}
+	kept = append(kept, checkDirectives(dirs, analyzers, diags)...)
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.Pos.Filename != b.Pos.Filename {

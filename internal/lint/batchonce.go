@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BatchOnce enforces the exactly-once delivery contract of the batched
+// retirement stream (cpu.BatchObserver): "every retired instruction is
+// delivered exactly once, including ahead of an error return". An error
+// path that leaves the loop without flushing the partial batch silently
+// truncates the stream the profile and feature accumulators see — the
+// serial/parallel bit-identity checks then fail only on errored runs,
+// the hardest place to notice.
+//
+// In any function that invokes a BatchObserver-typed value, every error
+// exit (a return whose error result is not the literal nil) must be
+// dominated — on the function's CFG — by a flush point:
+//
+//   - a direct call of the observer value, or
+//   - the condition of the innermost if statement guarding such a call
+//     (the `if n > 0 { batch(buf[:n]) }` idiom: once the guard has run,
+//     the pending batch has either been flushed or was empty), or
+//   - a deferred call of the observer, which runs on every exit.
+//
+// Using the innermost guard is load-bearing: crediting an outer if's
+// condition would vacuously bless error returns inside that same outer
+// branch that never reach the flush.
+var BatchOnce = &Analyzer{
+	Name: "batchonce",
+	Doc:  "require every error exit in a batch-observer loop to be dominated by a flush of the pending batch",
+	Run:  runBatchOnce,
+}
+
+func runBatchOnce(pass *Pass) error {
+	for _, fn := range packageFuncs(pass) {
+		checkBatchOnce(pass, fn)
+	}
+	return nil
+}
+
+// isBatchObserverCall reports whether call invokes a value whose type is a
+// named function type called BatchObserver (any package).
+func isBatchObserverCall(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call.Fun)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "BatchObserver" {
+		return false
+	}
+	_, isSig := named.Underlying().(*types.Signature)
+	return isSig
+}
+
+// errorExits collects the returns in fn (outside closures) whose error
+// result is not the literal nil. A bare return with named results is
+// treated as a success exit; returns forwarding a call's results are
+// treated as potential error exits.
+func errorExits(pass *Pass, fn *ast.FuncDecl) []*ast.ReturnStmt {
+	results := fn.Type.Results
+	if results == nil || len(results.List) == 0 {
+		return nil
+	}
+	last := pass.TypesInfo.TypeOf(results.List[len(results.List)-1].Type)
+	errType := types.Universe.Lookup("error").Type()
+	if last == nil || !types.Identical(last, errType) {
+		return nil
+	}
+	var exits []*ast.ReturnStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		r, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(r.Results) == 0 {
+			return true // bare return: named results, success path by idiom
+		}
+		e := ast.Unparen(r.Results[len(r.Results)-1])
+		if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+			return true
+		}
+		exits = append(exits, r)
+		return true
+	})
+	return exits
+}
+
+func checkBatchOnce(pass *Pass, fn *ast.FuncDecl) {
+	// Flush points: direct observer calls plus the innermost if-conditions
+	// guarding them. Collected with an explicit if-stack so "innermost" is
+	// exact; closures are opaque (a flush inside one may never run).
+	var flushNodes []ast.Node
+	deferredFlush := false
+	var ifStack []*ast.IfStmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			ifStack = append(ifStack, n)
+			if n.Init != nil {
+				ast.Inspect(n.Init, walk)
+			}
+			ast.Inspect(n.Cond, walk)
+			ast.Inspect(n.Body, walk)
+			if n.Else != nil {
+				ast.Inspect(n.Else, walk)
+			}
+			ifStack = ifStack[:len(ifStack)-1]
+			return false
+		case *ast.CallExpr:
+			if isBatchObserverCall(pass.TypesInfo, n) {
+				flushNodes = append(flushNodes, n)
+				if len(ifStack) > 0 {
+					flushNodes = append(flushNodes, ifStack[len(ifStack)-1].Cond)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+	if len(flushNodes) == 0 {
+		return // not a batch-observer loop
+	}
+
+	flow := pass.FlowOf(fn)
+	for _, d := range flow.Deferred {
+		if isBatchObserverCall(pass.TypesInfo, d) {
+			deferredFlush = true
+		}
+	}
+	if deferredFlush {
+		return // a deferred flush covers every exit
+	}
+
+	for _, exit := range errorExits(pass, fn) {
+		covered := false
+		for _, fl := range flushNodes {
+			if flow.Dominates(fl, exit) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(exit.Pos(),
+				"error exit is not dominated by a batch flush: pending instructions in the partial batch are dropped; flush with `if n > 0 { batch(buf[:n]) }` before returning (exactly-once delivery, DESIGN.md §14)")
+		}
+	}
+}

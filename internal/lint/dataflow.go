@@ -1,0 +1,808 @@
+package lint
+
+// This file is the flow-sensitive layer of the lint framework: a
+// lightweight intra-procedural dataflow engine built directly on go/ast and
+// go/types (no x/tools dependency, per the module's stdlib-only policy).
+// It lifts a control-flow graph from a function body, runs classic
+// reaching-definitions over it, derives per-use def-use chains, and
+// computes dominator sets — the primitives the detsource, slabalias and
+// batchonce analyzers (and mapiterorder's alias resolution) are written
+// against. Analyzers obtain it through Pass.FlowOf, which memoizes one
+// FuncFlow per declaration, so syntactic analyzers keep running unchanged
+// and pay nothing.
+//
+// Granularity: a FlowBlock holds "simple" nodes only — plain statements
+// plus the condition/header expressions of compound statements. Compound
+// statements themselves (if/for/range/switch/select) are decomposed into
+// blocks and edges, so inspecting a block's nodes never descends into a
+// nested branch. Function literals are NOT decomposed: identifiers inside a
+// closure body are recorded as uses at the point the literal is built,
+// which is the conservative reading for capture analysis (the closure may
+// run at any later time).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FlowBlock is one basic block of a function's control-flow graph.
+type FlowBlock struct {
+	Index int
+	Nodes []ast.Node // simple statements and header expressions, in order
+	Succs []*FlowBlock
+	Preds []*FlowBlock
+
+	gen, kill, in, out *bitset
+}
+
+// Def is one definition (binding or store) of a local variable.
+type Def struct {
+	Obj  *types.Var // the variable being defined
+	Id   *ast.Ident // the defining identifier; nil for parameters/receivers
+	RHS  ast.Expr   // defining expression; nil for params and range vars
+	Node ast.Node   // the statement carrying the definition (nil for params)
+}
+
+// FuncFlow is the dataflow summary of one function declaration.
+type FuncFlow struct {
+	Fn     *ast.FuncDecl
+	Entry  *FlowBlock
+	Exit   *FlowBlock // every return (and the fall-off end) feeds this block
+	Blocks []*FlowBlock
+	Defs   []Def
+	// Deferred lists the call expressions of defer statements; they run on
+	// every exit path, so path-sensitive checks (batchonce) treat them as
+	// dominating all returns.
+	Deferred []*ast.CallExpr
+
+	info      *types.Info
+	defsOf    map[*types.Var][]int
+	defIdent  map[*ast.Ident]int
+	uses      map[*ast.Ident]*bitset // use site -> reaching def indices
+	nodeBlock map[ast.Node]*FlowBlock
+	nodeIndex map[ast.Node]int
+	dom       []*bitset // per-block dominator sets
+	reachable []bool
+}
+
+// FlowOf returns the memoized dataflow summary for fn, building it on first
+// use. It is the one entry point analyzers use, keeping the engine behind
+// the existing Pass API.
+func (p *Pass) FlowOf(fn *ast.FuncDecl) *FuncFlow {
+	if p.flows == nil {
+		p.flows = map[*ast.FuncDecl]*FuncFlow{}
+	}
+	if f, ok := p.flows[fn]; ok {
+		return f
+	}
+	f := BuildFlow(p.TypesInfo, fn)
+	p.flows[fn] = f
+	return f
+}
+
+// BuildFlow constructs the CFG for fn, solves reaching definitions, and
+// resolves every identifier use to the definitions that may reach it.
+func BuildFlow(info *types.Info, fn *ast.FuncDecl) *FuncFlow {
+	f := &FuncFlow{
+		Fn:        fn,
+		info:      info,
+		defsOf:    map[*types.Var][]int{},
+		defIdent:  map[*ast.Ident]int{},
+		uses:      map[*ast.Ident]*bitset{},
+		nodeBlock: map[ast.Node]*FlowBlock{},
+		nodeIndex: map[ast.Node]int{},
+	}
+	b := &flowBuilder{f: f, labels: map[string]*labelTarget{}}
+	f.Entry = b.newBlock()
+	f.Exit = &FlowBlock{Index: -1} // assigned a real index below
+	b.cur = f.Entry
+	if fn.Body != nil {
+		b.stmts(fn.Body.List)
+	}
+	b.edge(b.cur, f.Exit)
+	f.Exit.Index = len(f.Blocks)
+	f.Blocks = append(f.Blocks, f.Exit)
+	b.resolveGotos()
+
+	f.collectDefs()
+	f.solveReaching()
+	f.resolveUses()
+	f.computeReachable()
+	return f
+}
+
+// ---- CFG construction ----
+
+type labelTarget struct {
+	brk, cont *FlowBlock
+	start     *FlowBlock // target block for goto
+}
+
+type gotoFixup struct {
+	from  *FlowBlock
+	label string
+}
+
+type flowBuilder struct {
+	f         *FuncFlow
+	cur       *FlowBlock
+	breaks    []*FlowBlock
+	continues []*FlowBlock
+	labels    map[string]*labelTarget
+	gotos     []gotoFixup
+}
+
+func (b *flowBuilder) newBlock() *FlowBlock {
+	blk := &FlowBlock{Index: len(b.f.Blocks)}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	return blk
+}
+
+func (b *flowBuilder) edge(from, to *FlowBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add records a simple node in the current block.
+func (b *flowBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.f.nodeBlock[n] = b.cur
+	b.f.nodeIndex[n] = len(b.cur.Nodes)
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *flowBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement; label is the pending label when the
+// statement was wrapped in a LabeledStmt.
+func (b *flowBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		start := b.newBlock()
+		b.edge(b.cur, start)
+		b.cur = start
+		b.labels[s.Label.Name] = &labelTarget{start: start}
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else, "")
+			b.edge(b.cur, after)
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		b.cur = header
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		b.edge(header, body)
+		if s.Cond != nil {
+			b.edge(header, after)
+		}
+		b.pushLoop(label, after, post)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post, "")
+		}
+		b.edge(b.cur, header)
+		b.cur = after
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		b.cur = header
+		b.add(s) // the range header: defines Key/Value, uses X
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(header, body)
+		b.edge(header, after)
+		b.pushLoop(label, after, header)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, header)
+		b.cur = after
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.branchingStmt(s, label)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.f.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(b.cur, b.branchTarget(s, true))
+		case token.CONTINUE:
+			b.edge(b.cur, b.branchTarget(s, false))
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, gotoFixup{from: b.cur, label: s.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			// handled by branchingStmt's sequential case wiring
+		}
+		if s.Tok != token.FALLTHROUGH {
+			b.cur = b.newBlock() // unreachable continuation
+		}
+	case *ast.DeferStmt:
+		b.add(s)
+		b.f.Deferred = append(b.f.Deferred, s.Call)
+	default:
+		// Assign, Decl, Expr, Send, Go, IncDec, Empty: simple nodes.
+		b.add(s)
+	}
+}
+
+// branchingStmt wires switch/type-switch/select statements: every clause is
+// its own block branching from the header and joining after; fallthrough
+// adds an edge to the next clause.
+func (b *flowBuilder) branchingStmt(s ast.Stmt, label string) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	header := b.cur
+	after := b.newBlock()
+	if label != "" {
+		b.labels[label].brk = after
+	}
+	b.breaks = append(b.breaks, after)
+	var blocks []*FlowBlock
+	var bodies [][]ast.Stmt
+	for _, c := range clauses {
+		blk := b.newBlock()
+		b.edge(header, blk)
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			blocks, bodies = append(blocks, blk), append(bodies, c.Body)
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			blocks, bodies = append(blocks, blk), append(bodies, c.Body)
+			if c.Comm != nil {
+				// the communication op executes in the clause block
+				prev := b.cur
+				b.cur = blk
+				b.stmt(c.Comm, "")
+				blk = b.cur
+				blocks[len(blocks)-1] = blk
+				b.cur = prev
+			}
+		}
+	}
+	for i, blk := range blocks {
+		b.cur = blk
+		fallsThrough := false
+		for _, st := range bodies[i] {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+			b.stmt(st, "")
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+		}
+		b.edge(b.cur, after)
+	}
+	if !hasDefault {
+		b.edge(header, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+func (b *flowBuilder) pushLoop(label string, brk, cont *FlowBlock) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		t := b.labels[label]
+		t.brk, t.cont = brk, cont
+	}
+}
+
+func (b *flowBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *flowBuilder) branchTarget(s *ast.BranchStmt, isBreak bool) *FlowBlock {
+	if s.Label != nil {
+		if t := b.labels[s.Label.Name]; t != nil {
+			if isBreak {
+				return t.brk
+			}
+			return t.cont
+		}
+		return nil
+	}
+	stack := b.continues
+	if isBreak {
+		stack = b.breaks
+	}
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+func (b *flowBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if t := b.labels[g.label]; t != nil {
+			b.edge(g.from, t.start)
+		}
+	}
+}
+
+// ---- definitions ----
+
+// collectDefs numbers every definition: parameters, receivers and named
+// results (synthetic entry defs), then each binding/store in block order.
+func (f *FuncFlow) collectDefs() {
+	addDef := func(obj *types.Var, id *ast.Ident, rhs ast.Expr, node ast.Node) {
+		if obj == nil {
+			return
+		}
+		idx := len(f.Defs)
+		f.Defs = append(f.Defs, Def{Obj: obj, Id: id, RHS: rhs, Node: node})
+		f.defsOf[obj] = append(f.defsOf[obj], idx)
+		if id != nil {
+			f.defIdent[id] = idx
+		}
+	}
+	declObj := func(id *ast.Ident) *types.Var {
+		if obj, ok := f.info.Defs[id].(*types.Var); ok {
+			return obj
+		}
+		return nil
+	}
+	useObj := func(id *ast.Ident) *types.Var {
+		if obj, ok := f.info.Uses[id].(*types.Var); ok {
+			return obj
+		}
+		return nil
+	}
+
+	// Synthetic entry definitions for receiver, params, named results.
+	var fields []*ast.Field
+	if f.Fn.Recv != nil {
+		fields = append(fields, f.Fn.Recv.List...)
+	}
+	if f.Fn.Type.Params != nil {
+		fields = append(fields, f.Fn.Type.Params.List...)
+	}
+	if f.Fn.Type.Results != nil {
+		fields = append(fields, f.Fn.Type.Results.List...)
+	}
+	for _, field := range fields {
+		for _, name := range field.Names {
+			addDef(declObj(name), nil, nil, nil)
+		}
+	}
+	f.Entry.gen = nil // gen/kill assigned in solveReaching
+
+	for _, blk := range f.Blocks {
+		for _, n := range blk.Nodes {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0] // multi-value call/comma-ok
+					}
+					if n.Tok == token.DEFINE {
+						addDef(declObj(id), id, rhs, n)
+					} else {
+						// Includes op-assigns (+= etc.): a store to the var.
+						addDef(useObj(id), id, rhs, n)
+					}
+				}
+			case *ast.IncDecStmt:
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					addDef(useObj(id), id, nil, n)
+				}
+			case *ast.DeclStmt:
+				gd, ok := n.Decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						var rhs ast.Expr
+						if len(vs.Values) == len(vs.Names) {
+							rhs = vs.Values[i]
+						} else if len(vs.Values) == 1 {
+							rhs = vs.Values[0]
+						}
+						addDef(declObj(name), name, rhs, n)
+					}
+				}
+			case *ast.RangeStmt:
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					id, ok := e.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					if n.Tok == token.DEFINE {
+						addDef(declObj(id), id, nil, n)
+					} else {
+						addDef(useObj(id), id, nil, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// nodeDefs returns the def indices produced by node n (in source order).
+func (f *FuncFlow) nodeDefs(n ast.Node) []int {
+	var out []int
+	shallowIdents(n, func(id *ast.Ident) {
+		if idx, ok := f.defIdent[id]; ok && f.Defs[idx].Node == n {
+			out = append(out, idx)
+		}
+	})
+	return out
+}
+
+// shallowIdents visits the identifiers of a simple node. Range headers only
+// expose Key/Value/X; everything else is fully inspected (closure bodies
+// included, by design — see the package comment).
+func shallowIdents(n ast.Node, fn func(*ast.Ident)) {
+	visit := func(m ast.Node) {
+		if m == nil {
+			return
+		}
+		ast.Inspect(m, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				fn(id)
+			}
+			return true
+		})
+	}
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		visit(rs.Key)
+		visit(rs.Value)
+		visit(rs.X)
+		return
+	}
+	visit(n)
+}
+
+// ---- reaching definitions ----
+
+func (f *FuncFlow) solveReaching() {
+	nd := len(f.Defs)
+	for _, blk := range f.Blocks {
+		blk.gen = newBitset(nd)
+		blk.kill = newBitset(nd)
+		blk.in = newBitset(nd)
+		blk.out = newBitset(nd)
+		cur := map[*types.Var]int{}
+		for _, n := range blk.Nodes {
+			for _, d := range f.nodeDefs(n) {
+				cur[f.Defs[d].Obj] = d
+			}
+		}
+		for obj, d := range cur {
+			blk.gen.set(d)
+			for _, other := range f.defsOf[obj] {
+				if other != d {
+					blk.kill.set(other)
+				}
+			}
+		}
+	}
+	// Entry generates the synthetic parameter defs.
+	for i, d := range f.Defs {
+		if d.Node == nil {
+			f.Entry.gen.set(i)
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range f.Blocks {
+			blk.in.clearAll()
+			for _, p := range blk.Preds {
+				blk.in.orWith(p.out)
+			}
+			if blk == f.Entry {
+				// nothing flows in; gen carries the params
+			}
+			newOut := blk.in.clone()
+			newOut.andNot(blk.kill)
+			newOut.orWith(blk.gen)
+			if !newOut.equal(blk.out) {
+				blk.out = newOut
+				changed = true
+			}
+		}
+	}
+}
+
+// resolveUses walks each block in order, tracking the live definition
+// overlay, and records for every identifier use the set of defs reaching it.
+func (f *FuncFlow) resolveUses() {
+	for _, blk := range f.Blocks {
+		cur := blk.in.clone()
+		for _, n := range blk.Nodes {
+			defs := f.nodeDefs(n)
+			defSet := map[*ast.Ident]bool{}
+			for _, d := range defs {
+				if id := f.Defs[d].Id; id != nil {
+					defSet[id] = true
+				}
+			}
+			shallowIdents(n, func(id *ast.Ident) {
+				if defSet[id] {
+					return // a pure binding position, not a use
+				}
+				obj, ok := f.info.Uses[id].(*types.Var)
+				if !ok {
+					return
+				}
+				all, tracked := f.defsOf[obj]
+				if !tracked {
+					return
+				}
+				r := newBitset(len(f.Defs))
+				for _, d := range all {
+					if cur.get(d) {
+						r.set(d)
+					}
+				}
+				f.uses[id] = r
+			})
+			// Apply the node's definitions after its uses resolve, so
+			// `x = x + 1` sees the incoming def on the right-hand side.
+			for _, d := range defs {
+				obj := f.Defs[d].Obj
+				for _, other := range f.defsOf[obj] {
+					cur.clear(other)
+				}
+				cur.set(d)
+			}
+		}
+	}
+}
+
+// ReachingDefs returns the definitions that may reach the given identifier
+// use, or nil when the identifier is not a tracked local use.
+func (f *FuncFlow) ReachingDefs(id *ast.Ident) []Def {
+	bs, ok := f.uses[id]
+	if !ok {
+		return nil
+	}
+	var out []Def
+	for i := range f.Defs {
+		if bs.get(i) {
+			out = append(out, f.Defs[i])
+		}
+	}
+	return out
+}
+
+// reachingIndices is ReachingDefs in index form, for the taint engine.
+func (f *FuncFlow) reachingIndices(id *ast.Ident) *bitset { return f.uses[id] }
+
+// DefsOf returns every definition of obj in the function.
+func (f *FuncFlow) DefsOf(obj *types.Var) []Def {
+	var out []Def
+	for _, i := range f.defsOf[obj] {
+		out = append(out, f.Defs[i])
+	}
+	return out
+}
+
+// ---- dominators ----
+
+func (f *FuncFlow) computeReachable() {
+	f.reachable = make([]bool, len(f.Blocks))
+	var visit func(b *FlowBlock)
+	visit = func(b *FlowBlock) {
+		if f.reachable[b.Index] {
+			return
+		}
+		f.reachable[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(f.Entry)
+}
+
+// dominators lazily computes the per-block dominator sets with the classic
+// iterative intersection; block counts are small enough that bitset
+// iteration converges in a handful of passes.
+func (f *FuncFlow) dominators() []*bitset {
+	if f.dom != nil {
+		return f.dom
+	}
+	n := len(f.Blocks)
+	dom := make([]*bitset, n)
+	for i := range dom {
+		dom[i] = newBitset(n)
+		if i == f.Entry.Index {
+			dom[i].set(i)
+		} else {
+			dom[i].setAll()
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range f.Blocks {
+			if blk == f.Entry || !f.reachable[blk.Index] {
+				continue
+			}
+			nd := newBitset(n)
+			nd.setAll()
+			any := false
+			for _, p := range blk.Preds {
+				if !f.reachable[p.Index] {
+					continue
+				}
+				nd.and(dom[p.Index])
+				any = true
+			}
+			if !any {
+				nd.clearAll()
+			}
+			nd.set(blk.Index)
+			if !nd.equal(dom[blk.Index]) {
+				dom[blk.Index] = nd
+				changed = true
+			}
+		}
+	}
+	f.dom = dom
+	return dom
+}
+
+// Dominates reports whether node a executes on every path reaching node b.
+// Both must be nodes recorded in the CFG (simple statements or header
+// expressions). Nodes in unreachable code are vacuously dominated.
+func (f *FuncFlow) Dominates(a, b ast.Node) bool {
+	ba, oka := f.nodeBlock[a]
+	bb, okb := f.nodeBlock[b]
+	if !oka || !okb {
+		return false
+	}
+	if !f.reachable[bb.Index] {
+		return true
+	}
+	if ba == bb {
+		return f.nodeIndex[a] <= f.nodeIndex[b]
+	}
+	return f.dominators()[bb.Index].get(ba.Index)
+}
+
+// ---- bitset ----
+
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+func newBitset(n int) *bitset {
+	return &bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (b *bitset) set(i int)      { b.words[i/64] |= 1 << (uint(i) % 64) }
+func (b *bitset) clear(i int)    { b.words[i/64] &^= 1 << (uint(i) % 64) }
+func (b *bitset) get(i int) bool { return b.words[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b *bitset) setAll() {
+	for i := 0; i < b.n; i++ {
+		b.set(i)
+	}
+}
+
+func (b *bitset) clearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+func (b *bitset) clone() *bitset {
+	c := newBitset(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+func (b *bitset) orWith(o *bitset) {
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+func (b *bitset) and(o *bitset) {
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+func (b *bitset) andNot(o *bitset) {
+	for i := range b.words {
+		b.words[i] &^= o.words[i]
+	}
+}
+
+func (b *bitset) equal(o *bitset) bool {
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}

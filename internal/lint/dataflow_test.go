@@ -1,0 +1,357 @@
+package lint
+
+// White-box tests for the dataflow engine: CFG shape, reaching
+// definitions, def-use chains, dominators, and the taint lattice. Each test
+// type-checks a small source snippet and asserts over the FuncFlow built
+// for a named function.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFlow type-checks src (a full file without the package clause) and
+// returns the FuncFlow of the named function plus the support objects.
+func parseFlow(t *testing.T, src, fnName string) (*FuncFlow, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow.go", "package flowtest\n"+src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("flowtest", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == fnName {
+			return BuildFlow(info, fn), info, fset
+		}
+	}
+	t.Fatalf("function %s not found", fnName)
+	return nil, nil, nil
+}
+
+// findIdent returns the n-th identifier (1-based) with the given name whose
+// use is recorded in the flow.
+func findUse(t *testing.T, f *FuncFlow, name string, nth int) *ast.Ident {
+	t.Helper()
+	count := 0
+	var hit *ast.Ident
+	ast.Inspect(f.Fn.Body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if _, recorded := f.uses[id]; recorded {
+				count++
+				if count == nth {
+					hit = id
+				}
+			}
+		}
+		return true
+	})
+	if hit == nil {
+		t.Fatalf("use %d of %q not found (saw %d)", nth, name, count)
+	}
+	return hit
+}
+
+func TestReachingDefsStraightLine(t *testing.T) {
+	f, _, _ := parseFlow(t, `
+func f() int {
+	x := 1
+	x = 2
+	return x
+}`, "f")
+	use := findUse(t, f, "x", 1) // the x in `return x`
+	defs := f.ReachingDefs(use)
+	if len(defs) != 1 {
+		t.Fatalf("got %d reaching defs, want 1 (the x = 2 rebinding kills x := 1)", len(defs))
+	}
+	if lit, ok := defs[0].RHS.(*ast.BasicLit); !ok || lit.Value != "2" {
+		t.Fatalf("reaching def RHS = %v, want the literal 2", defs[0].RHS)
+	}
+}
+
+func TestReachingDefsBranchMerge(t *testing.T) {
+	f, _, _ := parseFlow(t, `
+func g(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`, "g")
+	use := findUse(t, f, "x", 1)
+	defs := f.ReachingDefs(use)
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs at the merge, want both branches (2)", len(defs))
+	}
+}
+
+func TestReachingDefsLoopBackEdge(t *testing.T) {
+	f, _, _ := parseFlow(t, `
+func h(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s = s + i
+	}
+	return s
+}`, "h")
+	// The s inside `s + i` must see both the initial def and the loop def
+	// (via the back edge).
+	var use *ast.Ident
+	ast.Inspect(f.Fn.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := be.X.(*ast.Ident); ok && id.Name == "s" {
+			use = id
+		}
+		return true
+	})
+	if use == nil {
+		t.Fatal("no s + i expression found")
+	}
+	defs := f.ReachingDefs(use)
+	if len(defs) != 2 {
+		t.Fatalf("got %d defs reaching the loop body use, want 2 (init + back edge)", len(defs))
+	}
+}
+
+func TestDominates(t *testing.T) {
+	f, _, _ := parseFlow(t, `
+func d(c bool) (int, error) {
+	x := 0
+	if c {
+		x = 1
+		return x, nil
+	}
+	x = 2
+	return x, nil
+}`, "d")
+	var assigns []*ast.AssignStmt
+	var returns []*ast.ReturnStmt
+	ast.Inspect(f.Fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			assigns = append(assigns, n)
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		}
+		return true
+	})
+	if len(assigns) != 3 || len(returns) != 2 {
+		t.Fatalf("fixture shape: %d assigns, %d returns", len(assigns), len(returns))
+	}
+	x0, x1, x2 := assigns[0], assigns[1], assigns[2]
+	retThen, retTail := returns[0], returns[1]
+	if !f.Dominates(x0, retThen) || !f.Dominates(x0, retTail) {
+		t.Error("x := 0 must dominate both returns")
+	}
+	if !f.Dominates(x1, retThen) {
+		t.Error("x = 1 must dominate the then-branch return")
+	}
+	if f.Dominates(x1, retTail) {
+		t.Error("x = 1 must not dominate the tail return")
+	}
+	if f.Dominates(x2, retThen) {
+		t.Error("x = 2 must not dominate the then-branch return")
+	}
+	if !f.Dominates(retThen, retThen) {
+		t.Error("a node dominates itself")
+	}
+}
+
+func TestDominatesConditionGuard(t *testing.T) {
+	// The condition of an if dominates everything after the join — the
+	// shape batchonce relies on for `if n > 0 { flush() }` guards.
+	f, _, _ := parseFlow(t, `
+func c(n int, flush func()) error {
+	if n > 0 {
+		flush()
+	}
+	if n > 10 {
+		return nil
+	}
+	return nil
+}`, "c")
+	var cond ast.Expr
+	var rets []*ast.ReturnStmt
+	ast.Inspect(f.Fn.Body, func(m ast.Node) bool {
+		if ifs, ok := m.(*ast.IfStmt); ok && cond == nil {
+			cond = ifs.Cond
+		}
+		if r, ok := m.(*ast.ReturnStmt); ok {
+			rets = append(rets, r)
+		}
+		return true
+	})
+	for i, r := range rets {
+		if !f.Dominates(cond, r) {
+			t.Errorf("guard condition must dominate return %d", i)
+		}
+	}
+}
+
+func TestDeferredRecorded(t *testing.T) {
+	f, _, _ := parseFlow(t, `
+func d(flush func()) {
+	defer flush()
+}`, "d")
+	if len(f.Deferred) != 1 {
+		t.Fatalf("got %d deferred calls, want 1", len(f.Deferred))
+	}
+}
+
+func TestCFGHandlesControlShapes(t *testing.T) {
+	// Smoke: switch/select/labels/goto/range build without panicking and
+	// keep every return wired to the exit block.
+	f, _, _ := parseFlow(t, `
+func m(xs []int, ch chan int) int {
+outer:
+	for i, x := range xs {
+		switch {
+		case x > 0:
+			continue outer
+		case x < 0:
+			break outer
+		default:
+			goto done
+		}
+		select {
+		case v := <-ch:
+			_ = v
+		default:
+		}
+		_ = i
+	}
+done:
+	return 0
+}`, "m")
+	if len(f.Exit.Preds) == 0 {
+		t.Fatal("exit block has no predecessors")
+	}
+}
+
+func TestTaintPropagationAndCopyBreak(t *testing.T) {
+	f, info, _ := parseFlow(t, `
+func t(get func() []int) ([]int, []int, []int) {
+	s := get()
+	alias := s[1:]
+	fresh := append([]int(nil), s...)
+	grown := append(s, 9)
+	return alias, fresh, grown
+}`, "t")
+	seed := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "get"
+	}
+	taint := NewTaint(f, seed)
+	_ = info
+	want := map[string]bool{"s": true, "alias": true, "fresh": false, "grown": true}
+	for name, wantTainted := range want {
+		found := false
+		for i, d := range f.Defs {
+			if d.Id != nil && d.Id.Name == name {
+				found = true
+				if taint.tainted.get(i) != wantTainted {
+					t.Errorf("%s: tainted = %v, want %v", name, taint.tainted.get(i), wantTainted)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no def found for %s", name)
+		}
+	}
+}
+
+func TestTaintFlowSensitiveRebind(t *testing.T) {
+	f, _, _ := parseFlow(t, `
+func r(get func() []int) []int {
+	s := get()
+	_ = s
+	s = make([]int, 4)
+	return s
+}`, "r")
+	seed := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "get"
+	}
+	taint := NewTaint(f, seed)
+	// The returned s sees only the make() rebinding: not derived.
+	var retUse *ast.Ident
+	ast.Inspect(f.Fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			retUse = r.Results[0].(*ast.Ident)
+		}
+		return true
+	})
+	if taint.UseDerives(retUse) {
+		t.Error("return after rebinding to make() must not derive (flow-sensitive taint)")
+	}
+}
+
+func TestTaintStructCarrier(t *testing.T) {
+	f, _, _ := parseFlow(t, `
+type scratch struct{ buf []int }
+
+func c(get func() *scratch) []int {
+	sc := get()
+	b := sc.buf
+	return b
+}`, "c")
+	seed := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "get"
+	}
+	taint := NewTaint(f, seed)
+	var retUse *ast.Ident
+	ast.Inspect(f.Fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			retUse = r.Results[0].(*ast.Ident)
+		}
+		return true
+	})
+	if !taint.UseDerives(retUse) {
+		t.Error("field of a derived scratch struct must derive")
+	}
+}
+
+func TestFlowOfMemoizes(t *testing.T) {
+	f, info, fset := parseFlow(t, `
+func a() { _ = 1 }`, "a")
+	pass := &Pass{Fset: fset, TypesInfo: info}
+	got1 := pass.FlowOf(f.Fn)
+	got2 := pass.FlowOf(f.Fn)
+	if got1 != got2 {
+		t.Error("FlowOf must memoize per declaration")
+	}
+}

@@ -1,0 +1,170 @@
+package lint
+
+// The escape/retention lattice: per-definition taint propagation over the
+// def-use chains a FuncFlow provides. An analyzer names the expressions
+// that introduce a tracked value (a sync.Pool.Get result, a provider call),
+// and Taint answers whether any given expression may alias it. The lattice
+// is two-point (fresh | derived) but flow-sensitive: a variable rebound to
+// a fresh value stops being derived at that definition, because derivation
+// is judged per reaching definition, not per object.
+//
+// Aliasing rules (the §13 scratch-slab contract, DESIGN.md §14):
+//
+//   - assignment, slicing, *p, &x, parenthesization and type conversion
+//     preserve derivation;
+//   - selecting a field of a derived struct, or indexing a derived
+//     container whose elements are themselves reference-like (slice, map,
+//     pointer, chan), preserves derivation — a scratch struct carries its
+//     slabs, and a row of a derived [][]T aliases the pool;
+//   - indexing out a plain element value (uint32 from []uint32) is fresh;
+//   - append(derived, ...) stays derived (same backing array on the no-grow
+//     path), but append onto a fresh base — append([]T(nil), d...) — is the
+//     approved deep-copy idiom and is fresh;
+//   - copy, make, new and ordinary function calls produce fresh values
+//     unless the analyzer's seed function claims them.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Taint tracks which definitions of a function may alias a seeded value.
+type Taint struct {
+	flow    *FuncFlow
+	seed    func(ast.Expr) bool
+	tainted *bitset
+}
+
+// NewTaint builds the taint state for flow, seeding every expression for
+// which seed returns true, and propagates to a fixpoint over the def-use
+// chains.
+func NewTaint(flow *FuncFlow, seed func(ast.Expr) bool) *Taint {
+	t := &Taint{flow: flow, seed: seed, tainted: newBitset(len(flow.Defs))}
+	for changed := true; changed; {
+		changed = false
+		for i, d := range flow.Defs {
+			if t.tainted.get(i) {
+				continue
+			}
+			derived := false
+			if d.RHS != nil {
+				derived = t.ExprDerives(d.RHS)
+			} else if rs, ok := d.Node.(*ast.RangeStmt); ok {
+				// Range variables alias the container's elements.
+				derived = t.ExprDerives(rs.X) && refLike(d.Obj.Type())
+			}
+			if derived {
+				t.tainted.set(i)
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// ExprDerives reports whether e may alias a seeded value, per the aliasing
+// rules above.
+func (t *Taint) ExprDerives(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if t.seed(e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		bs := t.flow.reachingIndices(e)
+		if bs == nil {
+			return false
+		}
+		for i := range t.flow.Defs {
+			if bs.get(i) && t.tainted.get(i) {
+				return true
+			}
+		}
+		return false
+	case *ast.ParenExpr:
+		return t.ExprDerives(e.X)
+	case *ast.StarExpr:
+		return t.ExprDerives(e.X)
+	case *ast.UnaryExpr:
+		return t.ExprDerives(e.X)
+	case *ast.SelectorExpr:
+		// A field of a derived struct carries its slabs. (Selections on
+		// fresh package/objects fall out naturally: X won't derive.)
+		return t.ExprDerives(e.X)
+	case *ast.SliceExpr:
+		return t.ExprDerives(e.X)
+	case *ast.IndexExpr:
+		if !t.ExprDerives(e.X) {
+			return false
+		}
+		return refLike(typeOf(t.flow.info, e))
+	case *ast.TypeAssertExpr:
+		return t.ExprDerives(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if t.ExprDerives(v) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if tv, ok := t.flow.info.Types[e.Fun]; ok && tv.IsType() {
+			// Type conversion: []byte(d) etc. aliases for slice kinds,
+			// and conservatively derives in general.
+			if len(e.Args) == 1 {
+				return t.ExprDerives(e.Args[0])
+			}
+			return false
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			// append onto a derived base keeps the backing array; append
+			// onto a fresh base is the approved copy idiom, fresh even
+			// when the appended elements derive.
+			return t.ExprDerives(e.Args[0])
+		}
+		return false
+	}
+	return false
+}
+
+// UseDerives reports whether this identifier use may read a seeded value.
+func (t *Taint) UseDerives(id *ast.Ident) bool { return t.ExprDerives(id) }
+
+// TaintedDefs returns the definitions judged derived, for diagnostics.
+func (t *Taint) TaintedDefs() []Def {
+	var out []Def
+	for i := range t.flow.Defs {
+		if t.tainted.get(i) {
+			out = append(out, t.flow.Defs[i])
+		}
+	}
+	return out
+}
+
+// refLike reports whether values of type t alias underlying storage:
+// slices, maps, pointers, and channels do; plain scalars, strings, structs
+// and arrays (which copy) do not.
+func refLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// typeOf is TypesInfo.TypeOf against a bare *types.Info.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package lint
+
+// Suppression directives and their hygiene. A directive
+//
+//	//tsperrlint:ignore floatcmp exact tie-break is intentional
+//
+// names one or more analyzers (comma-separated) and carries a mandatory
+// free-text reason; it suppresses matching findings on its own line and
+// the line below. Because every directive is debt against a machine-checked
+// contract, the directives themselves are machine-checked: a malformed
+// directive, an unknown analyzer name, or a stale directive (suppressing
+// nothing) is a lint finding in its own right, reported under the
+// pseudo-analyzer name "ignore" after suppression filtering — so hygiene
+// findings cannot themselves be suppressed. cmd/tsperrlint's -ignores mode
+// inventories the directives and enforces the checked-in budget
+// (lint.budget), which only ever ratchets down.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// IgnoreName is the pseudo-analyzer under which directive-hygiene findings
+// are reported.
+const IgnoreName = "ignore"
+
+const ignorePrefix = "//tsperrlint:ignore"
+
+// Directive is one parsed //tsperrlint:ignore comment.
+type Directive struct {
+	Pos    token.Position
+	Names  []string // analyzer names the directive suppresses
+	Reason string   // mandatory justification
+	Err    string   // non-empty when the directive is malformed
+}
+
+// ParseDirectives extracts every suppression directive (including malformed
+// ones) from the files, in position order.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				d := Directive{Pos: fset.Position(c.Pos())}
+				rest := c.Text[len(ignorePrefix):]
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					// //tsperrlint:ignorefloatcmp — a typo, not a new verb.
+					d.Err = "malformed directive: expected `//tsperrlint:ignore <analyzers> <reason>`"
+					out = append(out, d)
+					continue
+				}
+				names, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				reason = strings.TrimSpace(reason)
+				if names == "" {
+					d.Err = "directive names no analyzer: write `//tsperrlint:ignore <analyzers> <reason>`"
+				} else if reason == "" {
+					d.Err = fmt.Sprintf("directive suppressing %q has no reason; every suppression must say why", names)
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						d.Names = append(d.Names, n)
+					}
+				}
+				d.Reason = reason
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppressionMap maps file:line to the analyzer names suppressed on that
+// line. Only well-formed directives suppress anything; a directive covers
+// its own line and the one below, so it works both trailing and preceding.
+func suppressionMap(dirs []Directive) map[string]map[string]bool {
+	sup := map[string]map[string]bool{}
+	for _, d := range dirs {
+		if d.Err != "" {
+			continue
+		}
+		for _, line := range []int{d.Pos.Line, d.Pos.Line + 1} {
+			key := fmt.Sprintf("%s:%d", d.Pos.Filename, line)
+			if sup[key] == nil {
+				sup[key] = map[string]bool{}
+			}
+			for _, n := range d.Names {
+				sup[key][n] = true
+			}
+		}
+	}
+	return sup
+}
+
+// checkDirectives produces the hygiene findings for dirs: malformed
+// directives, unknown analyzer names, and — for analyzers that actually ran
+// — stale directives whose lines carry no matching raw finding. Staleness
+// is only judged for analyzers in the run set; a floatcmp directive is not
+// stale merely because this invocation ran only ctxflow.
+func checkDirectives(dirs []Directive, ran []*Analyzer, raw []Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	inRun := map[string]bool{}
+	for _, a := range ran {
+		inRun[a.Name] = true
+	}
+	rawAt := map[string]bool{} // "file:line:analyzer"
+	for _, d := range raw {
+		rawAt[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Analyzer)] = true
+	}
+	var out []Diagnostic
+	report := func(d Directive, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      d.Pos,
+			Analyzer: IgnoreName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range dirs {
+		if d.Err != "" {
+			report(d, "%s", d.Err)
+			continue
+		}
+		for _, n := range d.Names {
+			if !known[n] {
+				report(d, "directive suppresses unknown analyzer %q; known analyzers: %s", n, analyzerNames())
+				continue
+			}
+			if !inRun[n] {
+				continue
+			}
+			stale := true
+			for _, line := range []int{d.Pos.Line, d.Pos.Line + 1} {
+				if rawAt[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, line, n)] {
+					stale = false
+					break
+				}
+			}
+			if stale {
+				report(d, "stale directive: %s reports nothing on this line or the next; delete the suppression", n)
+			}
+		}
+	}
+	return out
+}
+
+// analyzerNames renders the registered analyzer names for diagnostics.
+func analyzerNames() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -2,6 +2,7 @@ package lint_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tsperr/internal/lint"
@@ -39,10 +40,62 @@ func TestFloatCmp(t *testing.T) {
 	linttest.Run(t, lint.FloatCmp, fixture("floatcmp"), "fixture/floatcmp")
 }
 
+func TestDetSource(t *testing.T) {
+	// The fixture is checked under a montecarlo import path so it falls
+	// inside DetSourceScope.
+	linttest.Run(t, lint.DetSource, fixture("detsource"), "tsperr/internal/montecarlo")
+}
+
+func TestDetSourceOutOfScope(t *testing.T) {
+	pkg, diags := linttest.MustRun(t, lint.DetSource, fixture("detsource"), "fixture/detsource")
+	if len(diags) != 0 {
+		t.Fatalf("detsource out of scope reported %d diagnostics in %s, want 0: %v", len(diags), pkg.PkgPath, diags)
+	}
+}
+
+func TestSlabAlias(t *testing.T) {
+	linttest.Run(t, lint.SlabAlias, fixture("slabalias"), "fixture/slabalias")
+}
+
+func TestBatchOnce(t *testing.T) {
+	linttest.Run(t, lint.BatchOnce, fixture("batchonce"), "fixture/batchonce")
+}
+
+// TestIgnoreHygiene pins the directive hygiene: malformed, unknown and
+// stale suppressions are findings under the "ignore" pseudo-analyzer, and
+// a broken directive suppresses nothing, so the underlying finding
+// surfaces alongside it. Expectations are explicit (not `// want`) because
+// a want comment cannot share a line with the directive it describes.
+func TestIgnoreHygiene(t *testing.T) {
+	_, diags := linttest.MustRun(t, lint.FloatCmp, fixture("ignores"), "fixture/ignores")
+	want := []struct {
+		line     int
+		analyzer string
+		substr   string
+	}{
+		{20, "ignore", "has no reason"},
+		{21, "floatcmp", "between floating-point expressions"},
+		{27, "ignore", `unknown analyzer "floatcompare"`},
+		{28, "floatcmp", "between floating-point expressions"},
+		{34, "ignore", "stale directive"},
+		{43, "floatcmp", "between floating-point expressions"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Pos.Line != w.line || d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.substr) {
+			t.Errorf("diag %d = %s:%d [%s] %q; want line %d [%s] containing %q",
+				i, d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
 func TestByName(t *testing.T) {
 	all, err := lint.ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 7, nil", len(all), err)
 	}
 	two, err := lint.ByName("floatcmp, ctxflow")
 	if err != nil || len(two) != 2 {

@@ -115,7 +115,12 @@ func isAppendCall(e ast.Expr) bool {
 // sortedAfter reports whether the slice assigned by the append is passed
 // to a sort.* or slices.* call after the range loop in the same function —
 // the second half of the collect-sort-range pattern, which erases the
-// recorded iteration order.
+// recorded iteration order. The sorted value may be the collector itself
+// or a one-hop alias taken after the loop (the bucket idiom:
+// `s := buckets[b]; sort.Slice(s, ...)` sorts the bucket through s, since
+// the alias shares the backing array). An alias taken before the loop does
+// not count — appends inside the loop can reallocate away from it, leaving
+// the collected slice unsorted.
 func sortedAfter(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, lhs ast.Expr) bool {
 	root := rootIdent(lhs)
 	if root == nil {
@@ -143,7 +148,11 @@ func sortedAfter(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, lhs ast.Expr) 
 			return true
 		}
 		for _, arg := range call.Args {
-			if id := rootIdent(arg); id != nil && pass.TypesInfo.ObjectOf(id) == obj {
+			id := rootIdent(arg)
+			if id == nil {
+				continue
+			}
+			if pass.TypesInfo.ObjectOf(id) == obj || aliasOfAfter(pass, fn, id, obj, rs.End()) {
 				found = true
 				break
 			}
@@ -151,4 +160,24 @@ func sortedAfter(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, lhs ast.Expr) 
 		return !found
 	})
 	return found
+}
+
+// aliasOfAfter reports whether every definition reaching this use of id was
+// taken from obj after pos — a post-loop alias of the collected slice, per
+// the function's def-use chains.
+func aliasOfAfter(pass *Pass, fn *ast.FuncDecl, id *ast.Ident, obj types.Object, pos token.Pos) bool {
+	defs := pass.FlowOf(fn).ReachingDefs(id)
+	if len(defs) == 0 {
+		return false
+	}
+	for _, d := range defs {
+		if d.RHS == nil || d.Id == nil || d.Id.Pos() < pos {
+			return false
+		}
+		r := rootIdent(d.RHS)
+		if r == nil || pass.TypesInfo.ObjectOf(r) != obj {
+			return false
+		}
+	}
+	return true
 }

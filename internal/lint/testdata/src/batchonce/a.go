@@ -1,0 +1,86 @@
+// Package batchonce fixtures: error exits in batch-observer loops that
+// drop the pending partial batch. The local BatchObserver mirrors
+// cpu.BatchObserver — the analyzer keys on the named type, not the
+// package.
+package batchonce
+
+import "errors"
+
+type BatchObserver func([]int)
+
+// bad returns on the error path without flushing what accumulated.
+func bad(batch BatchObserver, xs []int) error {
+	buf := make([]int, 0, 4)
+	for _, x := range xs {
+		buf = append(buf, x)
+		if x < 0 {
+			return errors.New("negative input") // want `error exit is not dominated by a batch flush`
+		}
+		if len(buf) == 4 {
+			batch(buf)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		batch(buf)
+	}
+	return nil
+}
+
+// good flushes the partial batch before every error return; the guard
+// condition dominates the exit, so an empty batch is fine too.
+func good(batch BatchObserver, xs []int) error {
+	buf := make([]int, 0, 4)
+	for _, x := range xs {
+		if x < 0 {
+			if len(buf) > 0 {
+				batch(buf)
+			}
+			return errors.New("negative input") // guarded flush dominates: clean
+		}
+		buf = append(buf, x)
+		if len(buf) == 4 {
+			batch(buf)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		batch(buf)
+	}
+	return nil
+}
+
+// deferredFlush delivers the tail batch on every exit path via defer.
+func deferredFlush(batch BatchObserver, xs []int) error {
+	buf := append([]int(nil), xs...)
+	defer batch(buf)
+	if len(xs) == 0 {
+		return errors.New("empty") // deferred flush covers this: clean
+	}
+	return nil
+}
+
+// outerGuardDoesNotCount: the flush is guarded by the inner condition;
+// the *outer* if's condition must not be credited, or the error return in
+// the second branch would be blessed without any flush on its path.
+func outerGuardDoesNotCount(batch BatchObserver, buf []int, c bool) error {
+	if c {
+		if len(buf) > 0 {
+			batch(buf)
+		}
+		buf = buf[:0]
+	}
+	if !c {
+		return errors.New("unflushed path") // want `error exit is not dominated by a batch flush`
+	}
+	return nil
+}
+
+// successExitsAreFree: only error returns need the flush guarantee.
+func successExitsAreFree(batch BatchObserver, xs []int) error {
+	if len(xs) == 0 {
+		return nil // success exit: clean
+	}
+	batch(xs)
+	return nil
+}

@@ -1,0 +1,88 @@
+// Package detsource fixtures: nondeterministic inputs in result-determining
+// code. Checked under the import path tsperr/internal/montecarlo so the
+// scope rule fires; the out-of-scope test loads the same files under
+// fixture/detsource and expects silence.
+package detsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+// rng stands in for numeric.RNG: detsource keys on the constructor name.
+type rng struct{ s uint64 }
+
+func NewRNG(seed uint64) *rng { return &rng{s: seed} }
+
+// chunkSeed mirrors montecarlo's SplitMix64 per-chunk derivation; seedOK
+// recognizes it by name.
+func chunkSeed(seed uint64, chunk int) uint64 {
+	return seed ^ (uint64(chunk)+1)*0x9E3779B97F4A7C15
+}
+
+type spec struct{ Seed uint64 }
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a result-determining package`
+}
+
+func globalRand() uint64 {
+	return rand.Uint64() // want `global math/rand`
+}
+
+func localRandMethodIsFine(r *rand.Rand) int64 {
+	return r.Int63() // deterministic local generator: clean
+}
+
+func goodSeeds(sp spec, seed uint64, chunks int) []*rng {
+	out := make([]*rng, 0, chunks)
+	out = append(out, NewRNG(sp.Seed))        // configuration field: clean
+	out = append(out, NewRNG(seed^0xDEADBEEF)) // parameter arithmetic: clean
+	derived := sp.Seed ^ 0x9E3779B97F4A7C15
+	out = append(out, NewRNG(derived)) // flows from configuration: clean
+	for i := 0; i < chunks; i++ {
+		out = append(out, NewRNG(chunkSeed(seed, i))) // derivation helper: clean
+	}
+	return out
+}
+
+func badSeeds(xs []uint64) []*rng {
+	var out []*rng
+	for i := range xs {
+		out = append(out, NewRNG(uint64(i))) // want `seed does not flow from configuration`
+	}
+	s := uint64(len(xs))
+	out = append(out, NewRNG(s)) // want `seed does not flow from configuration`
+	return out
+}
+
+func pickByIteration(m map[string]int) (string, int) {
+	for k, v := range m {
+		return k, v // want `map iteration order`
+	}
+	return "", 0
+}
+
+func lastWins(m map[string]int) string {
+	best := ""
+	for k := range m {
+		best = k // want `iteration order`
+	}
+	return best
+}
+
+func keyedWritesAreFine(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // set semantics: clean
+	}
+	return out
+}
+
+func collectThenReduce(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect for sorting: clean
+	}
+	return keys
+}

@@ -1,0 +1,44 @@
+// Fixture for suppression-directive hygiene, run with the floatcmp
+// analyzer: a valid directive suppresses its finding silently; malformed,
+// unknown-analyzer, and stale directives are findings themselves, reported
+// under the "ignore" pseudo-analyzer. Expectations live in
+// TestIgnoreHygiene (lint_test.go) rather than `// want` comments, because
+// a want comment cannot share a line with the directive comment it
+// describes.
+package fixture
+
+// validSuppression: well-formed, names a real analyzer, and covers a real
+// finding — no hygiene report, no floatcmp report.
+func validSuppression(a, b float64) bool {
+	//tsperrlint:ignore floatcmp exact tie on bit-identical inputs is intended
+	return a == b
+}
+
+// missingReason: the justification is mandatory, and the
+// unsuppressed finding surfaces too.
+func missingReason(a, b float64) bool {
+	//tsperrlint:ignore floatcmp
+	return a == b
+}
+
+// unknownAnalyzer: directives must name analyzers that exist;
+// the misspelled name suppresses nothing, so the comparison below reports as well.
+func unknownAnalyzer(a, b float64) bool {
+	//tsperrlint:ignore floatcompare exact tie is intended
+	return a == b
+}
+
+// staleSuppression: the directive covers a line where floatcmp
+// reports nothing, so it is dead weight that would mask a regression.
+func staleSuppression(a, b int) bool {
+	//tsperrlint:ignore floatcmp integers were floats once
+	return a == b
+}
+
+// outOfRunSet: ctxflow is real but not in this invocation's run
+// set, so its staleness is not judged; the floatcmp finding below
+// still surfaces because the directive does not name floatcmp.
+func outOfRunSet(a, b float64) bool {
+	//tsperrlint:ignore ctxflow the loop below is bounded by the spec
+	return a == b
+}

@@ -56,6 +56,34 @@ func sortedKeys(m map[string]float64) float64 {
 	return total
 }
 
+// bucketSort collects into buckets inside the loop and sorts each bucket
+// afterwards through a one-hop alias — the cfg.Profile.IncomingEdges
+// idiom. The alias shares the bucket's backing array, so sorting it erases
+// the recorded iteration order: clean.
+func bucketSort(m map[int]int) [][]int {
+	buckets := make([][]int, 4)
+	for k := range m {
+		buckets[k%4] = append(buckets[k%4], k)
+	}
+	for b := range buckets {
+		s := buckets[b]
+		sort.Ints(s)
+	}
+	return buckets
+}
+
+// staleAlias takes the alias before the loop: the appends inside the loop
+// can reallocate away from it, so sorting the stale alias fixes nothing.
+func staleAlias(m map[int]int) []int {
+	var vals []int
+	s := vals
+	for k := range m {
+		vals = append(vals, k) // want `append to a slice that outlives`
+	}
+	sort.Ints(s)
+	return vals
+}
+
 // intCounting is commutative and must not be flagged.
 func intCounting(m map[string]int) int {
 	n := 0

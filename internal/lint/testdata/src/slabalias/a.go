@@ -1,0 +1,89 @@
+// Package slabalias fixtures: pool-derived scratch values escaping their
+// owner's Release. The pool layer (getBuf/putBuf) touches sync.Pool
+// directly and is exempt; everything downstream must copy before letting
+// a slab outlive the function.
+package slabalias
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return make([]int, 0, 64) }}
+
+// getBuf and putBuf are the pool layer: they call Pool.Get/Put directly,
+// so minting and retiring slabs here is their job, not a finding.
+func getBuf() []int  { return pool.Get().([]int)[:0] }
+func putBuf(s []int) { pool.Put(s) }
+
+// owner carries a slab through its documented lifecycle: storing into it
+// is fine because Release returns the slab to the pool.
+type owner struct{ buf []int }
+
+func (o *owner) Release() { putBuf(o.buf) }
+
+// holder has no Release: it cannot own a slab.
+type holder struct{ buf []int }
+
+var global []int
+
+func returnsSlab() []int {
+	s := getBuf()
+	return s // want `slab-derived value returned`
+}
+
+func returnsCopy() []int {
+	s := getBuf()
+	defer putBuf(s)
+	return append([]int(nil), s...) // copy first: clean
+}
+
+func storesToField(h *holder) {
+	s := getBuf()
+	h.buf = s // want `stored to field buf of a type without a Release method`
+}
+
+func storesToOwner() *owner {
+	s := getBuf()
+	return &owner{buf: s} // owner has Release: clean
+}
+
+func storesToHolderLit() *holder {
+	s := getBuf()
+	return &holder{buf: s} // want `stored into a holder literal`
+}
+
+func storesToGlobal() {
+	s := getBuf()
+	global = s // want `stored to package-level global`
+}
+
+func sendsOnChannel(ch chan []int) {
+	s := getBuf()
+	ch <- s // want `sent on a channel`
+}
+
+func launchesGoroutine(done chan struct{}) {
+	s := getBuf()
+	go func() { // want `goroutine closure captures slab-derived "s"`
+		_ = s[0]
+		close(done)
+	}()
+}
+
+func returnsClosure() func() int {
+	s := getBuf()
+	return func() int { return len(s) } // want `closure returned captures slab-derived "s"`
+}
+
+func synchronousClosureIsFine(apply func(func())) int {
+	s := getBuf()
+	defer putBuf(s)
+	total := 0
+	apply(func() { total += len(s) }) // plain call argument: clean
+	return total
+}
+
+func rebindingClearsTaint() []int {
+	s := getBuf()
+	putBuf(s)
+	s = make([]int, 8)
+	return s // rebound to a fresh slice: clean (flow-sensitive)
+}

@@ -93,7 +93,6 @@ func TestMergeStatsOrderIsFixed(t *testing.T) {
 		}
 		want := pairwiseRef(chunks)
 		got := MergeStats(chunks)
-		//tsperrlint:ignore floatcmp the pairwise reduction is pinned bit-identical to the reference tree, not approximate
 		if got != want {
 			t.Errorf("n=%d: MergeStats = %+v, want %+v", n, got, want)
 		}
