@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-fix-check check fuzz cover smoke smoke-cluster bench pprof clean
+.PHONY: all build test lint lint-fix-check check fuzz cover smoke smoke-cluster smoke-surrogate bench pprof clean
 
 all: build
 
@@ -67,6 +67,12 @@ smoke:
 # complete validation byte-identical to a single-node run, then drain cleanly.
 smoke-cluster:
 	./scripts/tsperrd-cluster-smoke.sh
+
+# `make smoke-surrogate` runs the two-tier daemon end to end: untrained
+# escalations, background training, shadow residuals from forced-exact
+# requests, the response tier field, and a SIGTERM drain.
+smoke-surrogate:
+	./scripts/tsperrd-surrogate-smoke.sh
 
 # `make bench` records the full benchmark suite as go-test JSON events in
 # BENCH_<date>.json (benchstat-friendly after extracting the output lines:

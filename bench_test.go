@@ -27,6 +27,7 @@ import (
 	"tsperr/internal/netlist"
 	"tsperr/internal/numeric"
 	"tsperr/internal/sta"
+	"tsperr/internal/surrogate"
 	"tsperr/internal/variation"
 )
 
@@ -665,5 +666,44 @@ func BenchmarkAnalyzeScenarioPool(b *testing.B) {
 	}
 	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
 		b.ReportMetric(float64(scenarios*b.N)/elapsed, "scenarios/s")
+	}
+}
+
+// BenchmarkEstimateSurrogateHit measures the surrogate fast tier's serving
+// path — benchmark-name resolution, feature extraction, and the
+// confidence-gated forest prediction — on a tier trained from the suite's
+// exact labels. Compare with BenchmarkEndToEndWarm (the exact warm path,
+// ~1.3ms): a surrogate hit must be at least two orders of magnitude cheaper
+// for the two-tier design to pay off.
+func BenchmarkEstimateSurrogateHit(b *testing.B) {
+	fw, err := harness.SharedFramework()
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, err := harness.SurrogateEvalSamples(context.Background(), nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tier, err := surrogate.New(surrogate.Config{Fingerprint: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range samples {
+		tier.Observe(s.Features, s.Log10Rate)
+	}
+	if err := tier.Retrain(); err != nil {
+		b.Fatal(err)
+	}
+	tier.Quiesce()
+	adapter := harness.NewSurrogateAdapter(fw, tier)
+	if d := adapter.Decide("stringsearch", 4, 0); !d.Serve {
+		b.Fatalf("gate escalated (%s); the benchmark must measure the serving path", d.Reason)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := adapter.Decide("stringsearch", 4, 0); !d.Serve {
+			b.Fatal("gate escalated mid-benchmark")
+		}
 	}
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// The smoke tests re-exec the test binary as the real command: TestMain
+// diverts into main() when the marker env var is set, so flag parsing,
+// usage text, and exit codes are exercised through the genuine entry point
+// without a separate `go build`.
+func TestMain(m *testing.M) {
+	if os.Getenv("TSPERR_SMOKE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runSelf invokes the command under test with args and returns its exit
+// code plus captured stdout/stderr.
+func runSelf(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TSPERR_SMOKE_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, out.String(), errb.String()
+}
+
+func TestSmokeNoArgsIsUsage(t *testing.T) {
+	code, _, stderr := runSelf(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (usage)\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "usage: oppoint") {
+		t.Errorf("stderr missing usage line: %s", stderr)
+	}
+}
+
+func TestSmokeTooManyArgsIsUsage(t *testing.T) {
+	code, _, stderr := runSelf(t, "dijkstra", "typeset")
+	if code != 2 || !strings.Contains(stderr, "usage: oppoint") {
+		t.Fatalf("exit = %d, stderr = %s; want usage error", code, stderr)
+	}
+}
+
+func TestSmokeUnknownFlagIsUsage(t *testing.T) {
+	code, _, stderr := runSelf(t, "-no-such-flag", "dijkstra")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "no-such-flag") {
+		t.Errorf("stderr does not name the bad flag: %s", stderr)
+	}
+}
+
+func TestSmokeBadRatioIsFailure(t *testing.T) {
+	code, _, stderr := runSelf(t, "-ratios", "1.05,oops", "dijkstra")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (failure)\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "oops") {
+		t.Errorf("stderr does not name the bad ratio token: %s", stderr)
+	}
+}
+
+func TestSmokeUnknownBenchmarkIsFailure(t *testing.T) {
+	code, _, stderr := runSelf(t, "no-such-benchmark")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (failure)\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "no-such-benchmark") {
+		t.Errorf("stderr does not name the benchmark: %s", stderr)
+	}
+}

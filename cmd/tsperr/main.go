@@ -7,6 +7,7 @@
 //	tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N]
 //	       [-mc-trials N] [-mc-seed S] [-json] [-explain] <benchmark>
 //	tsperr -batch suite.json [-json] [flags]
+//	tsperr -surrogate-eval [-surrogate-holdout F] [-surrogate-seed S] [-json]
 //
 // Run with no arguments to list the available benchmarks. With -batch, the
 // argument is a suite file ({"entries":[{"benchmark":...,"scenarios":...}]})
@@ -77,12 +78,25 @@ func main() {
 	mcSeed := flag.Uint64("mc-seed", 0, "Monte Carlo seed (0 = the pipeline default)")
 	batchPath := flag.String("batch", "",
 		"run a JSON suite file instead of one benchmark; identical entries compute once")
+	surrogateEval := flag.Bool("surrogate-eval", false,
+		"evaluate the ML surrogate fast tier: label the suite exactly, train on a split, print the coverage-vs-accuracy curve")
+	surrogateHoldout := flag.Float64("surrogate-holdout", 0,
+		"held-out fraction for -surrogate-eval (0 = 0.3 default)")
+	surrogateSeed := flag.Uint64("surrogate-seed", 42, "train/test split seed for -surrogate-eval")
 	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
 	harness.SetModelCache(modelCache())
 
 	if *explain {
 		fmt.Println(explainText)
+		return
+	}
+	if *surrogateEval {
+		if flag.NArg() != 0 || *batchPath != "" {
+			fmt.Fprintln(os.Stderr, "usage: tsperr -surrogate-eval [-surrogate-holdout F] [-surrogate-seed S] [-timeout D] [-json]")
+			os.Exit(cliutil.ExitUsage)
+		}
+		runSurrogateEval(*timeout, *surrogateHoldout, *surrogateSeed, *jsonOut)
 		return
 	}
 	opts := core.AnalyzeOpts{

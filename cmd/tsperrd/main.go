@@ -11,6 +11,20 @@
 //	        [-role single|coordinator|worker] [-peers URL,URL,...]
 //	        [-probe-interval D] [-chunk-timeout D] [-hedge-after D]
 //	        [-peer-concurrency N]
+//	        [-surrogate off|shadow|serve] [-surrogate-max-std S]
+//	        [-surrogate-guard-band S] [-surrogate-min-train N]
+//	        [-surrogate-retrain N]
+//
+// Surrogate fast tier:
+//
+//	off     (default) every estimate runs the exact pipeline
+//	shadow  the ML surrogate trains on every exact result and its accuracy
+//	        is tracked in /metrics (residual histogram), but it never serves
+//	serve   confident predictions answer POST /v1/estimate directly (tier
+//	        "surrogate" in the response); uncertain or near-threshold ones
+//	        escalate to the exact pipeline, whose results keep training the
+//	        model. The trained surrogate persists in the model cache keyed
+//	        on the model fingerprint.
 //
 // Cluster roles:
 //
@@ -53,18 +67,52 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"tsperr/internal/cell"
 	"tsperr/internal/cliutil"
 	"tsperr/internal/cluster"
+	"tsperr/internal/core"
 	"tsperr/internal/errormodel"
 	"tsperr/internal/harness"
 	"tsperr/internal/mibench"
 	"tsperr/internal/modelcache"
 	"tsperr/internal/server"
+	"tsperr/internal/surrogate"
 )
+
+// lazySurrogate defers the fast tier's construction to model warm-up (the
+// adapter needs the shared framework) while giving server.New a stable
+// handle at startup. Until set() publishes the real adapter every request
+// escalates as untrained — the same behavior a freshly trained-out tier has.
+type lazySurrogate struct {
+	adapter atomic.Pointer[harness.SurrogateAdapter]
+}
+
+func (l *lazySurrogate) set(a *harness.SurrogateAdapter) { l.adapter.Store(a) }
+
+func (l *lazySurrogate) Decide(benchmark string, scenarios int, threshold float64) server.SurrogateDecision {
+	if a := l.adapter.Load(); a != nil {
+		return a.Decide(benchmark, scenarios, threshold)
+	}
+	return server.SurrogateDecision{Reason: surrogate.ReasonUntrained}
+}
+
+func (l *lazySurrogate) Observe(benchmark string, scenarios int, rep *core.Report) (float64, bool) {
+	if a := l.adapter.Load(); a != nil {
+		return a.Observe(benchmark, scenarios, rep)
+	}
+	return 0, false
+}
+
+func (l *lazySurrogate) Stats() server.SurrogateStats {
+	if a := l.adapter.Load(); a != nil {
+		return a.Stats()
+	}
+	return server.SurrogateStats{}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -97,6 +145,16 @@ func main() {
 		"speculatively re-dispatch a chunk still in flight after this long (0 = chunk-timeout/2)")
 	peerConcurrency := flag.Int("peer-concurrency", 0,
 		"chunks kept in flight per healthy peer (0 = 2 default)")
+	surrogateMode := flag.String("surrogate", server.SurrogateOff,
+		"ML fast tier: off, shadow (train and track accuracy only), or serve (confident predictions answer directly)")
+	surrogateMaxStd := flag.Float64("surrogate-max-std", 0,
+		"serve only predictions whose log10 uncertainty is within this bound (0 = 0.25 default)")
+	surrogateGuardBand := flag.Float64("surrogate-guard-band", 0,
+		"escalate predictions within this log10 distance of a request's error_rate_threshold (0 = 0.15 default)")
+	surrogateMinTrain := flag.Int("surrogate-min-train", 0,
+		"exact results observed before the surrogate first trains (0 = 32 default)")
+	surrogateRetrain := flag.Int("surrogate-retrain", 0,
+		"new observations between surrogate retrainings (0 = 16 default)")
 	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -110,6 +168,16 @@ func main() {
 	// operating points or library revisions — and cluster nodes with
 	// different models refuse each other's chunks instead of mixing bits.
 	fingerprint := modelcache.Key(errormodel.DefaultOptions(), cell.Fingerprint())
+
+	var lazyTier *lazySurrogate
+	switch *surrogateMode {
+	case server.SurrogateOff:
+	case server.SurrogateShadow, server.SurrogateServe:
+		lazyTier = &lazySurrogate{}
+	default:
+		fmt.Fprintf(os.Stderr, "tsperrd: unknown -surrogate %q (off, shadow, serve)\n", *surrogateMode)
+		os.Exit(cliutil.ExitUsage)
+	}
 
 	var coord *cluster.Coordinator
 	var chunkSource cluster.SpecSource
@@ -175,6 +243,10 @@ func main() {
 	if coord != nil {
 		cfg.Cluster = coord
 	}
+	if lazyTier != nil {
+		cfg.Surrogate = lazyTier
+		cfg.SurrogateMode = *surrogateMode
+	}
 	srv, err := server.New(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -189,8 +261,35 @@ func main() {
 	// or, with a warm model cache, restore in well under a second.
 	go func() {
 		t0 := time.Now()
-		if _, err := harness.SharedFramework(); err != nil {
+		fw, err := harness.SharedFramework()
+		if err != nil {
 			log.Fatalf("model warm-up failed: %v", err)
+		}
+		if lazyTier != nil {
+			dir := ""
+			if enabled, d := modelCache(); enabled {
+				if d == "" {
+					if def, err := modelcache.DefaultDir(); err == nil {
+						d = def
+					}
+				}
+				dir = d
+			}
+			tier, err := surrogate.New(surrogate.Config{
+				Fingerprint:  fingerprint,
+				Dir:          dir,
+				MaxStd:       *surrogateMaxStd,
+				GuardBand:    *surrogateGuardBand,
+				MinTrain:     *surrogateMinTrain,
+				RetrainEvery: *surrogateRetrain,
+			})
+			if err != nil {
+				log.Fatalf("surrogate tier failed: %v", err)
+			}
+			lazyTier.set(harness.NewSurrogateAdapter(fw, tier))
+			st := tier.Stats()
+			log.Printf("surrogate fast tier %s (model v%d, %d training rows)",
+				*surrogateMode, st.ModelVersion, st.TrainSize)
 		}
 		srv.SetReady()
 		log.Printf("model warm in %.2fs; serving estimates", time.Since(t0).Seconds())
@@ -232,6 +331,13 @@ func main() {
 	srv.Close()
 	if coord != nil {
 		coord.Stop()
+	}
+	if lazyTier != nil {
+		// Let an in-flight background retraining finish (and persist) before
+		// the process exits.
+		if a := lazyTier.adapter.Load(); a != nil {
+			a.Tier().Quiesce()
+		}
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

@@ -175,6 +175,13 @@ type Report struct {
 	// MC carries the Monte Carlo validation of the estimate when
 	// AnalyzeOpts.MCTrials requested one (nil otherwise).
 	MC *MCValidation
+	// Tier is TierExact or TierSurrogate on reports produced by the two-tier
+	// service; the analysis pipeline itself leaves it empty (read as exact)
+	// so pre-surrogate wire bytes are unchanged.
+	Tier string
+	// Surrogate carries the fast-tier prediction metadata on surrogate-tier
+	// reports (nil on exact reports).
+	Surrogate *SurrogateMeta
 
 	// scenarioCount and wireFailures preserve the wire-schema scenario count
 	// and flattened failure strings across a JSON round trip: a coordinator

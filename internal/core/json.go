@@ -33,6 +33,11 @@ type reportJSON struct {
 	// MC is the sharded Monte Carlo validation when one was requested
 	// (AnalyzeOpts.MCTrials > 0); its fields carry their own json tags.
 	MC *MCValidation `json:"montecarlo,omitempty"`
+	// Tier and Surrogate are the two-tier service annotations; both are
+	// omitted on reports that predate the surrogate (read as exact), so the
+	// pre-surrogate wire bytes are unchanged.
+	Tier      string         `json:"tier,omitempty"`
+	Surrogate *SurrogateMeta `json:"surrogate,omitempty"`
 }
 
 // estimateJSON is the wire form of an Estimate: the lambda distribution, the
@@ -76,6 +81,8 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Failures:        failures,
 		Estimate:        r.Estimate,
 		MC:              r.MC,
+		Tier:            r.Tier,
+		Surrogate:       r.Surrogate,
 	}
 	return json.Marshal(out)
 }
@@ -102,6 +109,8 @@ func (r *Report) UnmarshalJSON(b []byte) error {
 		Degraded:        in.Degraded,
 		FailedScenarios: in.FailedScenarios,
 		MC:              in.MC,
+		Tier:            in.Tier,
+		Surrogate:       in.Surrogate,
 		scenarioCount:   in.Scenarios,
 		wireFailures:    in.Failures,
 	}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"tsperr/internal/isa"
+)
+
+func TestSurrogateFeaturesShapeAndDeterminism(t *testing.T) {
+	f := testFramework(t)
+	prog := isa.MustAssemble("sumloop", fwProg)
+
+	a := f.SurrogateFeatures(prog, 4)
+	if len(a) != NumSurrogateFeatures {
+		t.Fatalf("feature count = %d, want %d", len(a), NumSurrogateFeatures)
+	}
+	for i, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %d is not finite: %g", i, v)
+		}
+	}
+	b := f.SurrogateFeatures(prog, 4)
+	for i := range a {
+		// Determinism is a bit-identity contract, so compare the raw bits.
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("feature %d not deterministic: %g vs %g", i, a[i], b[i])
+		}
+	}
+
+	// The op-class fractions partition the static instruction mix.
+	fracSum := a[3] + a[4] + a[5] + a[6] + a[7]
+	if math.Abs(fracSum-1) > 1e-12 {
+		t.Errorf("op-class fractions sum to %g, want 1", fracSum)
+	}
+	// sumloop is adder-heavy (lw/add/addi/blt/sw) with no shifts or muls.
+	if a[3] <= 0.4 || a[4] != 0 || a[6] != 0 {
+		t.Errorf("op-class mix implausible for sumloop: adder %g shift %g mul %g", a[3], a[4], a[6])
+	}
+
+	// Scenario count is a live feature; everything else static stays put.
+	c := f.SurrogateFeatures(prog, 8)
+	if c[1] <= a[1] {
+		t.Errorf("scenario feature did not grow: %g vs %g", c[1], a[1])
+	}
+	for i := range a {
+		if i == 1 {
+			continue
+		}
+		if math.Float64bits(c[i]) != math.Float64bits(a[i]) {
+			t.Errorf("feature %d depends on scenario count: %g vs %g", i, c[i], a[i])
+		}
+	}
+
+	// Degenerate inputs return a zero vector, never panic.
+	if z := f.SurrogateFeatures(nil, 4); len(z) != NumSurrogateFeatures {
+		t.Error("nil program did not produce the schema-length vector")
+	}
+	if z := f.SurrogateFeatures(prog, 0); z[0] != 0 {
+		t.Error("zero scenarios did not produce a zero vector")
+	}
+}
+
+func TestSafeLog10Floor(t *testing.T) {
+	if got := safeLog10(0); got != surrogateLogFloor {
+		t.Errorf("safeLog10(0) = %g", got)
+	}
+	if got := safeLog10(1e-40); got != surrogateLogFloor {
+		t.Errorf("safeLog10(1e-40) = %g, want floor", got)
+	}
+	if got := safeLog10(0.01); got != -2 {
+		t.Errorf("safeLog10(0.01) = %g", got)
+	}
+}
+
+// TestReportTierJSONRoundTrip pins the two-tier wire annotations: an exact
+// report without a tier emits the pre-surrogate bytes (no tier/surrogate
+// keys), and a surrogate-tier report round-trips its metadata bit-exactly.
+func TestReportTierJSONRoundTrip(t *testing.T) {
+	exact := &Report{Name: "bench", Instructions: 100, BasicBlocks: 3}
+	b, err := json.Marshal(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "tier") || strings.Contains(string(b), "surrogate") {
+		t.Fatalf("tier-less report leaked two-tier keys: %s", b)
+	}
+
+	sur := &Report{
+		Name: "bench",
+		Tier: TierSurrogate,
+		Surrogate: &SurrogateMeta{
+			PredictedErrorRate: 2.5e-4,
+			PredictedLog10:     math.Log10(2.5e-4),
+			StdLog10:           0.11,
+			Bound:              0.25,
+			ModelVersion:       7,
+			TrainSize:          96,
+		},
+	}
+	b, err = json.Marshal(sur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tier != TierSurrogate || back.Surrogate == nil {
+		t.Fatalf("tier lost in round trip: %+v", back)
+	}
+	if *back.Surrogate != *sur.Surrogate {
+		t.Errorf("surrogate metadata mangled: %+v vs %+v", back.Surrogate, sur.Surrogate)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b2) != string(b) {
+		t.Errorf("re-marshal not byte-identical:\n%s\n%s", b, b2)
+	}
+}

@@ -50,6 +50,8 @@ var DetSourceScope = []string{
 	"tsperr/internal/cfg",
 	"tsperr/internal/errormodel",
 	"tsperr/internal/dist",
+	"tsperr/internal/mlpred",
+	"tsperr/internal/surrogate",
 }
 
 // seedHelperRe recognizes seed-derivation helpers by name: chunkSeed,

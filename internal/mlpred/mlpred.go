@@ -44,8 +44,15 @@ type node struct {
 
 // Config controls training.
 type Config struct {
+	// MaxDepth bounds the tree depth; zero selects 4 (the DefaultConfig
+	// value).
 	MaxDepth int
-	// MinLeaf is the minimum number of samples in a leaf.
+	// MinLeaf is the minimum number of samples in a leaf. Zero selects the
+	// permissive CART default of 1 — note this is deliberately NOT the
+	// DefaultConfig value: DefaultConfig regularizes at 8, while a
+	// zero-value Config grows the deepest tree the data supports. Callers
+	// who want the regularized setting must start from DefaultConfig().
+	// Negative values are rejected by Train and TrainRegTree.
 	MinLeaf int
 	// Features, when non-nil, restricts splits to this feature subset
 	// (used by the random forest).
@@ -55,36 +62,60 @@ type Config struct {
 // DefaultConfig returns a small, well-regularized tree configuration.
 func DefaultConfig() Config { return Config{MaxDepth: 4, MinLeaf: 8} }
 
-// Train fits a tree on the samples.
-func Train(samples []Sample, cfg Config) (*Tree, error) {
-	if len(samples) == 0 {
-		return nil, fmt.Errorf("mlpred: no training samples")
-	}
-	nf := len(samples[0].Features)
-	for _, s := range samples {
-		if len(s.Features) != nf {
-			return nil, fmt.Errorf("mlpred: inconsistent feature lengths")
-		}
+// resolve validates the config against a feature-vector length and fills the
+// documented defaults (MaxDepth 4, MinLeaf 1 — see the Config field docs for
+// why the MinLeaf default differs from DefaultConfig's 8).
+func (cfg Config) resolve(nf int) (Config, error) {
+	if cfg.MinLeaf < 0 {
+		return cfg, fmt.Errorf("mlpred: MinLeaf %d is negative (0 selects the default of 1)", cfg.MinLeaf)
 	}
 	if cfg.MaxDepth <= 0 {
 		cfg.MaxDepth = 4
 	}
-	if cfg.MinLeaf <= 0 {
+	if cfg.MinLeaf == 0 {
 		cfg.MinLeaf = 1
 	}
-	feats := cfg.Features
-	if feats == nil {
-		feats = make([]int, nf)
+	if cfg.Features == nil {
+		feats := make([]int, nf)
 		for i := range feats {
 			feats[i] = i
 		}
+		cfg.Features = feats
+	}
+	return cfg, nil
+}
+
+// checkSamples validates a non-empty, rectangular training set and returns
+// the feature-vector length.
+func checkSamples[S any](samples []S, features func(S) []float64) (int, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("mlpred: no training samples")
+	}
+	nf := len(features(samples[0]))
+	for _, s := range samples {
+		if len(features(s)) != nf {
+			return 0, fmt.Errorf("mlpred: inconsistent feature lengths")
+		}
+	}
+	return nf, nil
+}
+
+// Train fits a tree on the samples.
+func Train(samples []Sample, cfg Config) (*Tree, error) {
+	nf, err := checkSamples(samples, func(s Sample) []float64 { return s.Features })
+	if err != nil {
+		return nil, err
+	}
+	cfg, err = cfg.resolve(nf)
+	if err != nil {
+		return nil, err
 	}
 	idx := make([]int, len(samples))
 	for i := range idx {
 		idx[i] = i
 	}
 	t := &Tree{NumFeatures: nf}
-	t.root = build(samples, idx, feats, cfg, 0)
+	t.root = build(samples, idx, cfg.Features, cfg, 0)
 	return t, nil
 }
 

@@ -1,0 +1,306 @@
+package mlpred
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tsperr/internal/numeric"
+)
+
+// This file extends the package's CART machinery from classification to
+// regression, which is what the surrogate fast tier needs: it predicts the
+// log10 error rate directly, and — unlike the classifiers — it must come
+// with a calibrated uncertainty so a confidence gate can decide when the
+// prediction is trustworthy enough to serve. Each leaf therefore stores the
+// target variance alongside the mean, and the forest combines leaves by the
+// law of total variance: within-leaf spread plus between-tree disagreement.
+//
+// Unlike Tree, the regression types use exported flat-array nodes so a
+// trained forest gob-serializes directly (the surrogate snapshot in
+// internal/modelcache).
+
+// RegSample is one regression training observation.
+type RegSample struct {
+	// Features are numeric feature values, same contract as Sample.Features.
+	Features []float64
+	// Target is the regressed quantity (the surrogate uses log10 error rate).
+	Target float64
+}
+
+// RegNode is one node of a flat regression tree. Leaves carry the target
+// mean, the biased sample variance, and the training count of the samples
+// that landed there; interior nodes carry the split and child indices.
+type RegNode struct {
+	Leaf    bool
+	Feature int
+	Thresh  float64
+	// Lo and Hi index the tree's Nodes slice (unused on leaves).
+	Lo, Hi int32
+	Mean   float64
+	Var    float64
+	Count  int32
+}
+
+// RegTree is a CART regression tree over a flat node slice; Nodes[0] is the
+// root. The flat layout exists for gob: an exported, pointer-free encoding
+// that a different process can decode without this package's internals.
+type RegTree struct {
+	Nodes       []RegNode
+	NumFeatures int
+}
+
+// regStats is the sufficient statistics of a sample subset: count, target
+// sum, and target square sum. SSE and variance derive from them.
+type regStats struct {
+	n, sum, sum2 float64
+}
+
+func (st regStats) mean() float64 {
+	if st.n == 0 {
+		return 0
+	}
+	return st.sum / st.n
+}
+
+// sse is the sum of squared errors around the subset mean, clamped at zero
+// against cancellation noise.
+func (st regStats) sse() float64 {
+	if st.n == 0 {
+		return 0
+	}
+	s := st.sum2 - st.sum*st.sum/st.n
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+func statsOf(samples []RegSample, idx []int) regStats {
+	var st regStats
+	for _, i := range idx {
+		y := samples[i].Target
+		st.n++
+		st.sum += y
+		st.sum2 += y * y
+	}
+	return st
+}
+
+// TrainRegTree fits a regression tree by variance reduction (SSE splits),
+// mirroring Train's structure: per-feature sort, split candidates only at
+// boundaries between distinct values, MinLeaf on both sides.
+func TrainRegTree(samples []RegSample, cfg Config) (*RegTree, error) {
+	nf, err := checkSamples(samples, func(s RegSample) []float64 { return s.Features })
+	if err != nil {
+		return nil, err
+	}
+	cfg, err = cfg.resolve(nf)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &RegTree{NumFeatures: nf}
+	t.buildReg(samples, idx, cfg, 0)
+	return t, nil
+}
+
+// buildReg appends the subtree over idx to t.Nodes and returns its root
+// index.
+func (t *RegTree) buildReg(samples []RegSample, idx []int, cfg Config, depth int) int32 {
+	st := statsOf(samples, idx)
+	self := int32(len(t.Nodes))
+	leaf := RegNode{
+		Leaf:  true,
+		Mean:  st.mean(),
+		Var:   st.sse() / math.Max(st.n, 1),
+		Count: int32(len(idx)),
+	}
+	t.Nodes = append(t.Nodes, leaf)
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || leaf.Var <= 0 {
+		return self
+	}
+	parentSSE := st.sse()
+	bestGain := 0.0
+	bestFeat := -1
+	bestThresh := 0.0
+	order := make([]int, len(idx))
+	for _, f := range cfg.Features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool {
+			return samples[order[a]].Features[f] < samples[order[b]].Features[f]
+		})
+		var left regStats
+		for k := 0; k < len(order)-1; k++ {
+			y := samples[order[k]].Target
+			left.n++
+			left.sum += y
+			left.sum2 += y * y
+			v, next := samples[order[k]].Features[f], samples[order[k+1]].Features[f]
+			if v >= next {
+				continue // adjacent equal keys: no split point exists between them
+			}
+			if int(left.n) < cfg.MinLeaf || len(order)-int(left.n) < cfg.MinLeaf {
+				continue
+			}
+			right := regStats{n: st.n - left.n, sum: st.sum - left.sum, sum2: st.sum2 - left.sum2}
+			gain := parentSSE - left.sse() - right.sse()
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (v + next) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return self
+	}
+	var lo, hi []int
+	for _, i := range idx {
+		if samples[i].Features[bestFeat] <= bestThresh {
+			lo = append(lo, i)
+		} else {
+			hi = append(hi, i)
+		}
+	}
+	// Recurse first, then patch the placeholder: the children's indices are
+	// unknown until their subtrees are appended.
+	loIdx := t.buildReg(samples, lo, cfg, depth+1)
+	hiIdx := t.buildReg(samples, hi, cfg, depth+1)
+	t.Nodes[self] = RegNode{
+		Feature: bestFeat,
+		Thresh:  bestThresh,
+		Lo:      loIdx,
+		Hi:      hiIdx,
+		Mean:    leaf.Mean,
+		Var:     leaf.Var,
+		Count:   leaf.Count,
+	}
+	return self
+}
+
+// Predict walks the tree and returns the leaf's target mean, biased sample
+// variance, and training count.
+func (t *RegTree) Predict(features []float64) (mean, variance float64, count int) {
+	n := &t.Nodes[0]
+	for !n.Leaf {
+		if features[n.Feature] <= n.Thresh {
+			n = &t.Nodes[n.Lo]
+		} else {
+			n = &t.Nodes[n.Hi]
+		}
+	}
+	return n.Mean, n.Var, int(n.Count)
+}
+
+// RegForest is a bagged regression ensemble with random feature subsets —
+// the surrogate's model. Trees is exported for gob.
+type RegForest struct {
+	Trees       []*RegTree
+	NumFeatures int
+}
+
+// TrainRegForest fits nTrees regression trees on bootstrap resamples with
+// random feature subsets of size sqrt(numFeatures), mirroring TrainForest.
+// The seed fully determines the forest.
+func TrainRegForest(samples []RegSample, nTrees int, cfg Config, seed uint64) (*RegForest, error) {
+	nf, err := checkSamples(samples, func(s RegSample) []float64 { return s.Features })
+	if err != nil {
+		return nil, err
+	}
+	if nTrees <= 0 {
+		nTrees = 10
+	}
+	sub := int(math.Ceil(math.Sqrt(float64(nf))))
+	rng := numeric.NewRNG(seed)
+	f := &RegForest{NumFeatures: nf}
+	for k := 0; k < nTrees; k++ {
+		boot := make([]RegSample, len(samples))
+		for i := range boot {
+			boot[i] = samples[rng.Intn(len(samples))]
+		}
+		perm := rng.Perm(nf)
+		c := cfg
+		c.Features = perm[:sub]
+		t, err := TrainRegTree(boot, c)
+		if err != nil {
+			return nil, err
+		}
+		f.Trees = append(f.Trees, t)
+	}
+	return f, nil
+}
+
+// Predict returns the ensemble mean and a calibrated uncertainty: the
+// standard deviation combining, by the law of total variance, the mean
+// within-leaf variance (aleatoric spread of the training targets) with the
+// across-tree variance of the leaf means (epistemic disagreement of the
+// bootstrap ensemble). Sparse or contradictory training data widens std;
+// dense, consistent data narrows it — which is exactly the signal the
+// surrogate's confidence gate thresholds.
+func (f *RegForest) Predict(features []float64) (mean, std float64) {
+	n := float64(len(f.Trees))
+	if n == 0 {
+		return 0, math.Inf(1)
+	}
+	var sumMean, sumMean2, sumVar numeric.KahanSum
+	for _, t := range f.Trees {
+		m, v, _ := t.Predict(features)
+		sumMean.Add(m)
+		sumMean2.Add(m * m)
+		sumVar.Add(v)
+	}
+	mean = sumMean.Value() / n
+	between := sumMean2.Value()/n - mean*mean
+	if between < 0 {
+		between = 0
+	}
+	within := sumVar.Value() / n
+	return mean, math.Sqrt(within + between)
+}
+
+// RegMAE returns the mean absolute prediction error over samples.
+func RegMAE(predict func([]float64) (float64, float64), samples []RegSample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var k numeric.KahanSum
+	for _, s := range samples {
+		m, _ := predict(s.Features)
+		k.Add(math.Abs(m - s.Target))
+	}
+	return k.Value() / float64(len(samples))
+}
+
+// Validate checks a decoded forest for structural integrity (child indices
+// in range, a root per tree, a consistent feature count) so a corrupt or
+// hand-edited snapshot fails loudly at load instead of panicking at predict.
+func (f *RegForest) Validate() error {
+	if f == nil || len(f.Trees) == 0 {
+		return fmt.Errorf("mlpred: empty forest")
+	}
+	for ti, t := range f.Trees {
+		if t == nil || len(t.Nodes) == 0 {
+			return fmt.Errorf("mlpred: forest tree %d is empty", ti)
+		}
+		if t.NumFeatures != f.NumFeatures {
+			return fmt.Errorf("mlpred: forest tree %d expects %d features, forest %d", ti, t.NumFeatures, f.NumFeatures)
+		}
+		for ni, nd := range t.Nodes {
+			if nd.Leaf {
+				continue
+			}
+			if nd.Feature < 0 || nd.Feature >= t.NumFeatures {
+				return fmt.Errorf("mlpred: forest tree %d node %d splits on feature %d of %d", ti, ni, nd.Feature, t.NumFeatures)
+			}
+			if nd.Lo <= int32(ni) || nd.Hi <= int32(ni) ||
+				int(nd.Lo) >= len(t.Nodes) || int(nd.Hi) >= len(t.Nodes) {
+				return fmt.Errorf("mlpred: forest tree %d node %d has out-of-range children", ti, ni)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package mlpred
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"tsperr/internal/numeric"
+)
+
+// regGrid builds a deterministic 2-feature regression set: target is a step
+// function of feature 0 with a small feature-1 slope, plus leaf-level spread.
+func regGrid(n int) []RegSample {
+	rng := numeric.NewRNG(7)
+	out := make([]RegSample, n)
+	for i := range out {
+		x0 := rng.Float64() * 10
+		x1 := rng.Float64()
+		y := 0.1 * x1
+		if x0 > 5 {
+			y += 3
+		}
+		y += (rng.Float64() - 0.5) * 0.2
+		out[i] = RegSample{Features: []float64{x0, x1}, Target: y}
+	}
+	return out
+}
+
+func TestRegTreeLearnsStep(t *testing.T) {
+	samples := regGrid(400)
+	tree, err := TrainRegTree(samples, Config{MaxDepth: 4, MinLeaf: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _, _ := tree.Predict([]float64{2, 0.5})
+	hi, _, _ := tree.Predict([]float64{8, 0.5})
+	if hi-lo < 2.5 {
+		t.Fatalf("tree did not learn the step: lo %.3f hi %.3f", lo, hi)
+	}
+}
+
+func TestRegTreeLeafMoments(t *testing.T) {
+	// Two clusters with known mean and variance; MinLeaf large enough that
+	// the tree splits once and each leaf holds exactly one cluster.
+	var samples []RegSample
+	for i := 0; i < 8; i++ {
+		y := 1.0
+		if i%2 == 0 {
+			y = 3.0
+		}
+		samples = append(samples, RegSample{Features: []float64{0}, Target: y})
+		samples = append(samples, RegSample{Features: []float64{10}, Target: 10})
+	}
+	tree, err := TrainRegTree(samples, Config{MaxDepth: 2, MinLeaf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, variance, count := tree.Predict([]float64{0})
+	if count != 8 {
+		t.Fatalf("left leaf count = %d, want 8", count)
+	}
+	if math.Abs(mean-2) > 1e-12 {
+		t.Errorf("left leaf mean = %g, want 2", mean)
+	}
+	if math.Abs(variance-1) > 1e-9 {
+		t.Errorf("left leaf variance = %g, want 1 (biased)", variance)
+	}
+	mean, variance, _ = tree.Predict([]float64{10})
+	if math.Abs(mean-10) > 1e-12 || variance > 1e-12 {
+		t.Errorf("right leaf = (%g, %g), want (10, 0)", mean, variance)
+	}
+}
+
+func TestRegForestPredictsWithUncertainty(t *testing.T) {
+	samples := regGrid(400)
+	f, err := TrainRegForest(samples, 16, Config{MaxDepth: 6, MinLeaf: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, std := f.Predict([]float64{8, 0.5})
+	if math.Abs(mean-3.05) > 0.5 {
+		t.Errorf("forest mean = %g, want ~3.05", mean)
+	}
+	if std <= 0 || std > 1 {
+		t.Errorf("forest std = %g, want small positive", std)
+	}
+	// Far outside the training support the ensemble should not be MORE
+	// confident than at a well-covered point deep inside one plateau.
+	if mae := RegMAE(f.Predict, samples); mae > 0.25 {
+		t.Errorf("training MAE = %g, want <= 0.25", mae)
+	}
+}
+
+func TestRegForestDeterministicAcrossRetrains(t *testing.T) {
+	samples := regGrid(200)
+	a, err := TrainRegForest(samples, 8, Config{MaxDepth: 5, MinLeaf: 4}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainRegForest(samples, 8, Config{MaxDepth: 5, MinLeaf: 4}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range [][]float64{{1, 0}, {4.9, 1}, {5.1, 0.3}, {9, 0.9}} {
+		ma, sa := a.Predict(x)
+		mb, sb := b.Predict(x)
+		// Determinism is a bit-identity contract, so compare the raw bits.
+		if math.Float64bits(ma) != math.Float64bits(mb) ||
+			math.Float64bits(sa) != math.Float64bits(sb) {
+			t.Fatalf("same seed diverged at %v: (%g,%g) vs (%g,%g)", x, ma, sa, mb, sb)
+		}
+	}
+}
+
+func TestRegForestGobRoundTrip(t *testing.T) {
+	samples := regGrid(200)
+	f, err := TrainRegForest(samples, 8, Config{MaxDepth: 5, MinLeaf: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	var back RegForest
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("decoded forest invalid: %v", err)
+	}
+	for _, x := range [][]float64{{1, 0}, {6, 0.5}, {9.5, 1}} {
+		m0, s0 := f.Predict(x)
+		m1, s1 := back.Predict(x)
+		if math.Float64bits(m0) != math.Float64bits(m1) ||
+			math.Float64bits(s0) != math.Float64bits(s1) {
+			t.Fatalf("gob round trip changed prediction at %v", x)
+		}
+	}
+}
+
+func TestRegForestValidateRejectsCorruption(t *testing.T) {
+	samples := regGrid(50)
+	f, err := TrainRegForest(samples, 2, Config{MaxDepth: 3, MinLeaf: 2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("fresh forest invalid: %v", err)
+	}
+	var empty RegForest
+	if err := empty.Validate(); err == nil {
+		t.Error("empty forest passed validation")
+	}
+	// Corrupt a child index on the first interior node.
+	for _, tree := range f.Trees {
+		for i := range tree.Nodes {
+			if !tree.Nodes[i].Leaf {
+				tree.Nodes[i].Lo = int32(len(tree.Nodes) + 5)
+				if err := f.Validate(); err == nil {
+					t.Error("corrupt child index passed validation")
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no interior node to corrupt")
+}
+
+// TestMinLeafContract pins the documented Config.MinLeaf semantics: the
+// zero value selects the permissive default of 1 (NOT DefaultConfig's 8),
+// negative values are rejected, and DefaultConfig's regularized 8 refuses
+// splits a zero-value Config performs on a small set.
+func TestMinLeafContract(t *testing.T) {
+	// 10 perfectly separable samples: 5 negatives at x=0, 5 positives at x=1.
+	var cls []Sample
+	var reg []RegSample
+	for i := 0; i < 5; i++ {
+		cls = append(cls, Sample{Features: []float64{0}, Label: false},
+			Sample{Features: []float64{1}, Label: true})
+		reg = append(reg, RegSample{Features: []float64{0}, Target: 0},
+			RegSample{Features: []float64{1}, Target: 1})
+	}
+
+	// Zero-value MinLeaf defaults to 1: the tree splits and classifies
+	// perfectly.
+	tr, err := Train(cls, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() == 0 {
+		t.Error("MinLeaf 0 (default 1) refused a clean split on 10 samples")
+	}
+	if got := Accuracy(tr.Predict, cls); got != 1 {
+		t.Errorf("accuracy = %g, want 1", got)
+	}
+
+	// DefaultConfig's MinLeaf 8 cannot put 8 samples on both sides of a
+	// 10-sample split, so the regularized tree stays a stump.
+	tr, err = Train(cls, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 {
+		t.Errorf("DefaultConfig (MinLeaf 8) split 10 samples: depth %d", tr.Depth())
+	}
+
+	// Negative MinLeaf is a contract violation, classification and
+	// regression alike.
+	if _, err := Train(cls, Config{MinLeaf: -1}); err == nil {
+		t.Error("Train accepted negative MinLeaf")
+	}
+	if _, err := TrainRegTree(reg, Config{MinLeaf: -1}); err == nil {
+		t.Error("TrainRegTree accepted negative MinLeaf")
+	}
+	if _, err := TrainForest(cls, 2, Config{MinLeaf: -1}, 1); err == nil {
+		t.Error("TrainForest accepted negative MinLeaf")
+	}
+	if _, err := TrainRegForest(reg, 2, Config{MinLeaf: -1}, 1); err == nil {
+		t.Error("TrainRegForest accepted negative MinLeaf")
+	}
+
+	// The regression default matches: zero-value MinLeaf splits the same set.
+	rt, err := TrainRegTree(reg, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _, _ := rt.Predict([]float64{0})
+	hi, _, _ := rt.Predict([]float64{1})
+	if hi-lo < 0.9 {
+		t.Errorf("regression tree with default MinLeaf did not split: lo %g hi %g", lo, hi)
+	}
+}

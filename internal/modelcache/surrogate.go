@@ -1,0 +1,131 @@
+package modelcache
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tsperr/internal/mlpred"
+)
+
+// Surrogate snapshots persist the fast tier's trained regression forest and
+// its training buffer alongside the model snapshots, with the same
+// guarantees: atomic publish, self-validating metadata, and
+// delete-on-mismatch. The file is keyed on the model fingerprint (options +
+// cell library) because the surrogate's training labels are exact-pipeline
+// outputs of that machine — a surrogate must never answer for a different
+// characterized machine, so a fingerprint mismatch inside the file is a miss
+// even when the file name matches.
+
+// SurrogateSchemaVersion invalidates every cached surrogate snapshot when
+// the serialized layout, the feature vector, or the label definition
+// changes.
+const SurrogateSchemaVersion = 1
+
+// SurrogateSample is one persisted training observation: the feature vector
+// and the exact tier's log10 error rate.
+type SurrogateSample struct {
+	Features  []float64
+	Log10Rate float64
+}
+
+// SurrogateSnapshot is the serializable state of the surrogate fast tier:
+// the trained forest plus the training buffer that produced it, so a
+// restarted daemon resumes both serving and learning where it left off.
+type SurrogateSnapshot struct {
+	// Schema and Fingerprint echo the cache metadata for self-validation on
+	// load; Fingerprint is the model content address the labels came from.
+	Schema      int
+	Fingerprint string
+	// Version is the tier's model-swap counter at save time.
+	Version int
+	// Forest is the trained regression model (nil means "buffer only": the
+	// tier had observations but had not reached its training threshold).
+	Forest *mlpred.RegForest
+	// Samples is the bounded training buffer contents, oldest first.
+	Samples []SurrogateSample
+}
+
+// SurrogatePath returns the surrogate snapshot file for a model fingerprint
+// inside dir. The fingerprint is a hex content address, so it is directly
+// filename-safe.
+func SurrogatePath(dir, fingerprint string) string {
+	return filepath.Join(dir, "surrogate-"+fingerprint+".gob")
+}
+
+// SaveSurrogate atomically writes a surrogate snapshot under its model
+// fingerprint, creating dir as needed. Schema and Fingerprint are stamped
+// here.
+func SaveSurrogate(dir, fingerprint string, snap *SurrogateSnapshot) error {
+	if snap == nil || (snap.Forest == nil && len(snap.Samples) == 0) {
+		return fmt.Errorf("modelcache: empty surrogate snapshot")
+	}
+	if fingerprint == "" {
+		return fmt.Errorf("modelcache: surrogate snapshot needs a model fingerprint")
+	}
+	snap.Schema = SurrogateSchemaVersion
+	snap.Fingerprint = fingerprint
+	return writeAtomic(dir, "surrogate-*.tmp", SurrogatePath(dir, fingerprint), snap)
+}
+
+// LoadSurrogate returns the surrogate snapshot stored for a model
+// fingerprint, or ok == false on any miss: absent file, undecodable bytes,
+// schema or fingerprint mismatch, or a structurally invalid forest. Invalid
+// files are removed (with the same same-file guard as Load) so the next
+// SaveSurrogate replaces them.
+func LoadSurrogate(dir, fingerprint string) (snap *SurrogateSnapshot, ok bool) {
+	p := SurrogatePath(dir, fingerprint)
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var s SurrogateSnapshot
+	if err := gob.NewDecoder(f).Decode(&s); err != nil {
+		removeIfSameFile(f, p)
+		return nil, false
+	}
+	if s.Schema != SurrogateSchemaVersion || s.Fingerprint != fingerprint {
+		removeIfSameFile(f, p)
+		return nil, false
+	}
+	if s.Forest != nil {
+		if err := s.Forest.Validate(); err != nil {
+			removeIfSameFile(f, p)
+			return nil, false
+		}
+	}
+	return &s, true
+}
+
+// writeAtomic gob-encodes v into a temp file in dir, fsyncs, and renames it
+// over path — the same crash-safe publish Save uses for model snapshots.
+func writeAtomic(dir, tmpPattern, path string, v any) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("modelcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, tmpPattern)
+	if err != nil {
+		return fmt.Errorf("modelcache: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(v); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelcache: encoding snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelcache: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelcache: publishing snapshot: %w", err)
+	}
+	return nil
+}

@@ -39,6 +39,10 @@ type metrics struct {
 	batchesStarted  atomic.Uint64
 	batchesFinished atomic.Uint64
 
+	// surrogateMetrics are the fast-tier counters and the shadow-residual
+	// histogram (surrogate.go); rendered only when a surrogate is attached.
+	surrogateMetrics
+
 	latency histogram
 	// batchLatency measures whole-suite wall time, admission to last entry.
 	batchLatency histogram
@@ -90,6 +94,8 @@ type gauges struct {
 	// cluster is the coordinator snapshot (nil on single-node daemons):
 	// per-peer health plus the fan-out counters.
 	cluster *clusterGauges
+	// surrogate is the fast-tier snapshot (nil when the surrogate is off).
+	surrogate *surrogateGauges
 }
 
 // clusterGauges is the coordinator state sampled at render time.
@@ -164,6 +170,26 @@ func (m *metrics) render(w io.Writer, g gauges) {
 			}
 			fmt.Fprintf(w, "tsperrd_peer_healthy{peer=%q} %d\n", p.Addr, v)
 		}
+	}
+
+	if sg := g.surrogate; sg != nil {
+		counter("tsperrd_surrogate_hits_total", "Requests answered by the surrogate fast tier.", m.surrogateHits.Load())
+		fmt.Fprintf(w, "# HELP tsperrd_surrogate_escalations_total Requests the confidence gate escalated to the exact tier, by reason.\n# TYPE tsperrd_surrogate_escalations_total counter\n")
+		fmt.Fprintf(w, "tsperrd_surrogate_escalations_total{reason=\"untrained\"} %d\n", m.escUntrained.Load())
+		fmt.Fprintf(w, "tsperrd_surrogate_escalations_total{reason=\"uncertain\"} %d\n", m.escUncertain.Load())
+		fmt.Fprintf(w, "tsperrd_surrogate_escalations_total{reason=\"near_threshold\"} %d\n", m.escNearThreshold.Load())
+		counter("tsperrd_surrogate_observations_total", "Exact results fed back as surrogate training data.", m.surrogateObservations.Load())
+		counter("tsperrd_surrogate_trainings_total", "Surrogate (re)trainings completed, including a restored snapshot.", sg.stats.Trainings)
+		serve := 0.0
+		if sg.mode == SurrogateServe {
+			serve = 1.0
+		}
+		gauge("tsperrd_surrogate_serving", "1 in serve mode, 0 in shadow mode.", serve)
+		gauge("tsperrd_surrogate_model_version", "Version of the surrogate model currently answering.", float64(sg.stats.ModelVersion))
+		gauge("tsperrd_surrogate_train_size", "Observations the current surrogate model was fitted on.", float64(sg.stats.TrainSize))
+		gauge("tsperrd_surrogate_buffer_size", "Observations in the surrogate training buffer.", float64(sg.stats.Buffered))
+		renderResidualHistogram(w, "tsperrd_surrogate_residual_log10",
+			"Shadow-mode |predicted - actual| log10 error of the surrogate against exact results.", &m.surrogateResidual)
 	}
 
 	renderHistogram(w, "tsperrd_request_seconds", "Estimate-request latency.", &m.latency)

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"time"
 
@@ -51,6 +52,13 @@ type Request struct {
 	// Async, when set, returns a job id immediately (202); poll
 	// GET /v1/jobs/{id} for the result.
 	Async bool `json:"async,omitempty"`
+	// ErrorRateThreshold is the caller's decision boundary (a fraction in
+	// [0, 1)): on a serve-mode surrogate daemon, predictions landing inside
+	// the guard band around it escalate to the exact pipeline. It tunes the
+	// confidence gate only — the report is identical either way — so it is
+	// excluded from the request hash and requests differing only in it dedup
+	// onto one computation.
+	ErrorRateThreshold float64 `json:"error_rate_threshold,omitempty"`
 
 	// forwarded marks a request a cluster coordinator routed here
 	// (cluster.HeaderForwarded): it executes locally and is never re-routed,
@@ -133,6 +141,9 @@ func (q *Request) validate(limits Limits) error {
 	}
 	if q.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms %d must be >= 0", q.TimeoutMS)
+	}
+	if q.ErrorRateThreshold < 0 || q.ErrorRateThreshold >= 1 || math.IsNaN(q.ErrorRateThreshold) {
+		return fmt.Errorf("error_rate_threshold %g out of range [0, 1)", q.ErrorRateThreshold)
 	}
 	return nil
 }

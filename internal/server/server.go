@@ -62,6 +62,11 @@ type Config struct {
 	// executes Monte Carlo chunks for cluster coordinators (worker role).
 	// The daemon wires harness.MCSpec.
 	ChunkSource cluster.SpecSource
+	// Surrogate, when non-nil, attaches the ML fast tier; SurrogateMode
+	// selects off (default), shadow (train + residuals, never serve), or
+	// serve (confident predictions answer directly). See surrogate.go.
+	Surrogate     SurrogateTier
+	SurrogateMode string
 }
 
 // flight is one deduplicated computation. The first request for a key
@@ -175,6 +180,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if ctx == nil {
 		return nil, errors.New("server: nil ctx")
 	}
+	if err := validateSurrogate(&cfg); err != nil {
+		return nil, err
+	}
 	lifeCtx, lifeStop := context.WithCancel(ctx)
 	s := &Server{
 		cfg:      cfg,
@@ -250,8 +258,10 @@ func (s *Server) Handler() http.Handler {
 // estimateResponse is the sync success body; asyncResponse acknowledges an
 // accepted async job; errorResponse carries every non-2xx body.
 type estimateResponse struct {
-	Key    string       `json:"key"`
-	Cached bool         `json:"cached"`
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+	// Tier says which tier answered: core.TierExact or core.TierSurrogate.
+	Tier   string       `json:"tier"`
 	Report *core.Report `json:"report"`
 }
 
@@ -343,6 +353,12 @@ func (s *Server) join(req *Request, key string, j *job) (*core.Report, *flight, 
 			}
 		}()
 		rep, err := s.execute(fctx, &reqCopy, key)
+		if err == nil {
+			// Every successful exact result — sync, async, and batch entries
+			// alike funnel through this closure — trains the surrogate and
+			// updates the shadow-residual histogram.
+			s.observeSurrogate(&reqCopy, rep)
+		}
 		s.complete(key, f, rep, err)
 	})
 	if !submitted {
@@ -424,12 +440,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.handleEstimateAsync(w, req, key)
 		return
 	}
+	if s.surrogateEligible(req) {
+		if rep := s.consultSurrogate(req, key); rep != nil {
+			s.met.latency.observe(time.Since(start))
+			writeJSON(w, http.StatusOK, estimateResponse{Key: key, Tier: core.TierSurrogate, Report: rep})
+			return
+		}
+	}
 
 	rep, f, outcome := s.join(req, key, nil)
 	switch outcome {
 	case joinCacheHit:
 		s.met.latency.observe(time.Since(start))
-		writeJSON(w, http.StatusOK, estimateResponse{Key: key, Cached: true, Report: rep})
+		writeJSON(w, http.StatusOK, estimateResponse{Key: key, Cached: true, Tier: core.TierExact, Report: rep})
 		return
 	case joinRejected:
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "compute queue full, retry later"})
@@ -455,7 +478,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorResponse{Error: f.err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, estimateResponse{Key: key, Cached: false, Report: f.rep})
+	writeJSON(w, http.StatusOK, estimateResponse{Key: key, Cached: false, Tier: core.TierExact, Report: f.rep})
 }
 
 // handleEstimateAsync registers a job, attaches it to the flight (or
@@ -599,6 +622,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			stats:  c.Stats(),
 			quorum: c.Quorum(),
 		}
+	}
+	if sg := s.cfg.Surrogate; sg != nil && s.cfg.SurrogateMode != SurrogateOff {
+		g.surrogate = &surrogateGauges{mode: s.cfg.SurrogateMode, stats: sg.Stats()}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.render(w, g)

@@ -1,0 +1,392 @@
+// Package surrogate implements the ML fast tier of the two-tier estimation
+// service: a regression random forest (internal/mlpred) that predicts the
+// log10 error rate of a request directly from cheap static features, orders
+// of magnitude faster than the exact simulate → activity → DTA → Eq.(14)
+// pipeline — the FATE-style learned predictor, but wrapped in a confidence
+// gate so it never silently replaces the exact answer where it cannot be
+// trusted.
+//
+// The contract has three parts:
+//
+//   - Calibrated uncertainty. Every prediction carries a standard deviation
+//     combining within-leaf training spread with across-tree disagreement
+//     (mlpred.RegForest.Predict). The gate serves a prediction only when
+//     that std is within the configured bound AND the prediction does not
+//     land inside the guard band around a caller-supplied error-rate
+//     threshold — near a decision boundary, being wrong matters most, so
+//     those requests always escalate to the exact tier.
+//
+//   - Online learning. Every exact result is fed back through Observe into
+//     a bounded ring buffer; once enough new observations accumulate the
+//     tier retrains in the background and atomically swaps the model.
+//     Serving never blocks on training.
+//
+//   - Fingerprint isolation. The tier is keyed on the model fingerprint
+//     (errormodel options + cell library). Snapshots persisted through
+//     internal/modelcache embed the fingerprint and are rejected on
+//     mismatch, so a surrogate never answers for a different characterized
+//     machine.
+//
+// Determinism: this package is in the detsource lint scope. Training is a
+// pure function of (buffer contents, config seed); retraining cadence is
+// counted in observations, never wall-clock time. The predictions
+// themselves are approximate by design — the exact tier alone carries the
+// bit-reproducibility contract (DESIGN.md §15).
+package surrogate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"tsperr/internal/mlpred"
+	"tsperr/internal/modelcache"
+)
+
+// Escalation reasons, exported so metrics and responses use one vocabulary.
+const (
+	// ReasonServed marks a prediction the gate accepted.
+	ReasonServed = "served"
+	// ReasonUntrained: no model yet (or a feature-schema mismatch).
+	ReasonUntrained = "untrained"
+	// ReasonUncertain: prediction std exceeded Config.MaxStd.
+	ReasonUncertain = "uncertain"
+	// ReasonNearThreshold: the prediction landed within Config.GuardBand of
+	// the caller's error-rate threshold.
+	ReasonNearThreshold = "near_threshold"
+)
+
+// Config assembles a Tier. Zero fields select the documented defaults.
+type Config struct {
+	// Fingerprint is the model content address the training labels come
+	// from (required). It keys persistence and guards snapshot loads.
+	Fingerprint string
+	// Dir is the snapshot directory ("" disables persistence).
+	Dir string
+	// MinTrain is the buffer size below which the tier stays untrained
+	// (default 32).
+	MinTrain int
+	// RetrainEvery triggers a background retrain after this many new
+	// observations since the last training (default 16).
+	RetrainEvery int
+	// BufferCap bounds the training ring buffer (default 4096 samples);
+	// the oldest observations fall out first.
+	BufferCap int
+	// Trees/MaxDepth/MinLeaf shape the forest (defaults 24/8/2).
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+	// Seed determines the forest's bootstrap resampling (default 1).
+	Seed uint64
+	// MaxStd is the confidence bound in log10 units: predictions with a
+	// larger uncertainty escalate (default 0.25, i.e. ~1.8x in rate).
+	MaxStd float64
+	// GuardBand escalates predictions within this log10 distance of a
+	// caller-supplied error-rate threshold (default 0.15).
+	GuardBand float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MinTrain <= 0 {
+		c.MinTrain = 32
+	}
+	if c.RetrainEvery <= 0 {
+		c.RetrainEvery = 16
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = 4096
+	}
+	if c.Trees <= 0 {
+		c.Trees = 24
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxStd <= 0 {
+		c.MaxStd = 0.25
+	}
+	if c.GuardBand <= 0 {
+		c.GuardBand = 0.15
+	}
+	return c
+}
+
+// Sample is one training observation: the request's feature vector and the
+// exact tier's log10 mean error rate.
+type Sample struct {
+	Features  []float64
+	Log10Rate float64
+}
+
+// Prediction is one fast-tier answer with its calibrated uncertainty.
+type Prediction struct {
+	// Log10Rate is the predicted log10 mean error rate; Rate is 10^Log10Rate.
+	Log10Rate float64
+	Rate      float64
+	// Std is the prediction's standard deviation in log10 units.
+	Std float64
+	// ModelVersion and TrainSize identify the model that answered.
+	ModelVersion int
+	TrainSize    int
+}
+
+// Decision is the gate's verdict on one request.
+type Decision struct {
+	// Serve is true when the prediction is confident enough to answer
+	// without the exact pipeline.
+	Serve bool
+	// Reason is ReasonServed, or the escalation reason when !Serve.
+	Reason string
+	// Pred is the prediction that was evaluated (nil when untrained).
+	Pred *Prediction
+}
+
+// model is the immutable trained state swapped atomically under serving.
+type model struct {
+	forest    *mlpred.RegForest
+	version   int
+	trainSize int
+}
+
+// Stats is a point-in-time snapshot of the tier's learning state.
+type Stats struct {
+	// ModelVersion is 0 before the first training; TrainSize is the buffer
+	// size the current model was fitted on.
+	ModelVersion int
+	TrainSize    int
+	// Buffered is the current training-buffer occupancy; Trainings counts
+	// completed (re)trainings, including one restored from a snapshot.
+	Buffered  int
+	Trainings uint64
+}
+
+// Tier is the surrogate fast tier. All methods are safe for concurrent use:
+// Predict/Decide are lock-free on an atomic model pointer, Observe takes a
+// short buffer lock and hands training to a single background goroutine.
+type Tier struct {
+	cfg Config
+
+	model atomic.Pointer[model]
+
+	mu sync.Mutex
+	// buf is a ring of the last BufferCap observations; start indexes the
+	// oldest, n counts the occupancy. Guarded by mu.
+	buf   []Sample
+	start int
+	n     int
+	// sinceTrain counts observations since the last training trigger;
+	// guarded by mu.
+	sinceTrain int
+
+	trainings  atomic.Uint64
+	retraining atomic.Bool
+	wg         sync.WaitGroup
+}
+
+// New builds a Tier and, when persistence is configured, restores the
+// snapshot saved for this model fingerprint (a snapshot for any other
+// fingerprint is never loaded — modelcache.LoadSurrogate validates the
+// embedded fingerprint and schema).
+func New(cfg Config) (*Tier, error) {
+	if cfg.Fingerprint == "" {
+		return nil, errors.New("surrogate: Config.Fingerprint is required")
+	}
+	cfg = cfg.withDefaults()
+	t := &Tier{cfg: cfg, buf: make([]Sample, cfg.BufferCap)}
+	if cfg.Dir != "" {
+		if snap, ok := modelcache.LoadSurrogate(cfg.Dir, cfg.Fingerprint); ok {
+			for _, s := range snap.Samples {
+				t.push(Sample{Features: s.Features, Log10Rate: s.Log10Rate})
+			}
+			if snap.Forest != nil {
+				t.model.Store(&model{forest: snap.Forest, version: snap.Version, trainSize: len(snap.Samples)})
+				t.trainings.Store(uint64(snap.Version))
+			}
+		}
+	}
+	return t, nil
+}
+
+// Predict evaluates the current model on a feature vector. ok is false
+// while the tier is untrained or when the vector length disagrees with the
+// trained schema (a stale model after a feature change must not answer).
+func (t *Tier) Predict(features []float64) (Prediction, bool) {
+	m := t.model.Load()
+	if m == nil || len(features) != m.forest.NumFeatures {
+		return Prediction{}, false
+	}
+	mean, std := m.forest.Predict(features)
+	return Prediction{
+		Log10Rate:    mean,
+		Rate:         math.Pow(10, mean),
+		Std:          std,
+		ModelVersion: m.version,
+		TrainSize:    m.trainSize,
+	}, true
+}
+
+// Decide runs the confidence gate: predict, then serve only when the
+// uncertainty is within bound and the prediction is not inside the guard
+// band around threshold (a caller-supplied error rate, 0 = no threshold).
+// The comparisons are written so a NaN std or prediction always escalates.
+func (t *Tier) Decide(features []float64, threshold float64) Decision {
+	pred, ok := t.Predict(features)
+	if !ok {
+		return Decision{Reason: ReasonUntrained}
+	}
+	d := Decision{Pred: &pred}
+	if !(pred.Std <= t.cfg.MaxStd) || math.IsNaN(pred.Log10Rate) {
+		d.Reason = ReasonUncertain
+		return d
+	}
+	if threshold > 0 {
+		if dist := math.Abs(pred.Log10Rate - math.Log10(threshold)); !(dist > t.cfg.GuardBand) {
+			d.Reason = ReasonNearThreshold
+			return d
+		}
+	}
+	d.Serve = true
+	d.Reason = ReasonServed
+	return d
+}
+
+// Observe feeds one exact result back as training data and returns the
+// current model's shadow residual |predicted − actual| in log10 units
+// (ok == false while untrained). The residual is computed against the model
+// as it stood BEFORE this observation, which is what makes it an honest
+// out-of-sample accuracy measurement. Non-finite labels and features are
+// dropped. When enough new observations have accumulated, a background
+// retrain is triggered; Observe itself never blocks on training.
+func (t *Tier) Observe(features []float64, log10Rate float64) (residual float64, ok bool) {
+	if math.IsNaN(log10Rate) || math.IsInf(log10Rate, 0) {
+		return 0, false
+	}
+	for _, f := range features {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, false
+		}
+	}
+	if pred, predOK := t.Predict(features); predOK {
+		residual = math.Abs(pred.Log10Rate - log10Rate)
+		ok = true
+	}
+
+	// The tier owns its copy: callers may reuse the feature slice.
+	s := Sample{Features: append([]float64(nil), features...), Log10Rate: log10Rate}
+	t.mu.Lock()
+	t.push(s)
+	t.sinceTrain++
+	var train []Sample
+	if t.n >= t.cfg.MinTrain && t.sinceTrain >= t.cfg.RetrainEvery &&
+		t.retraining.CompareAndSwap(false, true) {
+		train = t.snapshotLocked()
+		t.sinceTrain = 0
+	}
+	t.mu.Unlock()
+
+	if train != nil {
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer t.retraining.Store(false)
+			// A failed training (degenerate buffer) keeps the old model; the
+			// next RetrainEvery observations trigger another attempt.
+			_ = t.train(train)
+		}()
+	}
+	return residual, ok
+}
+
+// push appends one sample to the ring, dropping the oldest at capacity.
+// Callers hold mu (or have exclusive access during New).
+func (t *Tier) push(s Sample) {
+	if t.n < len(t.buf) {
+		t.buf[(t.start+t.n)%len(t.buf)] = s
+		t.n++
+		return
+	}
+	t.buf[t.start] = s
+	t.start = (t.start + 1) % len(t.buf)
+}
+
+// snapshotLocked copies the buffer oldest-first; callers hold mu.
+func (t *Tier) snapshotLocked() []Sample {
+	out := make([]Sample, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Retrain trains synchronously on the current buffer (primarily for tests
+// and the eval harness; production retraining rides Observe).
+func (t *Tier) Retrain() error {
+	t.mu.Lock()
+	if t.n < 1 {
+		t.mu.Unlock()
+		return errors.New("surrogate: no observations to train on")
+	}
+	train := t.snapshotLocked()
+	t.sinceTrain = 0
+	t.mu.Unlock()
+	return t.train(train)
+}
+
+// train fits a forest on the samples and atomically swaps it in, then
+// persists the snapshot (best-effort: a failed write never disturbs
+// serving).
+func (t *Tier) train(samples []Sample) error {
+	regs := make([]mlpred.RegSample, len(samples))
+	for i, s := range samples {
+		regs[i] = mlpred.RegSample{Features: s.Features, Target: s.Log10Rate}
+	}
+	forest, err := mlpred.TrainRegForest(regs, t.cfg.Trees,
+		mlpred.Config{MaxDepth: t.cfg.MaxDepth, MinLeaf: t.cfg.MinLeaf}, t.cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("surrogate: training: %w", err)
+	}
+	version := int(t.trainings.Add(1))
+	t.model.Store(&model{forest: forest, version: version, trainSize: len(samples)})
+	if t.cfg.Dir != "" {
+		persisted := make([]modelcache.SurrogateSample, len(samples))
+		for i, s := range samples {
+			persisted[i] = modelcache.SurrogateSample{Features: s.Features, Log10Rate: s.Log10Rate}
+		}
+		_ = modelcache.SaveSurrogate(t.cfg.Dir, t.cfg.Fingerprint, &modelcache.SurrogateSnapshot{
+			Version: version,
+			Forest:  forest,
+			Samples: persisted,
+		})
+	}
+	return nil
+}
+
+// Quiesce waits for any in-flight background retrain to finish (tests and
+// orderly shutdown).
+func (t *Tier) Quiesce() { t.wg.Wait() }
+
+// Stats snapshots the learning state for /metrics.
+func (t *Tier) Stats() Stats {
+	st := Stats{Trainings: t.trainings.Load()}
+	if m := t.model.Load(); m != nil {
+		st.ModelVersion = m.version
+		st.TrainSize = m.trainSize
+	}
+	t.mu.Lock()
+	st.Buffered = t.n
+	t.mu.Unlock()
+	return st
+}
+
+// Bound returns the configured confidence bound (log10 units), echoed into
+// response metadata so clients can see the gate the answer passed.
+func (t *Tier) Bound() float64 { return t.cfg.MaxStd }

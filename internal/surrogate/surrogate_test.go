@@ -1,0 +1,358 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+
+	"tsperr/internal/numeric"
+)
+
+// synthSamples builds a deterministic labeled set: log10 rate is a smooth
+// function of two features plus small noise, roughly spanning [-6, -1] the
+// way real benchmark sweeps do.
+func synthSamples(n int, seed uint64) []Sample {
+	rng := numeric.NewRNG(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		x0 := rng.Float64() * 4 // ~log10 instruction count
+		x1 := rng.Float64()     // ~working ratio
+		y := -6 + x0 + 1.5*x1 + (rng.Float64()-0.5)*0.1
+		out[i] = Sample{Features: []float64{x0, x1}, Log10Rate: y}
+	}
+	return out
+}
+
+func testConfig() Config {
+	return Config{
+		Fingerprint:  "test-fp",
+		MinTrain:     16,
+		RetrainEvery: 8,
+		Trees:        12,
+		MaxDepth:     6,
+		MinLeaf:      2,
+	}
+}
+
+func TestUntrainedAlwaysEscalates(t *testing.T) {
+	tier, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tier.Decide([]float64{1, 0.5}, 0)
+	if d.Serve || d.Reason != ReasonUntrained || d.Pred != nil {
+		t.Fatalf("untrained tier decision = %+v, want escalate/untrained", d)
+	}
+	if _, ok := tier.Predict([]float64{1, 0.5}); ok {
+		t.Error("untrained tier produced a prediction")
+	}
+	if st := tier.Stats(); st.ModelVersion != 0 || st.Trainings != 0 {
+		t.Errorf("untrained stats = %+v", st)
+	}
+}
+
+// TestGateHonesty is the acceptance property: after training, EVERY decision
+// whose prediction uncertainty exceeds the bound refuses to serve, and every
+// served decision's std is within the bound. No exceptions, including NaN.
+func TestGateHonesty(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxStd = 0.2
+	tier, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range synthSamples(200, 3) {
+		tier.Observe(s.Features, s.Log10Rate)
+	}
+	tier.Quiesce()
+	if _, ok := tier.Predict([]float64{1, 0.5}); !ok {
+		t.Fatal("tier did not train")
+	}
+
+	rng := numeric.NewRNG(99)
+	served, escalated := 0, 0
+	for i := 0; i < 500; i++ {
+		// Half in-distribution, half far outside the training support.
+		f := []float64{rng.Float64() * 4, rng.Float64()}
+		if i%2 == 1 {
+			f[0] += 20
+			f[1] -= 5
+		}
+		d := tier.Decide(f, 0)
+		pred, ok := tier.Predict(f)
+		if !ok {
+			t.Fatal("Predict disagreed with Decide about trained state")
+		}
+		if d.Serve {
+			served++
+			if !(pred.Std <= cfg.MaxStd) {
+				t.Fatalf("served with std %g > bound %g", pred.Std, cfg.MaxStd)
+			}
+		} else {
+			escalated++
+			if d.Reason != ReasonUncertain {
+				t.Fatalf("escalation reason %q, want %q", d.Reason, ReasonUncertain)
+			}
+			if pred.Std <= cfg.MaxStd && !math.IsNaN(pred.Log10Rate) {
+				t.Fatalf("escalated with std %g <= bound %g", pred.Std, cfg.MaxStd)
+			}
+		}
+	}
+	if served == 0 {
+		t.Error("gate served nothing in-distribution; bound miscalibrated")
+	}
+	if escalated == 0 {
+		t.Error("gate escalated nothing out-of-distribution; uncertainty is not discriminating")
+	}
+}
+
+func TestGuardBandEscalatesNearThreshold(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxStd = 10 // effectively disable the uncertainty arm
+	cfg.GuardBand = 0.5
+	tier, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range synthSamples(200, 3) {
+		tier.Observe(s.Features, s.Log10Rate)
+	}
+	tier.Quiesce()
+
+	f := []float64{2, 0.5}
+	pred, ok := tier.Predict(f)
+	if !ok {
+		t.Fatal("tier did not train")
+	}
+	// A threshold right at the prediction: inside the guard band, escalate.
+	at := math.Pow(10, pred.Log10Rate)
+	if d := tier.Decide(f, at); d.Serve || d.Reason != ReasonNearThreshold {
+		t.Fatalf("decision at threshold = %+v, want near_threshold escalation", d)
+	}
+	// A threshold 2 decades away: well outside the band, serve.
+	far := math.Pow(10, pred.Log10Rate+2)
+	if d := tier.Decide(f, far); !d.Serve || d.Reason != ReasonServed {
+		t.Fatalf("decision far from threshold = %+v, want served", d)
+	}
+	// No threshold at all: the guard band does not apply.
+	if d := tier.Decide(f, 0); !d.Serve {
+		t.Fatalf("decision without threshold = %+v, want served", d)
+	}
+}
+
+func TestObserveTriggersBackgroundRetrain(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinTrain = 8
+	cfg.RetrainEvery = 8
+	tier, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := synthSamples(64, 5)
+	for _, s := range samples[:8] {
+		if _, ok := tier.Observe(s.Features, s.Log10Rate); ok {
+			t.Fatal("untrained tier reported a shadow residual")
+		}
+	}
+	tier.Quiesce()
+	st := tier.Stats()
+	if st.Trainings != 1 || st.ModelVersion != 1 {
+		t.Fatalf("after first batch: %+v, want one training", st)
+	}
+
+	// Subsequent observations produce honest shadow residuals against the
+	// model as it stood before the observation landed.
+	sawResidual := false
+	for _, s := range samples[8:] {
+		if r, ok := tier.Observe(s.Features, s.Log10Rate); ok {
+			sawResidual = true
+			if math.IsNaN(r) || r < 0 {
+				t.Fatalf("bad residual %g", r)
+			}
+		}
+	}
+	tier.Quiesce()
+	if !sawResidual {
+		t.Error("no shadow residuals after training")
+	}
+	st = tier.Stats()
+	if st.Trainings < 2 {
+		t.Errorf("trainings = %d, want retrains after %d more observations", st.Trainings, len(samples)-8)
+	}
+	if st.ModelVersion != int(st.Trainings) {
+		t.Errorf("model version %d != trainings %d: swap not atomic with counter", st.ModelVersion, st.Trainings)
+	}
+}
+
+func TestObserveDropsNonFinite(t *testing.T) {
+	tier, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.Observe([]float64{1, 2}, math.Inf(-1))
+	tier.Observe([]float64{1, 2}, math.NaN())
+	tier.Observe([]float64{math.NaN(), 2}, -3)
+	tier.Observe([]float64{1, math.Inf(1)}, -3)
+	if st := tier.Stats(); st.Buffered != 0 {
+		t.Errorf("non-finite observations buffered: %+v", st)
+	}
+}
+
+func TestBufferBounded(t *testing.T) {
+	cfg := testConfig()
+	cfg.BufferCap = 32
+	cfg.MinTrain = 1000000 // never train; isolate the ring
+	tier, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tier.Observe([]float64{float64(i), 0}, -3)
+	}
+	if st := tier.Stats(); st.Buffered != 32 {
+		t.Fatalf("buffered = %d, want cap 32", st.Buffered)
+	}
+	// The ring keeps the newest 32: features 68..99 oldest-first.
+	tier.mu.Lock()
+	snap := tier.snapshotLocked()
+	tier.mu.Unlock()
+	for i, s := range snap {
+		// The features were stored verbatim; integer-valued floats this small
+		// compare exactly, so use the bit pattern.
+		if want := float64(68 + i); math.Float64bits(s.Features[0]) != math.Float64bits(want) {
+			t.Fatalf("ring[%d] = %g, want %g (drop-oldest)", i, s.Features[0], want)
+		}
+	}
+}
+
+func TestFeatureLengthMismatchEscalates(t *testing.T) {
+	tier, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range synthSamples(64, 5) {
+		tier.Observe(s.Features, s.Log10Rate)
+	}
+	tier.Quiesce()
+	if _, ok := tier.Predict([]float64{1, 0.5}); !ok {
+		t.Fatal("tier did not train")
+	}
+	if _, ok := tier.Predict([]float64{1, 0.5, 9}); ok {
+		t.Error("stale-schema prediction served: 3 features against a 2-feature model")
+	}
+	if d := tier.Decide([]float64{1}, 0); d.Serve || d.Reason != ReasonUntrained {
+		t.Errorf("schema-mismatch decision = %+v, want untrained escalation", d)
+	}
+}
+
+func TestPersistenceRestoreAndFingerprintIsolation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Dir = dir
+	tier, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range synthSamples(64, 5) {
+		tier.Observe(s.Features, s.Log10Rate)
+	}
+	tier.Quiesce()
+	want, ok := tier.Predict([]float64{2, 0.5})
+	if !ok {
+		t.Fatal("tier did not train")
+	}
+
+	// Same fingerprint: a fresh Tier restores the model and the buffer.
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := restored.Predict([]float64{2, 0.5})
+	if !ok {
+		t.Fatal("restored tier is untrained")
+	}
+	// Restore is a bit-identity contract, so compare the raw bits.
+	if math.Float64bits(got.Log10Rate) != math.Float64bits(want.Log10Rate) ||
+		math.Float64bits(got.Std) != math.Float64bits(want.Std) {
+		t.Errorf("restored prediction (%g,%g) != original (%g,%g)",
+			got.Log10Rate, got.Std, want.Log10Rate, want.Std)
+	}
+	if st := restored.Stats(); st.Buffered == 0 || st.Trainings == 0 {
+		t.Errorf("restored stats = %+v, want buffer and training count back", st)
+	}
+
+	// Different fingerprint, same directory: starts untrained. The snapshot
+	// belongs to another characterized machine and must never answer here.
+	other := cfg
+	other.Fingerprint = "other-machine"
+	alien, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := alien.Predict([]float64{2, 0.5}); ok {
+		t.Fatal("tier answered from another fingerprint's snapshot")
+	}
+	if st := alien.Stats(); st.Buffered != 0 {
+		t.Errorf("alien tier inherited a buffer: %+v", st)
+	}
+}
+
+func TestNewRequiresFingerprint(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty fingerprint")
+	}
+}
+
+func TestEvalCurve(t *testing.T) {
+	var samples []EvalSample
+	for i, s := range synthSamples(300, 11) {
+		samples = append(samples, EvalSample{
+			Name:      "synth",
+			Scenarios: i % 8,
+			Features:  s.Features,
+			Log10Rate: s.Log10Rate,
+		})
+	}
+	cfg := testConfig()
+	bounds := []float64{0.05, 0.15, 0.3, 1}
+	res, err := Eval(samples, cfg, bounds, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainN+res.TestN != len(samples) || res.TestN < 80 {
+		t.Fatalf("split %d/%d", res.TrainN, res.TestN)
+	}
+	if res.MAE <= 0 || res.MAE > 0.3 {
+		t.Errorf("held-out MAE = %g, want (0, 0.3]", res.MAE)
+	}
+	if len(res.Curve) != len(bounds) {
+		t.Fatalf("curve has %d points, want %d", len(res.Curve), len(bounds))
+	}
+	prev := -1.0
+	for _, pt := range res.Curve {
+		if pt.Coverage < prev {
+			t.Errorf("coverage not monotone in bound: %+v", res.Curve)
+		}
+		prev = pt.Coverage
+		if pt.Served > 0 && pt.MAE < 0 {
+			t.Errorf("negative MAE at bound %g", pt.Bound)
+		}
+	}
+	if last := res.Curve[len(res.Curve)-1]; last.Coverage < 0.9 {
+		t.Errorf("loosest bound covers %g, want ~1", last.Coverage)
+	}
+
+	// Determinism: same inputs, same result.
+	res2, err := Eval(samples, cfg, bounds, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res2.MAE) != math.Float64bits(res.MAE) ||
+		math.Float64bits(res2.GatedCoverage) != math.Float64bits(res.GatedCoverage) {
+		t.Error("Eval is not deterministic for a fixed seed")
+	}
+
+	// Too few samples to split is an error, not a panic.
+	if _, err := Eval(samples[:2], cfg, nil, 0.5, 1); err == nil {
+		t.Error("Eval accepted a 2-sample split")
+	}
+}
