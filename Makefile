@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-fix-check check fuzz cover smoke smoke-cluster smoke-surrogate bench pprof clean
+.PHONY: all build test lint lint-fix-check check fuzz cover smoke smoke-cluster smoke-surrogate smoke-oppoint bench pprof clean
 
 all: build
 
@@ -73,6 +73,13 @@ smoke-cluster:
 # requests, the response tier field, and a SIGTERM drain.
 smoke-surrogate:
 	./scripts/tsperrd-surrogate-smoke.sh
+
+# `make smoke-oppoint` runs the operating-point search end to end: a 2x2
+# voltage/temperature grid through POST /v1/oppoint, a warm re-run that must
+# answer every bisection probe from the cache (pinned via the oppoint
+# sub-request metrics), and a SIGTERM drain.
+smoke-oppoint:
+	./scripts/tsperrd-oppoint-smoke.sh
 
 # `make bench` records the full benchmark suite as go-test JSON events in
 # BENCH_<date>.json (benchstat-friendly after extracting the output lines:

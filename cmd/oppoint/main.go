@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	oppoint [-scenarios N] [-ratios 1.05,1.10,...] [-timeout D] <benchmark>
+//	oppoint [-scenarios N] [-ratios 1.05,1.10,...] [-voltage V] [-temp C]
+//	        [-timeout D] <benchmark>
+//
+// -voltage/-temp evaluate the sweep at an explicit operating condition (the
+// cell-delay scaling law inflates delays and variability as the supply
+// droops or the die heats); zero means the nominal 1.1 V / 25 C corner.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tsperr/internal/cell"
 	"tsperr/internal/cliutil"
 	"tsperr/internal/core"
 	"tsperr/internal/errormodel"
@@ -33,10 +39,17 @@ func main() {
 	ratioList := flag.String("ratios", "1.05,1.10,1.13,1.15,1.18,1.21",
 		"comma-separated frequency ratios to evaluate")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+	voltage := flag.Float64("voltage", 0, "supply voltage in volts (0 = nominal 1.1)")
+	temp := flag.Float64("temp", 0, "die temperature in C (0 = nominal 25)")
 	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: oppoint [-scenarios N] [-ratios ...] [-timeout D] <benchmark>")
+		fmt.Fprintln(os.Stderr, "usage: oppoint [-scenarios N] [-ratios ...] [-voltage V] [-temp C] [-timeout D] <benchmark>")
+		os.Exit(cliutil.ExitUsage)
+	}
+	cond := cell.OperatingCondition{VoltageV: *voltage, TempC: *temp}
+	if err := cond.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "oppoint: %v\n", err)
 		os.Exit(cliutil.ExitUsage)
 	}
 	ctx, cancel := cliutil.Context(*timeout)
@@ -54,18 +67,21 @@ func main() {
 		log.Fatal(err)
 	}
 	// The sweep re-trains per ratio, but the base-point machine itself can
-	// come from the persistent model cache.
+	// come from the persistent model cache (the operating condition is part
+	// of the cache key, so each condition warms independently).
+	opts := errormodel.DefaultOptions()
+	opts.Cond = cond
 	var fw *core.Framework
 	if enabled, dir := modelCache(); enabled {
 		if dir == "" {
 			dir, _ = modelcache.DefaultDir()
 		}
 		if dir != "" {
-			fw, _, err = core.NewFrameworkCached(errormodel.DefaultOptions(), dir)
+			fw, _, err = core.NewFrameworkCached(opts, dir)
 		}
 	}
 	if fw == nil && err == nil {
-		fw, err = core.NewFramework(errormodel.DefaultOptions())
+		fw, err = core.NewFramework(opts)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -76,8 +92,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oppoint: %s: sweep failed:\n%s\n", b.Name, harness.FailureDetail(err))
 		os.Exit(cliutil.ExitFailure)
 	}
-	fmt.Printf("%s: operating point sweep (base %.0f MHz)\n\n",
-		b.Name, fw.Machine.Opts.BaseFreqMHz)
+	fmt.Printf("%s: operating point sweep (base %.0f MHz, %s)\n\n",
+		b.Name, fw.Machine.Opts.BaseFreqMHz, cond)
 	fmt.Printf("%8s %10s %12s %10s %14s\n",
 		"ratio", "freq(MHz)", "errors(%)", "speedup", "P(profitable)")
 	for i, p := range points {

@@ -5,9 +5,11 @@
 // Usage:
 //
 //	tsperr [-scenarios N] [-timeout D] [-retries N] [-min-scenarios N]
-//	       [-mc-trials N] [-mc-seed S] [-json] [-explain] <benchmark>
+//	       [-mc-trials N] [-mc-seed S] [-voltage V] [-temp C] [-json]
+//	       [-explain] <benchmark>
 //	tsperr -batch suite.json [-json] [flags]
 //	tsperr -surrogate-eval [-surrogate-holdout F] [-surrogate-seed S] [-json]
+//	tsperr -oppoint -target F [-min-ratio R] [-max-ratio R] [-steps N] <benchmark>
 //
 // Run with no arguments to list the available benchmarks. With -batch, the
 // argument is a suite file ({"entries":[{"benchmark":...,"scenarios":...}]})
@@ -15,6 +17,13 @@
 // results stream as text rows, or -json emits one document reusing the
 // shared core.Report encoding per entry. -mc-trials appends a sharded Monte
 // Carlo validation of the analytic distribution to the report.
+//
+// -voltage/-temp evaluate at an explicit operating condition (the cell-delay
+// scaling law inflates delays and variability as the supply droops or the die
+// heats); zero means the nominal 1.1 V / 25 C corner. -oppoint bisects the
+// fastest frequency ratio whose error rate stays at or below -target at that
+// condition and prints the resulting operating point (or -json, one document
+// mirroring a point of tsperrd's /v1/oppoint response).
 //
 // Exit status is 2 for usage errors and 1 for analysis failures (in batch
 // mode: if any entry failed); on failure every failing scenario is reported
@@ -30,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"tsperr/internal/cell"
 	"tsperr/internal/cliutil"
 	"tsperr/internal/core"
 	"tsperr/internal/harness"
@@ -83,9 +93,22 @@ func main() {
 	surrogateHoldout := flag.Float64("surrogate-holdout", 0,
 		"held-out fraction for -surrogate-eval (0 = 0.3 default)")
 	surrogateSeed := flag.Uint64("surrogate-seed", 42, "train/test split seed for -surrogate-eval")
+	voltage := flag.Float64("voltage", 0, "supply voltage in volts (0 = nominal 1.1)")
+	temp := flag.Float64("temp", 0, "die temperature in C (0 = nominal 25)")
+	oppointMode := flag.Bool("oppoint", false,
+		"bisect the fastest frequency ratio meeting -target at the given condition")
+	target := flag.Float64("target", 0.01, "target error rate for -oppoint (fraction, not percent)")
+	minRatio := flag.Float64("min-ratio", 1.0, "lower frequency-ratio bound for -oppoint")
+	maxRatio := flag.Float64("max-ratio", 1.3, "upper frequency-ratio bound for -oppoint")
+	steps := flag.Int("steps", 16, "bisection steps for -oppoint")
 	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
 	harness.SetModelCache(modelCache())
+	cond := cell.OperatingCondition{VoltageV: *voltage, TempC: *temp}
+	if err := harness.SetOperatingCondition(cond); err != nil {
+		fmt.Fprintf(os.Stderr, "tsperr: %v\n", err)
+		os.Exit(cliutil.ExitUsage)
+	}
 
 	if *explain {
 		fmt.Println(explainText)
@@ -97,6 +120,15 @@ func main() {
 			os.Exit(cliutil.ExitUsage)
 		}
 		runSurrogateEval(*timeout, *surrogateHoldout, *surrogateSeed, *jsonOut)
+		return
+	}
+	if *oppointMode {
+		if flag.NArg() != 1 || *batchPath != "" {
+			fmt.Fprintln(os.Stderr, "usage: tsperr -oppoint -target F [-min-ratio R] [-max-ratio R] [-steps N] [-voltage V] [-temp C] [-json] <benchmark>")
+			os.Exit(cliutil.ExitUsage)
+		}
+		runOppoint(flag.Arg(0), *scenarios, *timeout, cond,
+			*target, *minRatio, *maxRatio, *steps, *jsonOut)
 		return
 	}
 	opts := core.AnalyzeOpts{

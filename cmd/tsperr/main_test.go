@@ -107,6 +107,47 @@ func TestSmokeBatchRejectsPositionalArg(t *testing.T) {
 	}
 }
 
+func TestSmokeOppointMissingBenchmarkIsUsage(t *testing.T) {
+	code, _, stderr := runSelf(t, "-oppoint", "-target", "0.01")
+	if code != 2 || !strings.Contains(stderr, "usage: tsperr -oppoint") {
+		t.Fatalf("exit = %d, stderr = %s; want oppoint usage error", code, stderr)
+	}
+}
+
+func TestSmokeOppointBadTargetIsUsage(t *testing.T) {
+	code, _, stderr := runSelf(t, "-oppoint", "-target", "2", "typeset")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (usage)\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "outside [0, 1]") {
+		t.Errorf("stderr does not explain the bad target: %s", stderr)
+	}
+}
+
+func TestSmokeOppointBadVoltageIsUsage(t *testing.T) {
+	code, _, stderr := runSelf(t, "-oppoint", "-voltage", "9", "typeset")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (usage)\nstderr: %s", code, stderr)
+	}
+}
+
+func TestSmokeOppointUnknownBenchmarkIsAnalysisFailure(t *testing.T) {
+	code, _, stderr := runSelf(t, "-oppoint", "no-such-benchmark")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (analysis failure)\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "no-such-benchmark") {
+		t.Errorf("stderr does not name the benchmark: %s", stderr)
+	}
+}
+
+func TestSmokeOppointRejectsBatch(t *testing.T) {
+	code, _, stderr := runSelf(t, "-oppoint", "-batch", "suite.json")
+	if code != 2 || !strings.Contains(stderr, "usage: tsperr -oppoint") {
+		t.Fatalf("exit = %d, stderr = %s; want oppoint usage error", code, stderr)
+	}
+}
+
 func TestSmokeBatchMalformedSuite(t *testing.T) {
 	path := t.TempDir() + "/suite.json"
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tsperrd [-listen :8080] [-workers N] [-queue N] [-cache N]
+//	        [-voltage V] [-temp C]
 //	        [-max-scenarios N] [-max-batch N] [-max-mc-trials N]
 //	        [-request-timeout D] [-max-timeout D]
 //	        [-drain-timeout D] [-model-cache] [-model-cache-dir DIR]
@@ -40,7 +41,13 @@
 // Endpoints:
 //
 //	POST /v1/estimate     {"benchmark":"typeset","scenarios":4}  — sync, or
-//	                      {"benchmark":"typeset","async":true}   — 202 + job id
+//	                      {"benchmark":"typeset","async":true}   — 202 + job id;
+//	                      optional freq_ratio/voltage/temp_c fields estimate at
+//	                      an explicit operating point
+//	POST /v1/oppoint      {"benchmark":"typeset","target_error_rate":1e-4,
+//	                      "voltages":[1.1,1.0],"temps_c":[25,85]} — bisect the
+//	                      fastest frequency per condition, return the
+//	                      (period, voltage) frontier meeting the target
 //	GET  /v1/jobs/{id}    poll an async job
 //	POST /v1/batch        {"scenarios":[{...},{...}]} — 202 + batch id; the
 //	                      suite runs through the dedup/cache layer with
@@ -75,7 +82,6 @@ import (
 	"tsperr/internal/cliutil"
 	"tsperr/internal/cluster"
 	"tsperr/internal/core"
-	"tsperr/internal/errormodel"
 	"tsperr/internal/harness"
 	"tsperr/internal/mibench"
 	"tsperr/internal/modelcache"
@@ -155,6 +161,10 @@ func main() {
 		"exact results observed before the surrogate first trains (0 = 32 default)")
 	surrogateRetrain := flag.Int("surrogate-retrain", 0,
 		"new observations between surrogate retrainings (0 = 16 default)")
+	voltage := flag.Float64("voltage", 0,
+		"supply voltage in volts the daemon serves at (0 = nominal 1.1)")
+	temp := flag.Float64("temp", 0,
+		"die temperature in C the daemon serves at (0 = nominal 25)")
 	modelCache := cliutil.ModelCacheFlags()
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -162,12 +172,16 @@ func main() {
 		os.Exit(cliutil.ExitUsage)
 	}
 	harness.SetModelCache(modelCache())
+	if err := harness.SetOperatingCondition(cell.OperatingCondition{VoltageV: *voltage, TempC: *temp}); err != nil {
+		fmt.Fprintf(os.Stderr, "tsperrd: %v\n", err)
+		os.Exit(cliutil.ExitUsage)
+	}
 
-	// The same content address the model cache files under: options plus
-	// the cell library. Request keys therefore never collide across
-	// operating points or library revisions — and cluster nodes with
-	// different models refuse each other's chunks instead of mixing bits.
-	fingerprint := modelcache.Key(errormodel.DefaultOptions(), cell.Fingerprint())
+	// The same content address the model cache files under: options (with the
+	// operating condition) plus the cell library. Request keys therefore never
+	// collide across operating points or library revisions — and cluster nodes
+	// with different models refuse each other's chunks instead of mixing bits.
+	fingerprint := modelcache.Key(harness.SharedOptions(), cell.Fingerprint())
 
 	var lazyTier *lazySurrogate
 	switch *surrogateMode {
@@ -222,6 +236,7 @@ func main() {
 
 	cfg := server.Config{
 		Analyze:     harness.AnalyzeWithOpts,
+		AnalyzeAt:   harness.AnalyzeAtPoint,
 		Fingerprint: fingerprint,
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,

@@ -1,0 +1,133 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+)
+
+// The operating-condition scaling law. Cell delays are functions of the
+// supply voltage and die temperature, not just of process variation: the
+// alpha-power law models the drive-current collapse as VDD approaches the
+// threshold voltage (delay ~ V / (V - Vth)^alpha), and a linear
+// temperature coefficient captures mobility degradation at hot corners.
+// The library's nominal delays (Kind.Delay) are quoted at the nominal
+// condition below; DelayFactor/SigmaFactor express any other condition as
+// smooth multipliers on top. Both factors are exactly 1.0 at the nominal
+// condition — the identical float expression divides to 1.0 and the
+// temperature term adds an exact zero — so a nominal-condition engine is
+// bit-identical to one built before conditions existed.
+const (
+	// NominalVoltageV and NominalTempC define the condition at which the
+	// library's delays are quoted (45 nm-like typical corner).
+	NominalVoltageV = 1.1
+	NominalTempC    = 25.0
+
+	// alphaPower is the velocity-saturation exponent of the alpha-power
+	// current law; ~1.3 is typical for short-channel 45 nm devices.
+	alphaPower = 1.3
+	// thresholdV is the effective device threshold voltage.
+	thresholdV = 0.35
+	// tempDelayCoeff is the linear delay inflation per degree C above
+	// nominal (mobility-dominated regime: hotter is slower).
+	tempDelayCoeff = 0.0012
+	// sigmaDroopGain scales the relative-sigma inflation per unit of
+	// relative voltage droop: variability worsens as VDD drops toward Vth.
+	sigmaDroopGain = 0.8
+
+	// MinVoltageV/MaxVoltageV and MinTempC/MaxTempC bound the law's
+	// validity range; outside it the alpha-power fit is meaningless.
+	MinVoltageV = 0.6
+	MaxVoltageV = 1.4
+	MinTempC    = -40.0
+	MaxTempC    = 125.0
+)
+
+// OperatingCondition is a (supply voltage, temperature) point. The zero
+// value means "the nominal condition": existing call sites that never set a
+// condition keep their exact pre-condition behavior. Per field, a zero is
+// normalized to the nominal value (a literal 0 degrees C is therefore not
+// representable; use a near-zero temperature if freezing point matters).
+type OperatingCondition struct {
+	// VoltageV is the supply voltage in volts (0 = nominal).
+	VoltageV float64
+	// TempC is the die temperature in degrees Celsius (0 = nominal).
+	TempC float64
+}
+
+// Nominal returns the explicit nominal condition.
+func Nominal() OperatingCondition {
+	return OperatingCondition{VoltageV: NominalVoltageV, TempC: NominalTempC}
+}
+
+// Norm returns the condition with zero fields replaced by their nominal
+// values.
+func (c OperatingCondition) Norm() OperatingCondition {
+	if c.VoltageV == 0 {
+		c.VoltageV = NominalVoltageV
+	}
+	if c.TempC == 0 {
+		c.TempC = NominalTempC
+	}
+	return c
+}
+
+// Equal reports whether two conditions normalize to bit-identical values —
+// the equivalence the model cache, surrogate gating, and per-condition
+// framework registry all key on.
+func (c OperatingCondition) Equal(o OperatingCondition) bool {
+	cn, on := c.Norm(), o.Norm()
+	return math.Float64bits(cn.VoltageV) == math.Float64bits(on.VoltageV) &&
+		math.Float64bits(cn.TempC) == math.Float64bits(on.TempC)
+}
+
+// IsNominal reports whether the (normalized) condition is bit-identical to
+// the nominal one, i.e. whether condition scaling is a guaranteed no-op.
+func (c OperatingCondition) IsNominal() bool {
+	return c.Equal(OperatingCondition{})
+}
+
+// Validate checks the (normalized) condition against the law's validity
+// range. NaN and infinities fail the range checks.
+func (c OperatingCondition) Validate() error {
+	n := c.Norm()
+	if !(n.VoltageV >= MinVoltageV && n.VoltageV <= MaxVoltageV) {
+		return fmt.Errorf("cell: voltage %v V outside [%g, %g]",
+			n.VoltageV, MinVoltageV, MaxVoltageV)
+	}
+	if !(n.TempC >= MinTempC && n.TempC <= MaxTempC) {
+		return fmt.Errorf("cell: temperature %v C outside [%g, %g]",
+			n.TempC, MinTempC, MaxTempC)
+	}
+	return nil
+}
+
+// alphaPowerDelay is the un-normalized alpha-power delay shape d(V) =
+// V / (V - Vth)^alpha; only ratios of it are meaningful.
+func alphaPowerDelay(v float64) float64 {
+	return v / math.Pow(v-thresholdV, alphaPower)
+}
+
+// DelayFactor returns the multiplier on every nominal cell delay at this
+// condition: the alpha-power voltage ratio times the linear temperature
+// term. Monotone increasing in droop (lower voltage = slower) and in
+// temperature; exactly 1.0 at the nominal condition.
+func (c OperatingCondition) DelayFactor() float64 {
+	n := c.Norm()
+	vf := alphaPowerDelay(n.VoltageV) / alphaPowerDelay(NominalVoltageV)
+	tf := 1 + tempDelayCoeff*(n.TempC-NominalTempC)
+	return vf * tf
+}
+
+// SigmaFactor returns the multiplier on the relative delay sigma at this
+// condition: variability grows linearly with relative voltage droop (and
+// shrinks mildly under overdrive). Exactly 1.0 at the nominal condition.
+func (c OperatingCondition) SigmaFactor() float64 {
+	n := c.Norm()
+	return 1 + sigmaDroopGain*(NominalVoltageV-n.VoltageV)/NominalVoltageV
+}
+
+// String renders the normalized condition for logs and fingerprints.
+func (c OperatingCondition) String() string {
+	n := c.Norm()
+	return fmt.Sprintf("%gV/%gC", n.VoltageV, n.TempC)
+}

@@ -1,0 +1,108 @@
+package cell
+
+import (
+	"math"
+	"testing"
+)
+
+// TestConditionNominalExact pins the acceptance-critical identity: both
+// scaling factors are bit-exactly 1.0 at the nominal condition (explicit or
+// zero-valued), so default-condition engines reproduce pre-condition bytes.
+func TestConditionNominalExact(t *testing.T) {
+	for _, c := range []OperatingCondition{
+		{},
+		{VoltageV: NominalVoltageV},
+		{TempC: NominalTempC},
+		Nominal(),
+	} {
+		if got := c.DelayFactor(); math.Float64bits(got) != math.Float64bits(1.0) {
+			t.Errorf("DelayFactor(%v) = %v (bits %x), want exactly 1.0", c, got, math.Float64bits(got))
+		}
+		if got := c.SigmaFactor(); math.Float64bits(got) != math.Float64bits(1.0) {
+			t.Errorf("SigmaFactor(%v) = %v (bits %x), want exactly 1.0", c, got, math.Float64bits(got))
+		}
+		if !c.IsNominal() {
+			t.Errorf("IsNominal(%v) = false, want true", c)
+		}
+	}
+}
+
+// TestDelayFactorMonotone checks the law's shape: delay inflates
+// monotonically as voltage droops at fixed temperature, and as temperature
+// rises at fixed voltage.
+func TestDelayFactorMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for v := MinVoltageV; v <= MaxVoltageV+1e-9; v += 0.05 {
+		f := OperatingCondition{VoltageV: v, TempC: NominalTempC}.DelayFactor()
+		if f >= prev {
+			t.Fatalf("DelayFactor not strictly decreasing in voltage at %.2f V: %v >= %v", v, f, prev)
+		}
+		if f <= 0 {
+			t.Fatalf("DelayFactor(%.2f V) = %v, want positive", v, f)
+		}
+		prev = f
+	}
+	prevT := 0.0
+	for temp := MinTempC; temp <= MaxTempC+1e-9; temp += 15 {
+		f := OperatingCondition{VoltageV: NominalVoltageV, TempC: temp}.DelayFactor()
+		if f <= prevT {
+			t.Fatalf("DelayFactor not strictly increasing in temperature at %.0f C: %v <= %v", temp, f, prevT)
+		}
+		prevT = f
+	}
+}
+
+// TestSigmaFactorDroop checks that variability grows with droop and stays
+// positive over the whole validity range.
+func TestSigmaFactorDroop(t *testing.T) {
+	droop := OperatingCondition{VoltageV: 0.9, TempC: NominalTempC}.SigmaFactor()
+	if droop <= 1 {
+		t.Fatalf("SigmaFactor at 0.9 V = %v, want > 1", droop)
+	}
+	over := OperatingCondition{VoltageV: 1.3, TempC: NominalTempC}.SigmaFactor()
+	if over >= 1 {
+		t.Fatalf("SigmaFactor at 1.3 V = %v, want < 1", over)
+	}
+	for v := MinVoltageV; v <= MaxVoltageV+1e-9; v += 0.05 {
+		if f := (OperatingCondition{VoltageV: v}).SigmaFactor(); f <= 0 {
+			t.Fatalf("SigmaFactor(%.2f V) = %v, want positive", v, f)
+		}
+	}
+}
+
+func TestConditionValidate(t *testing.T) {
+	cases := []struct {
+		c  OperatingCondition
+		ok bool
+	}{
+		{OperatingCondition{}, true},
+		{Nominal(), true},
+		{OperatingCondition{VoltageV: 0.9, TempC: 85}, true},
+		{OperatingCondition{VoltageV: MinVoltageV, TempC: MinTempC}, true},
+		{OperatingCondition{VoltageV: MaxVoltageV, TempC: MaxTempC}, true},
+		{OperatingCondition{VoltageV: 0.5}, false},
+		{OperatingCondition{VoltageV: 1.5}, false},
+		{OperatingCondition{TempC: -41}, false},
+		{OperatingCondition{TempC: 126}, false},
+		{OperatingCondition{VoltageV: math.NaN()}, false},
+		{OperatingCondition{TempC: math.Inf(1)}, false},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", tc.c, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("Validate(%v) = nil, want error", tc.c)
+		}
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	if got := (OperatingCondition{}).String(); got != "1.1V/25C" {
+		t.Errorf("zero condition String() = %q, want \"1.1V/25C\"", got)
+	}
+	if got := (OperatingCondition{VoltageV: 0.95, TempC: 85}).String(); got != "0.95V/85C" {
+		t.Errorf("String() = %q, want \"0.95V/85C\"", got)
+	}
+}

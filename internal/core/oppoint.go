@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"tsperr/internal/cpu"
 )
@@ -21,13 +22,72 @@ type OperatingPoint struct {
 	CDFBelowBreakEven float64
 }
 
+// AnalyzeAtRatio analyzes the program with the machine re-targeted at the
+// given frequency ratio (speculative over baseline) and the datapath model
+// re-trained for that period, then restores the original working period and
+// datapath before returning — on success, failure, and cancellation alike —
+// so a follow-up Analyze is bit-identical to one on a framework that never
+// retargeted. When the requested period is bit-identical to the current
+// working period the retarget is skipped entirely (preserving the stimulus
+// memo and the exact plain-Analyze path). Not safe for concurrent use with
+// other analyses on the same framework: the retarget mutates shared machine
+// state.
+func (f *Framework) AnalyzeAtRatio(ctx context.Context, name string, spec ProgramSpec, ratio float64, opts AnalyzeOpts) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ratio <= 0 || math.IsInf(ratio, 0) {
+		return nil, fmt.Errorf("core: non-positive ratio %v", ratio)
+	}
+	target := f.Machine.BasePeriodPs / ratio
+	if math.Float64bits(target) == math.Float64bits(f.Machine.WorkingPeriodPs) {
+		return f.AnalyzeWithOpts(ctx, name, spec, opts)
+	}
+	origPeriod := f.Machine.WorkingPeriodPs
+	origDP := f.Datapath
+	defer func() {
+		f.Machine.SetWorkingPeriod(origPeriod)
+		f.Datapath = origDP
+	}()
+	f.Machine.SetWorkingPeriod(target)
+	dp, err := f.Machine.TrainDatapath(ctx)
+	if err != nil {
+		return nil, err
+	}
+	f.Datapath = dp
+	return f.AnalyzeWithOpts(ctx, name, spec, opts)
+}
+
+// EvaluateOperatingPoint analyzes the program at one frequency ratio and
+// summarizes it as an OperatingPoint under the replay-at-half-frequency
+// performance model. The machine is restored afterwards (see
+// AnalyzeAtRatio).
+func (f *Framework) EvaluateOperatingPoint(ctx context.Context, name string, spec ProgramSpec, ratio float64) (OperatingPoint, error) {
+	rep, err := f.AnalyzeAtRatio(ctx, name, spec, ratio, AnalyzeOpts{})
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	return reportOperatingPoint(rep, ratio), nil
+}
+
+// reportOperatingPoint summarizes one analyzed report at a frequency ratio.
+func reportOperatingPoint(rep *Report, ratio float64) OperatingPoint {
+	er := rep.Estimate.MeanErrorRate()
+	pm := cpu.PerfModel{FreqRatio: ratio, BaseCPI: 1, Scheme: cpu.ReplayHalfFrequency}
+	return OperatingPoint{
+		Ratio:             ratio,
+		ErrorRate:         er,
+		Speedup:           pm.Speedup(er),
+		CDFBelowBreakEven: rep.Estimate.ErrorRateCDF(pm.BreakEvenErrorRate()),
+	}
+}
+
 // SelectOperatingPoint evaluates the program at each frequency ratio and
 // returns all points plus the index of the best expected speedup — the
 // per-application operating point selection of the authors' companion work
 // (Assare & Gupta, ICCD 2016), here driven by the error-rate estimator.
-// The framework's machine is re-targeted and re-trained per point and left
-// at the last evaluated ratio; callers who need the original working point
-// should re-target afterwards.
+// The framework's original working period and datapath are restored on
+// exit, so the sweep leaves no trace on subsequent analyses.
 func (f *Framework) SelectOperatingPoint(ctx context.Context, name string, spec ProgramSpec, ratios []float64) ([]OperatingPoint, int, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -35,37 +95,110 @@ func (f *Framework) SelectOperatingPoint(ctx context.Context, name string, spec 
 	if len(ratios) == 0 {
 		return nil, 0, fmt.Errorf("core: no ratios to evaluate")
 	}
-	base := f.Machine.BasePeriodPs
 	points := make([]OperatingPoint, len(ratios))
 	best := 0
 	for i, ratio := range ratios {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, fmt.Errorf("core: operating-point sweep aborted at ratio %v: %w", ratio, err)
 		}
-		if ratio <= 0 {
-			return nil, 0, fmt.Errorf("core: non-positive ratio %v", ratio)
-		}
-		f.Machine.SetWorkingPeriod(base / ratio)
-		dp, err := f.Machine.TrainDatapath(ctx)
+		pt, err := f.EvaluateOperatingPoint(ctx, name, spec, ratio)
 		if err != nil {
 			return nil, 0, err
 		}
-		f.Datapath = dp
-		rep, err := f.Analyze(ctx, name, spec)
-		if err != nil {
-			return nil, 0, err
-		}
-		er := rep.Estimate.MeanErrorRate()
-		pm := cpu.PerfModel{FreqRatio: ratio, BaseCPI: 1, Scheme: cpu.ReplayHalfFrequency}
-		points[i] = OperatingPoint{
-			Ratio:             ratio,
-			ErrorRate:         er,
-			Speedup:           pm.Speedup(er),
-			CDFBelowBreakEven: rep.Estimate.ErrorRateCDF(pm.BreakEvenErrorRate()),
-		}
+		points[i] = pt
 		if points[i].Speedup > points[best].Speedup {
 			best = i
 		}
 	}
 	return points, best, nil
+}
+
+// MaxBisectSteps bounds the quantized ratio grid of BisectRatio; 2^20 grid
+// intervals resolve a frequency ratio to ~1e-6, far below model fidelity.
+const MaxBisectSteps = 1 << 20
+
+// BisectResult is the outcome of one BisectRatio search.
+type BisectResult struct {
+	// Feasible reports whether any grid ratio met the target; when false
+	// Ratio/ErrorRate describe the infeasible low end of the grid.
+	Feasible bool
+	// Ratio is the fastest (largest) grid ratio whose error rate meets the
+	// target; ErrorRate is the evaluated rate there.
+	Ratio     float64
+	ErrorRate float64
+	// Evals is how many times eval ran (grid endpoints + bisection probes).
+	Evals int
+}
+
+// BisectRatio finds the fastest frequency ratio meeting a target error rate
+// on the quantized grid {lo + i*(hi-lo)/steps : i = 0..steps}, assuming the
+// evaluated error rate is monotone non-decreasing in the ratio (physically:
+// a shorter clock period can only add timing errors). The search is index
+// bisection, so it is deterministic — the probe sequence depends only on
+// eval outcomes, which makes the result invariant to caller-side concerns
+// like cache warmth or the order a surrounding grid is walked in. eval must
+// be deterministic for a given ratio.
+func BisectRatio(ctx context.Context, lo, hi float64, steps int, target float64, eval func(context.Context, float64) (float64, error)) (BisectResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !(lo > 0) || !(hi >= lo) || math.IsInf(hi, 0) {
+		return BisectResult{}, fmt.Errorf("core: bad bisection range [%v, %v]", lo, hi)
+	}
+	if steps < 1 || steps > MaxBisectSteps {
+		return BisectResult{}, fmt.Errorf("core: bisection steps %d outside [1, %d]", steps, MaxBisectSteps)
+	}
+	if !(target >= 0 && target <= 1) {
+		return BisectResult{}, fmt.Errorf("core: target error rate %v outside [0, 1]", target)
+	}
+	ratioAt := func(i int) float64 {
+		if i == steps {
+			return hi
+		}
+		return lo + (hi-lo)*float64(i)/float64(steps)
+	}
+	res := BisectResult{}
+	evalAt := func(i int) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("core: bisection aborted at ratio %v: %w", ratioAt(i), err)
+		}
+		res.Evals++
+		return eval(ctx, ratioAt(i))
+	}
+	// The slow end must be feasible for the search to mean anything.
+	loRate, err := evalAt(0)
+	if err != nil {
+		return BisectResult{}, err
+	}
+	if loRate > target {
+		res.Ratio, res.ErrorRate = ratioAt(0), loRate
+		return res, nil
+	}
+	res.Feasible = true
+	res.Ratio, res.ErrorRate = ratioAt(0), loRate
+	// Fast path: the whole range may be feasible.
+	hiRate, err := evalAt(steps)
+	if err != nil {
+		return BisectResult{}, err
+	}
+	if hiRate <= target {
+		res.Ratio, res.ErrorRate = ratioAt(steps), hiRate
+		return res, nil
+	}
+	// Invariant: grid index good is feasible, bad is not; good < bad.
+	good, bad := 0, steps
+	for bad-good > 1 {
+		mid := good + (bad-good)/2
+		rate, err := evalAt(mid)
+		if err != nil {
+			return BisectResult{}, err
+		}
+		if rate <= target {
+			good = mid
+			res.Ratio, res.ErrorRate = ratioAt(mid), rate
+		} else {
+			bad = mid
+		}
+	}
+	return res, nil
 }

@@ -2,23 +2,21 @@ package core
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
 	"testing"
 
+	"tsperr/internal/cell"
+	"tsperr/internal/cpu"
+	"tsperr/internal/errormodel"
 	"tsperr/internal/isa"
 )
 
 func TestSelectOperatingPoint(t *testing.T) {
 	f := testFramework(t)
-	origPeriod := f.Machine.WorkingPeriodPs
-	defer func() {
-		f.Machine.SetWorkingPeriod(origPeriod)
-		dp, err := f.Machine.TrainDatapath(context.Background())
-		if err != nil {
-			t.Fatal(err)
-		}
-		f.Datapath = dp
-	}()
-
 	prog := isa.MustAssemble("sumloop", fwProg)
 	spec := ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2}
 	ratios := []float64{1.05, 1.13, 1.22}
@@ -61,5 +59,264 @@ func TestSelectOperatingPointValidation(t *testing.T) {
 	}
 	if _, _, err := f.SelectOperatingPoint(context.Background(), "h", ProgramSpec{Prog: prog, Scenarios: 1}, []float64{-1}); err == nil {
 		t.Error("negative ratio should fail")
+	}
+}
+
+// stableReportJSON marshals a report with the wall-clock timing fields
+// zeroed, leaving only the deterministic analysis outputs — the byte string
+// two runs of the same deterministic pipeline must agree on exactly.
+func stableReportJSON(t *testing.T, rep *Report) string {
+	t.Helper()
+	c := *rep
+	c.Training, c.Simulation = 0, 0
+	buf, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestSweepRestoreBitIdentical is the regression test for the sweep leaving
+// the machine re-targeted at the last evaluated ratio: an Analyze after a
+// SelectOperatingPoint sweep must be bit-identical to one on a framework
+// that never swept.
+func TestSweepRestoreBitIdentical(t *testing.T) {
+	f := testFramework(t)
+	ctx := context.Background()
+	prog := isa.MustAssemble("sumloop", fwProg)
+	spec := ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2}
+
+	before, err := f.Analyze(ctx, "sumloop", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := stableReportJSON(t, before)
+	wantPeriod := math.Float64bits(f.Machine.WorkingPeriodPs)
+	wantDP := f.Datapath
+
+	if _, _, err := f.SelectOperatingPoint(ctx, "sumloop", spec, []float64{1.05, 1.22}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := math.Float64bits(f.Machine.WorkingPeriodPs); got != wantPeriod {
+		t.Fatalf("working period not restored: bits %x != %x", got, wantPeriod)
+	}
+	if f.Datapath != wantDP {
+		t.Fatal("datapath model not restored to the pre-sweep instance")
+	}
+	after, err := f.Analyze(ctx, "sumloop", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stableReportJSON(t, after); got != wantJSON {
+		t.Errorf("post-sweep report differs from pre-sweep:\n pre: %s\npost: %s", wantJSON, got)
+	}
+}
+
+// TestAnalyzeAtRatioRestoresOnError pins the restore on the failure path: a
+// scenario that fails at the re-targeted ratio must still leave the original
+// working period and datapath in place.
+func TestAnalyzeAtRatioRestoresOnError(t *testing.T) {
+	f := testFramework(t)
+	prog := isa.MustAssemble("sumloop", fwProg)
+	wantPeriod := math.Float64bits(f.Machine.WorkingPeriodPs)
+	wantDP := f.Datapath
+	spec := ProgramSpec{
+		Prog:      prog,
+		Setup:     func(*cpu.CPU, int) error { return errors.New("boom") },
+		Scenarios: 1,
+	}
+	if _, err := f.AnalyzeAtRatio(context.Background(), "sumloop", spec, 1.22, AnalyzeOpts{}); err == nil {
+		t.Fatal("want setup failure")
+	}
+	if got := math.Float64bits(f.Machine.WorkingPeriodPs); got != wantPeriod {
+		t.Fatalf("working period not restored after error: bits %x != %x", got, wantPeriod)
+	}
+	if f.Datapath != wantDP {
+		t.Fatal("datapath not restored after error")
+	}
+}
+
+var (
+	droopOnce sync.Once
+	droopFW   *Framework
+	droopErr  error
+)
+
+// droopFramework builds (once) a framework at a drooped, hot operating
+// condition; periods and calibration match testFramework's, only the V/T
+// delay/sigma factors differ.
+func droopFramework(t *testing.T) *Framework {
+	t.Helper()
+	droopOnce.Do(func() {
+		opts := errormodel.DefaultOptions()
+		opts.Cond = cell.OperatingCondition{VoltageV: 1.0, TempC: 85}
+		droopFW, droopErr = NewFramework(opts)
+	})
+	if droopErr != nil {
+		t.Fatal(droopErr)
+	}
+	return droopFW
+}
+
+// TestErrorRateMonotoneInDroop is the voltage-axis property: at a fixed
+// working period, dropping the supply (and heating the die) inflates every
+// delay distribution, so the estimated error rate must not decrease.
+func TestErrorRateMonotoneInDroop(t *testing.T) {
+	nom := testFramework(t)
+	droop := droopFramework(t)
+	if math.Float64bits(nom.Machine.WorkingPeriodPs) != math.Float64bits(droop.Machine.WorkingPeriodPs) {
+		t.Fatalf("working periods differ: %v vs %v",
+			nom.Machine.WorkingPeriodPs, droop.Machine.WorkingPeriodPs)
+	}
+	ctx := context.Background()
+	prog := isa.MustAssemble("sumloop", fwProg)
+	spec := ProgramSpec{Prog: prog, Setup: fwSetup, Scenarios: 2}
+	nomRep, err := nom.Analyze(ctx, "sumloop", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	droopRep, err := droop.Analyze(ctx, "sumloop", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomRate, droopRate := nomRep.Estimate.MeanErrorRate(), droopRep.Estimate.MeanErrorRate()
+	if droopRate < nomRate-1e-12 {
+		t.Errorf("error rate fell under droop: nominal %v, drooped %v", nomRate, droopRate)
+	}
+	// The engines must actually have shifted: mean gate delays inflate by
+	// exactly the condition's delay factor (calibration is
+	// condition-independent, so the scales match and the factor multiplies
+	// on top).
+	df := droop.Machine.Opts.Cond.DelayFactor()
+	if !(df > 1) {
+		t.Fatalf("DelayFactor = %v, want > 1 for droop+heat", df)
+	}
+	nomD := nom.Machine.AdderEngine.GateDelay(0)
+	droopD := droop.Machine.AdderEngine.GateDelay(0)
+	if math.Float64bits(droopD.Mean) != math.Float64bits(nomD.Mean*df) {
+		t.Errorf("gate delay mean %v != nominal %v * factor %v", droopD.Mean, nomD.Mean, df)
+	}
+}
+
+// TestBisectRatio checks the quantized-grid search against a brute-force
+// scan of the same grid, plus the infeasible and validation paths.
+func TestBisectRatio(t *testing.T) {
+	ctx := context.Background()
+	// A smooth monotone rate curve with a knee.
+	rate := func(r float64) float64 { return math.Min(1, math.Pow(math.Max(0, r-1), 3)*2) }
+	eval := func(_ context.Context, r float64) (float64, error) { return rate(r), nil }
+
+	// lo and hi are runtime variables so the brute-force grid below folds
+	// floats exactly the way BisectRatio's runtime arithmetic does (typed
+	// constants would be subtracted in exact precision at compile time).
+	lo, hi := 1.0, 1.4
+	const steps = 64
+	for _, target := range []float64{0, 1e-6, 1e-3, 0.01, 0.1, 1} {
+		res, err := BisectRatio(ctx, lo, hi, steps, target, eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Fatalf("target %v: infeasible, but rate(lo) = %v", target, rate(lo))
+		}
+		// Brute force: the largest grid ratio meeting the target.
+		want := lo
+		for i := 0; i <= steps; i++ {
+			r := lo + (hi-lo)*float64(i)/float64(steps)
+			if i == steps {
+				r = hi
+			}
+			if rate(r) <= target {
+				want = r
+			}
+		}
+		if math.Float64bits(res.Ratio) != math.Float64bits(want) {
+			t.Errorf("target %v: ratio %v, brute force %v", target, res.Ratio, want)
+		}
+		if res.Evals > 10 { // 2 endpoints + ceil(log2(64)) probes
+			t.Errorf("target %v: %d evals for %d steps", target, res.Evals, steps)
+		}
+	}
+
+	// Infeasible: even the slow end misses the target.
+	res, err := BisectRatio(ctx, 2, 3, 8, 0.5, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Errorf("want infeasible, got %+v", res)
+	}
+	if res.Evals != 1 {
+		t.Errorf("infeasible should cost exactly one eval, got %d", res.Evals)
+	}
+
+	for _, bad := range []struct {
+		lo, hi float64
+		steps  int
+		target float64
+	}{
+		{0, 1, 4, 0.5},
+		{1.2, 1.1, 4, 0.5},
+		{1, 1.4, 0, 0.5},
+		{1, 1.4, MaxBisectSteps + 1, 0.5},
+		{1, 1.4, 4, -0.1},
+		{1, 1.4, 4, 1.1},
+		{1, 1.4, 4, math.NaN()},
+	} {
+		if _, err := BisectRatio(ctx, bad.lo, bad.hi, bad.steps, bad.target, eval); err == nil {
+			t.Errorf("BisectRatio(%+v) should fail", bad)
+		}
+	}
+}
+
+// TestBisectRatioDeterministic pins the cache-state invariance argument: the
+// probe sequence depends only on eval outcomes, so a cold run and a run
+// against a pre-warmed memo produce bit-identical results and probes.
+func TestBisectRatioDeterministic(t *testing.T) {
+	ctx := context.Background()
+	rate := func(r float64) float64 { return math.Min(1, math.Pow(math.Max(0, r-1), 3)*2) }
+
+	run := func(warm map[uint64]float64) (BisectResult, []float64, map[uint64]float64) {
+		memo := make(map[uint64]float64, len(warm))
+		for k, v := range warm {
+			memo[k] = v
+		}
+		var probes []float64
+		eval := func(_ context.Context, r float64) (float64, error) {
+			probes = append(probes, r)
+			k := math.Float64bits(r)
+			if v, ok := memo[k]; ok {
+				return v, nil
+			}
+			v := rate(r)
+			memo[k] = v
+			return v, nil
+		}
+		res, err := BisectRatio(ctx, 1.0, 1.4, 128, 0.01, eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, probes, memo
+	}
+
+	cold, coldProbes, memo := run(nil)
+	warm, warmProbes, _ := run(memo)
+	if cold != warm {
+		t.Errorf("warm result %+v != cold %+v", warm, cold)
+	}
+	if fmt.Sprint(coldProbes) != fmt.Sprint(warmProbes) {
+		t.Errorf("probe sequences differ:\ncold: %v\nwarm: %v", coldProbes, warmProbes)
+	}
+}
+
+// TestBisectRatioCancel checks context errors surface instead of spinning.
+func TestBisectRatioCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BisectRatio(ctx, 1, 1.4, 8, 0.5,
+		func(context.Context, float64) (float64, error) { return 0, nil })
+	if err == nil {
+		t.Fatal("cancelled bisection should fail")
 	}
 }

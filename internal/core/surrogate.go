@@ -41,7 +41,7 @@ type SurrogateMeta struct {
 // NumSurrogateFeatures is the length of the SurrogateFeatures vector; it is
 // part of the surrogate feature schema (bump modelcache's surrogate schema
 // version when it changes).
-const NumSurrogateFeatures = 16
+const NumSurrogateFeatures = 18
 
 // surrogateLogFloor bounds safeLog10: probabilities at or below 1e-30 are
 // indistinguishable from "never fails" for an estimator whose useful range
@@ -99,6 +99,13 @@ func (f *Framework) SurrogateFeatures(prog *isa.Program, scenarios int) []float6
 	feats[13] = safeLog10(dp.MulFail[len(dp.MulFail)-1])
 	feats[14] = safeLog10(worstMean)
 	feats[15] = dp.AdderSlack[len(dp.AdderSlack)-1].Mean / f.Machine.WorkingPeriodPs
+	// The operating condition is part of the feature space: a model trained
+	// at one (V, T) point must not silently answer for another — predictions
+	// from a differently-conditioned snapshot fail the feature-length or
+	// fingerprint check and escalate to the exact tier instead.
+	cond := f.Machine.Opts.Cond.Norm()
+	feats[16] = cond.VoltageV
+	feats[17] = cond.TempC / 100
 	return feats
 }
 

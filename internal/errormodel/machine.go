@@ -44,6 +44,15 @@ type Options struct {
 	// period (errors first appear when the clock intrudes into the upper
 	// tail of the critical-delay distribution).
 	CalibrationPercentile float64
+	// Cond is the operating condition (supply voltage, temperature) the
+	// machine serves at. The zero value is the nominal condition and
+	// reproduces pre-condition behavior bit-exactly. Calibration always
+	// runs at the nominal condition — the delay scale is a design
+	// property — and the condition's V/T factors multiply on top in the
+	// serving engines, so droop and heat shift every DTS distribution.
+	// Cond is part of the model-cache key (the cache hashes Options with
+	// %+v), so snapshots never mix conditions.
+	Cond cell.OperatingCondition
 }
 
 // DefaultOptions returns the paper's setup.
@@ -161,6 +170,9 @@ func newMachine(ctx context.Context, opts Options, scales map[string]float64) (*
 		return nil, fmt.Errorf("errormodel: CalibrationPercentile %v outside (0, 1)",
 			opts.CalibrationPercentile)
 	}
+	if err := opts.Cond.Validate(); err != nil {
+		return nil, err
+	}
 	model, err := variation.NewModel(opts.VariationLevels, opts.CorrShare)
 	if err != nil {
 		return nil, err
@@ -211,7 +223,7 @@ func newMachine(ctx context.Context, opts Options, scales map[string]float64) (*
 				return fmt.Errorf("errormodel: calibrating %s: %w", u.n.Name, err)
 			}
 		}
-		e, err := sta.NewEngine(u.n, model, m.WorkingPeriodPs, opts.SigmaRel, scale)
+		e, err := sta.NewEngineAt(u.n, model, m.WorkingPeriodPs, opts.SigmaRel, scale, opts.Cond)
 		if err != nil {
 			return err
 		}

@@ -62,6 +62,7 @@ func SharedFramework() (*core.Framework, error) {
 		return fw, nil
 	}
 	opts := errormodel.DefaultOptions()
+	opts.Cond = sharedCond
 	if cacheEnabled {
 		dir := cacheDir
 		if dir == "" {

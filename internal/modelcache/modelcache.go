@@ -52,6 +52,10 @@ type Snapshot struct {
 // for a fixed struct definition, and any field addition changes the rendered
 // string (and therefore the key), which is exactly the invalidation we want.
 func Key(opts errormodel.Options, libFingerprint string) string {
+	// The zero condition means "nominal": normalize before hashing so a
+	// machine characterized with an explicit 1.1 V / 25 C shares its snapshot
+	// with the default, while any real droop or heat gets its own key.
+	opts.Cond = opts.Cond.Norm()
 	h := sha256.New()
 	fmt.Fprintf(h, "schema=%d\nopts=%+v\nlib=%s\n", SchemaVersion, opts, libFingerprint)
 	return hex.EncodeToString(h.Sum(nil))

@@ -20,8 +20,10 @@ import (
 
 // SurrogateSchemaVersion invalidates every cached surrogate snapshot when
 // the serialized layout, the feature vector, or the label definition
-// changes.
-const SurrogateSchemaVersion = 1
+// changes. Version 2: the feature vector grew the operating condition
+// (voltage, temperature), so condition-blind version-1 snapshots must not
+// answer.
+const SurrogateSchemaVersion = 2
 
 // SurrogateSample is one persisted training observation: the feature vector
 // and the exact tier's log10 error rate.

@@ -6,6 +6,8 @@ import (
 	"os"
 	"testing"
 
+	"tsperr/internal/cell"
+	"tsperr/internal/errormodel"
 	"tsperr/internal/mlpred"
 )
 
@@ -77,6 +79,41 @@ func TestSurrogateStaleFingerprintNeverLoaded(t *testing.T) {
 	}
 	if _, err := os.Stat(SurrogatePath(dir, ours)); !os.IsNotExist(err) {
 		t.Error("stale snapshot was not deleted after rejection")
+	}
+}
+
+// TestSurrogateConditionScopedFingerprint pins V/T isolation at the
+// persistence layer: the snapshot key is the model fingerprint, and the
+// fingerprint covers the operating condition, so a tier trained at one
+// condition can never be resurrected to answer for another — a daemon
+// restarted at a droop corner simply misses and starts untrained.
+func TestSurrogateConditionScopedFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	nominal := errormodel.DefaultOptions()
+	droop := nominal
+	droop.Cond = cell.OperatingCondition{VoltageV: 0.95, TempC: 85}
+	const lib = "cell-lib-fp"
+	kNominal, kDroop := Key(nominal, lib), Key(droop, lib)
+	if kNominal == kDroop {
+		t.Fatal("model fingerprint ignores the operating condition")
+	}
+	// Zero condition and explicit nominal normalize to the same machine —
+	// their keys must not split the cache.
+	explicit := nominal
+	explicit.Cond = cell.OperatingCondition{VoltageV: cell.NominalVoltageV, TempC: cell.NominalTempC}.Norm()
+	if Key(explicit, lib) != kNominal {
+		t.Error("explicit nominal condition split the fingerprint from the zero value")
+	}
+
+	snap := &SurrogateSnapshot{Version: 1, Forest: trainedForest(t)}
+	if err := SaveSurrogate(dir, kNominal, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LoadSurrogate(dir, kDroop); ok {
+		t.Fatal("surrogate trained at nominal answered for the droop corner")
+	}
+	if _, ok := LoadSurrogate(dir, kNominal); !ok {
+		t.Error("nominal snapshot lost on a same-condition reload")
 	}
 }
 

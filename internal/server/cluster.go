@@ -42,6 +42,23 @@ type Cluster interface {
 func (s *Server) execute(ctx context.Context, req *Request, key string) (*core.Report, error) {
 	opts := req.analyzeOpts()
 	c := s.cfg.Cluster
+	if req.pointOverride() {
+		// An operating-point override runs through AnalyzeAt. Routing still
+		// applies (the overrides are part of the proxy body and the key, so
+		// the owner computes the identical result), but Monte Carlo fan-out
+		// does not: peers rebuild chunk specs at their default point, so an
+		// override's trials stay local.
+		if c != nil && opts.MCTrials == 0 && !req.forwarded {
+			if addr := c.Route(key); addr != "" {
+				if body, err := json.Marshal(req.proxyBody()); err == nil {
+					if rep, err := c.ProxyEstimate(ctx, addr, body); err == nil {
+						return rep, nil
+					}
+				}
+			}
+		}
+		return s.cfg.AnalyzeAt(ctx, req.Benchmark, req.Scenarios, opts, req.cond(), req.FreqRatio)
+	}
 	if c == nil {
 		return s.cfg.Analyze(ctx, req.Benchmark, req.Scenarios, opts)
 	}

@@ -2,10 +2,22 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 	"unicode/utf8"
 )
+
+// toggleFloat returns a value whose %g rendering (the canonical-hash form)
+// provably differs from v's — even when v is NaN, infinite, or too large for
+// small additions to register.
+func toggleFloat(v float64) float64 {
+	if fmt.Sprintf("%g", v) == "2" {
+		return 3
+	}
+	return 2
+}
 
 // FuzzRequestHash pins the canonical-hashing contract of Request.Key:
 //
@@ -13,20 +25,22 @@ import (
 //     requests differing only in how they are scheduled dedup onto one
 //     computation;
 //   - every result-determining field (benchmark, scenarios, retries,
-//     min_scenarios, fail_fast, mc_trials) and the model fingerprint MUST
-//     change the key — two different results must never collide;
+//     min_scenarios, fail_fast, mc_trials, freq_ratio, voltage, temp_c) and
+//     the model fingerprint MUST change the key — two different results must
+//     never collide;
 //   - JSON field order and whitespace must not matter (the key is computed
 //     from the decoded struct, not the wire bytes).
 func FuzzRequestHash(f *testing.F) {
-	f.Add("typeset", 4, 2, 1, true, 500, "fp-a", 8, int64(1000), true)
-	f.Add("dijkstra", 1, 0, 0, false, 0, "", 0, int64(0), false)
-	f.Add("pgp.encode", 64, 8, 64, true, 5000, "fp-b", 64, int64(600000), true)
-	f.Add("", -3, -1, 99, false, -7, "fp\nwith\nnewlines", -2, int64(-5), false)
-	f.Add("bench=1\nscenarios", 2, 1, 1, true, 1, "fp=x", 3, int64(7), false)
+	f.Add("typeset", 4, 2, 1, true, 500, "fp-a", 8, int64(1000), true, 1.15, 0.9, 85.0)
+	f.Add("dijkstra", 1, 0, 0, false, 0, "", 0, int64(0), false, 0.0, 0.0, 0.0)
+	f.Add("pgp.encode", 64, 8, 64, true, 5000, "fp-b", 64, int64(600000), true, 1.3, 1.1, 25.0)
+	f.Add("", -3, -1, 99, false, -7, "fp\nwith\nnewlines", -2, int64(-5), false, -1.0, -0.5, -40.0)
+	f.Add("bench=1\nscenarios", 2, 1, 1, true, 1, "fp=x", 3, int64(7), false, 0.5, 1.4, 125.0)
 
 	f.Fuzz(func(t *testing.T, benchmark string, scenarios, retries, minScenarios int,
 		failFast bool, mcTrials int, fingerprint string,
-		workers int, timeoutMS int64, async bool) {
+		workers int, timeoutMS int64, async bool,
+		freqRatio, voltageV, tempC float64) {
 		q := Request{
 			Benchmark:    benchmark,
 			Scenarios:    scenarios,
@@ -37,6 +51,9 @@ func FuzzRequestHash(f *testing.F) {
 			Workers:      workers,
 			TimeoutMS:    timeoutMS,
 			Async:        async,
+			FreqRatio:    freqRatio,
+			VoltageV:     voltageV,
+			TempC:        tempC,
 		}
 		key := q.Key(fingerprint)
 		if len(key) != 64 {
@@ -55,8 +72,11 @@ func FuzzRequestHash(f *testing.F) {
 		// A decode round-trip (the wire path) must reproduce the key: the
 		// canonical form depends on field values, not encoding accidents.
 		// Invalid UTF-8 is exempt — json.Marshal coerces it to U+FFFD, and the
-		// real wire path can only ever deliver valid UTF-8 strings.
-		if utf8.ValidString(benchmark) {
+		// real wire path can only ever deliver valid UTF-8 strings. Non-finite
+		// floats are exempt too: json.Marshal refuses them, and validation
+		// rejects them at the door on the real wire path.
+		finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+		if utf8.ValidString(benchmark) && finite(freqRatio) && finite(voltageV) && finite(tempC) {
 			buf, err := json.Marshal(q)
 			if err != nil {
 				t.Fatal(err)
@@ -71,15 +91,23 @@ func FuzzRequestHash(f *testing.F) {
 		}
 
 		// Every result-determining mutation must move the key.
-		mutations := map[string]Request{
-			"benchmark":     {Benchmark: benchmark + "x", Scenarios: scenarios, Retries: retries, MinScenarios: minScenarios, FailFast: failFast, MCTrials: mcTrials},
-			"scenarios":     {Benchmark: benchmark, Scenarios: scenarios + 1, Retries: retries, MinScenarios: minScenarios, FailFast: failFast, MCTrials: mcTrials},
-			"retries":       {Benchmark: benchmark, Scenarios: scenarios, Retries: retries + 1, MinScenarios: minScenarios, FailFast: failFast, MCTrials: mcTrials},
-			"min_scenarios": {Benchmark: benchmark, Scenarios: scenarios, Retries: retries, MinScenarios: minScenarios + 1, FailFast: failFast, MCTrials: mcTrials},
-			"fail_fast":     {Benchmark: benchmark, Scenarios: scenarios, Retries: retries, MinScenarios: minScenarios, FailFast: !failFast, MCTrials: mcTrials},
-			"mc_trials":     {Benchmark: benchmark, Scenarios: scenarios, Retries: retries, MinScenarios: minScenarios, FailFast: failFast, MCTrials: mcTrials + 1},
+		mutations := map[string]func(*Request){
+			"benchmark":     func(m *Request) { m.Benchmark += "x" },
+			"scenarios":     func(m *Request) { m.Scenarios++ },
+			"retries":       func(m *Request) { m.Retries++ },
+			"min_scenarios": func(m *Request) { m.MinScenarios++ },
+			"fail_fast":     func(m *Request) { m.FailFast = !m.FailFast },
+			"mc_trials":     func(m *Request) { m.MCTrials++ },
+			// Addition can be absorbed by huge magnitudes (1e300 + ε) or NaN;
+			// toggling to a fresh small value always moves the canonical %g
+			// rendering instead.
+			"freq_ratio": func(m *Request) { m.FreqRatio = toggleFloat(m.FreqRatio) },
+			"voltage":    func(m *Request) { m.VoltageV = toggleFloat(m.VoltageV) },
+			"temp_c":     func(m *Request) { m.TempC = toggleFloat(m.TempC) },
 		}
-		for field, m := range mutations {
+		for field, mutate := range mutations {
+			m := q
+			mutate(&m)
 			if got := m.Key(fingerprint); got == key {
 				t.Errorf("mutating %s did not change the key", field)
 			}

@@ -39,6 +39,15 @@ type metrics struct {
 	batchesStarted  atomic.Uint64
 	batchesFinished atomic.Uint64
 
+	// Operating-point search counters (POST /v1/oppoint). Sub-requests go
+	// through the same join machinery as /v1/estimate, so their cache hits
+	// here are the proof that bisection probes dedup instead of recomputing.
+	oppointRequests            atomic.Uint64
+	oppointSearches            atomic.Uint64
+	oppointSubrequests         atomic.Uint64
+	oppointSubrequestCacheHits atomic.Uint64
+	oppointInfeasible          atomic.Uint64
+
 	// surrogateMetrics are the fast-tier counters and the shadow-residual
 	// histogram (surrogate.go); rendered only when a surrogate is attached.
 	surrogateMetrics
@@ -124,6 +133,7 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"readyz\"} %d\n", m.readyRequests.Load())
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"metrics\"} %d\n", m.metricsRequests.Load())
 	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"cluster_chunk\"} %d\n", m.chunkRequests.Load())
+	fmt.Fprintf(w, "tsperrd_requests_total{endpoint=\"oppoint\"} %d\n", m.oppointRequests.Load())
 
 	counter("tsperrd_computations_total", "Estimations actually executed (after dedup and cache).", m.computations.Load())
 	counter("tsperrd_dedup_joins_total", "Requests that joined an identical in-flight computation.", m.dedupJoins.Load())
@@ -136,6 +146,10 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	counter("tsperrd_batches_started_total", "Batch suites admitted.", m.batchesStarted.Load())
 	counter("tsperrd_batches_finished_total", "Batch suites whose every entry reached a terminal state.", m.batchesFinished.Load())
 	counter("tsperrd_fingerprint_rejects_total", "Cluster requests refused for a model fingerprint mismatch.", m.fingerprintRejects.Load())
+	counter("tsperrd_oppoint_searches_total", "Per-condition bisection searches run by /v1/oppoint.", m.oppointSearches.Load())
+	counter("tsperrd_oppoint_subrequests_total", "Estimate sub-requests issued by oppoint bisections.", m.oppointSubrequests.Load())
+	counter("tsperrd_oppoint_subrequest_cache_hits_total", "Oppoint sub-requests served from the LRU result cache.", m.oppointSubrequestCacheHits.Load())
+	counter("tsperrd_oppoint_infeasible_total", "Oppoint conditions infeasible even at the minimum ratio.", m.oppointInfeasible.Load())
 
 	gauge("tsperrd_queue_depth", "Jobs pending or running on the compute queue.", float64(g.queueDepth))
 	gauge("tsperrd_inflight_computations", "Deduplicated computations currently in flight.", float64(g.inflight))

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"time"
 
+	"tsperr/internal/cell"
 	"tsperr/internal/cluster"
 	"tsperr/internal/core"
 )
@@ -59,6 +60,16 @@ type Request struct {
 	// excluded from the request hash and requests differing only in it dedup
 	// onto one computation.
 	ErrorRateThreshold float64 `json:"error_rate_threshold,omitempty"`
+	// FreqRatio, VoltageV, and TempC override the operating point for this
+	// request: the frequency ratio (speculative over baseline; 0 = the
+	// design's working ratio) and the supply/temperature condition (0 = the
+	// daemon's configured condition). All three determine the result, so
+	// they are part of the request hash; requests carrying any override are
+	// served through Config.AnalyzeAt and bypass the surrogate fast tier
+	// (the tier is trained at the daemon's own operating point).
+	FreqRatio float64 `json:"freq_ratio,omitempty"`
+	VoltageV  float64 `json:"voltage,omitempty"`
+	TempC     float64 `json:"temp_c,omitempty"`
 
 	// forwarded marks a request a cluster coordinator routed here
 	// (cluster.HeaderForwarded): it executes locally and is never re-routed,
@@ -145,7 +156,32 @@ func (q *Request) validate(limits Limits) error {
 	if q.ErrorRateThreshold < 0 || q.ErrorRateThreshold >= 1 || math.IsNaN(q.ErrorRateThreshold) {
 		return fmt.Errorf("error_rate_threshold %g out of range [0, 1)", q.ErrorRateThreshold)
 	}
+	if q.FreqRatio != 0 && !(q.FreqRatio >= minFreqRatio && q.FreqRatio <= maxFreqRatio) {
+		return fmt.Errorf("freq_ratio %g out of range [%g, %g]", q.FreqRatio, minFreqRatio, maxFreqRatio)
+	}
+	if err := q.cond().Validate(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// minFreqRatio/maxFreqRatio bound a request's frequency-ratio override;
+// outside this window the calibrated model has nothing meaningful to say.
+const (
+	minFreqRatio = 0.5
+	maxFreqRatio = 2.0
+)
+
+// cond returns the request's operating-condition override; the zero value
+// (no override) normalizes to the nominal condition inside internal/cell.
+func (q *Request) cond() cell.OperatingCondition {
+	return cell.OperatingCondition{VoltageV: q.VoltageV, TempC: q.TempC}
+}
+
+// pointOverride reports whether the request asks for an explicit operating
+// point instead of the daemon's default serving point.
+func (q *Request) pointOverride() bool {
+	return q.FreqRatio != 0 || q.VoltageV != 0 || q.TempC != 0
 }
 
 // Key is the canonical content address of a request's result: a SHA-256
@@ -163,6 +199,9 @@ func (q *Request) Key(fingerprint string) string {
 	// omitted, keeping the canonical form total: every result-determining
 	// field always contributes exactly one line.
 	fmt.Fprintf(h, "mc=%d\n", q.MCTrials)
+	// The operating-point overrides determine the result; unset (0) hashes
+	// as 0 — "the daemon's default point" — keeping the canonical form total.
+	fmt.Fprintf(h, "ratio=%g\nvolt=%g\ntemp=%g\n", q.FreqRatio, q.VoltageV, q.TempC)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

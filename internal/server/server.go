@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"tsperr/internal/cell"
 	"tsperr/internal/cluster"
 	"tsperr/internal/core"
 	"tsperr/internal/montecarlo"
@@ -23,10 +24,20 @@ import (
 // pipeline.
 type AnalyzeFunc func(ctx context.Context, benchmark string, scenarios int, opts core.AnalyzeOpts) (*core.Report, error)
 
+// AnalyzeAtFunc runs one estimation at an explicit operating point: a
+// (voltage, temperature) condition plus a frequency ratio (0 = the design's
+// working ratio). The daemon wires harness.AnalyzeAtPoint; tests substitute
+// fakes.
+type AnalyzeAtFunc func(ctx context.Context, benchmark string, scenarios int, opts core.AnalyzeOpts, cond cell.OperatingCondition, ratio float64) (*core.Report, error)
+
 // Config assembles a Server. Zero fields select the documented defaults.
 type Config struct {
 	// Analyze is the estimation entry point (required).
 	Analyze AnalyzeFunc
+	// AnalyzeAt, when non-nil, serves requests carrying operating-point
+	// overrides (freq_ratio / voltage / temp_c) and enables POST /v1/oppoint.
+	// When nil, such requests are rejected at validation.
+	AnalyzeAt AnalyzeAtFunc
 	// Fingerprint identifies the loaded model (options + cell library); it
 	// is folded into every request key so results never leak across
 	// operating points. The daemon uses the model-cache content address.
@@ -243,6 +254,9 @@ func (s *Server) Abort() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	if s.cfg.AnalyzeAt != nil {
+		mux.HandleFunc("POST /v1/oppoint", s.handleOppoint)
+	}
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchGet)
@@ -433,6 +447,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.met.badRequests.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.pointOverride() && s.cfg.AnalyzeAt == nil {
+		s.met.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "this daemon does not serve operating-point overrides"})
 		return
 	}
 	key := req.Key(s.cfg.Fingerprint)

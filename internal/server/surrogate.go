@@ -68,11 +68,13 @@ type SurrogateTier interface {
 // surrogateEligible reports whether a request may be answered by the fast
 // tier: serve mode only, and never for async requests (the job contract
 // promises an exact pipeline run), Monte Carlo validations (the surrogate
-// has no trials to validate), or cluster-forwarded requests (the
-// coordinator already made the tier decision).
+// has no trials to validate), cluster-forwarded requests (the coordinator
+// already made the tier decision), or operating-point overrides (the tier
+// is trained at the daemon's own serving point and would silently answer
+// for the wrong condition).
 func (s *Server) surrogateEligible(req *Request) bool {
 	return s.cfg.SurrogateMode == SurrogateServe && s.cfg.Surrogate != nil &&
-		!req.Async && req.MCTrials == 0 && !req.forwarded
+		!req.Async && req.MCTrials == 0 && !req.forwarded && !req.pointOverride()
 }
 
 // consultSurrogate runs the gate for an eligible request. A cached exact
@@ -103,6 +105,12 @@ func (s *Server) consultSurrogate(req *Request, key string) *core.Report {
 // shadow and serve modes) and records the shadow residual.
 func (s *Server) observeSurrogate(req *Request, rep *core.Report) {
 	if s.cfg.Surrogate == nil || s.cfg.SurrogateMode == SurrogateOff || s.cfg.SurrogateMode == "" {
+		return
+	}
+	// A report computed at an overridden operating point is ground truth for
+	// THAT point, not the daemon's serving point; feeding it back would teach
+	// the tier the wrong condition.
+	if req.pointOverride() {
 		return
 	}
 	// Degraded runs carry a survivor-dependent estimate and zero-rate

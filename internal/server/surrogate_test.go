@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"tsperr/internal/cell"
 	"tsperr/internal/core"
 	"tsperr/internal/surrogate"
 )
@@ -291,6 +292,60 @@ func TestSurrogateObserveSkipsUntrustworthyReports(t *testing.T) {
 	}
 	if stub.observes.Load() != 1 {
 		t.Errorf("observed %d reports, want only the clean one", stub.observes.Load())
+	}
+}
+
+// TestSurrogateBypassedForPointOverrides pins V/T isolation at the serving
+// layer: the fast tier is trained from reports at the daemon's own operating
+// point, so a request overriding voltage, temperature, or frequency ratio
+// must (a) never be answered by the gate — even a confident one — and
+// (b) never feed its exact result back as a training observation, which
+// would teach the tier the wrong condition.
+func TestSurrogateBypassedForPointOverrides(t *testing.T) {
+	var exactAt atomic.Uint64
+	stub := &stubSurrogate{decision: confidentDecision(), residual: 0.05, residOK: true}
+	_, ts := newTestServer(t, context.Background(), Config{
+		Analyze: func(ctx context.Context, benchmark string, scenarios int, opts core.AnalyzeOpts) (*core.Report, error) {
+			return fakeReport(benchmark), nil
+		},
+		AnalyzeAt: func(ctx context.Context, benchmark string, scenarios int, opts core.AnalyzeOpts, cond cell.OperatingCondition, ratio float64) (*core.Report, error) {
+			exactAt.Add(1)
+			return fakeReport(benchmark), nil
+		},
+		Surrogate:     stub,
+		SurrogateMode: SurrogateServe,
+	})
+
+	for _, body := range []string{
+		`{"benchmark":"a","voltage":0.95}`,
+		`{"benchmark":"a","temp_c":85}`,
+		`{"benchmark":"a","freq_ratio":1.1}`,
+	} {
+		code, resp, err := postEstimate(context.Background(), ts.URL, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 200 || resp["tier"] != core.TierExact {
+			t.Fatalf("%s: status %d tier %v, want exact", body, code, resp["tier"])
+		}
+	}
+	if got := exactAt.Load(); got != 3 {
+		t.Errorf("AnalyzeAt ran %d times, want 3", got)
+	}
+	if got := stub.decides.Load(); got != 0 {
+		t.Errorf("gate consulted %d times for override requests", got)
+	}
+	if got := stub.observes.Load(); got != 0 {
+		t.Errorf("override results observed %d times — they train the wrong condition", got)
+	}
+
+	// A default-point request on the same daemon still uses the tier both ways.
+	code, resp, err := postEstimate(context.Background(), ts.URL, `{"benchmark":"a"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 200 || resp["tier"] != core.TierSurrogate {
+		t.Fatalf("default-point request: status %d tier %v, want surrogate", code, resp["tier"])
 	}
 }
 

@@ -30,13 +30,30 @@ type Engine struct {
 	// DelayScale multiplies every nominal gate delay; the calibration step
 	// uses it to place the design's maximum frequency at a chosen value.
 	DelayScale float64
+	// Cond is the operating condition the gate delays are evaluated at.
+	// Its DelayFactor/SigmaFactor multiply on top of DelayScale/SigmaRel;
+	// at the nominal condition both are exactly 1.0 and the engine is
+	// bit-identical to a condition-free one.
+	Cond cell.OperatingCondition
 
 	delays []variation.Canon
 	topo   []netlist.GateID
 }
 
-// NewEngine prepares an engine. The netlist must validate.
+// NewEngine prepares an engine at the nominal operating condition. The
+// netlist must validate.
 func NewEngine(n *netlist.Netlist, model *variation.Model, clockPeriod, sigmaRel, delayScale float64) (*Engine, error) {
+	return NewEngineAt(n, model, clockPeriod, sigmaRel, delayScale, cell.OperatingCondition{})
+}
+
+// NewEngineAt prepares an engine with gate delays evaluated at the given
+// operating condition: every nominal delay is inflated by the condition's
+// DelayFactor and the relative sigma by its SigmaFactor, so the SSTA
+// distributions (and everything downstream: DTS, calibrated slacks, error
+// rates) shift with voltage and temperature. DelayScale stays a pure design
+// property — calibration runs at the nominal condition and the V/T factors
+// multiply on top.
+func NewEngineAt(n *netlist.Netlist, model *variation.Model, clockPeriod, sigmaRel, delayScale float64, cond cell.OperatingCondition) (*Engine, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -47,14 +64,18 @@ func NewEngine(n *netlist.Netlist, model *variation.Model, clockPeriod, sigmaRel
 	if delayScale <= 0 {
 		return nil, fmt.Errorf("sta: non-positive delay scale %v", delayScale)
 	}
+	if err := cond.Validate(); err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		N: n, Model: model, ClockPeriod: clockPeriod,
-		SigmaRel: sigmaRel, DelayScale: delayScale, topo: topo,
+		SigmaRel: sigmaRel, DelayScale: delayScale, Cond: cond, topo: topo,
 	}
+	df, sf := cond.DelayFactor(), cond.SigmaFactor()
 	e.delays = make([]variation.Canon, n.NumGates())
 	for i := range n.Gates() {
 		g := &n.Gates()[i]
-		e.delays[i] = model.Canonical(g.X, g.Y, g.Kind.Delay()*delayScale, sigmaRel)
+		e.delays[i] = model.CanonicalScaled(g.X, g.Y, g.Kind.Delay()*delayScale, sigmaRel, df, sf)
 	}
 	return e, nil
 }
